@@ -1,0 +1,59 @@
+"""Ablation bench: adaptive sampling (§7.2) vs flat full-budget sampling.
+
+The paper's adaptive rule screens every candidate with R = 10 walks and
+refines only promising ones with R = 100.  This bench measures the walk
+budget and wall-clock of both policies and checks the answer quality is
+preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import top_k_query
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def query_set(social_graph_medium):
+    rng = ensure_rng(9)
+    return [int(u) for u in rng.choice(social_graph_medium.n, size=12, replace=False)]
+
+
+def _run(graph, engine, adaptive, queries):
+    walks = 0
+    results = {}
+    for u in queries:
+        result = top_k_query(
+            graph, engine.index, u, config=engine.config, seed=100 + u, adaptive=adaptive
+        )
+        walks += result.stats.walks_simulated
+        results[u] = result
+    return walks, results
+
+
+@pytest.mark.parametrize("adaptive", [True, False], ids=["adaptive", "flat"])
+def test_adaptive_ablation_timing(benchmark, social_graph_medium, social_engine, query_set, adaptive):
+    walks, _ = benchmark.pedantic(
+        lambda: _run(social_graph_medium, social_engine, adaptive, query_set),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[adaptive={adaptive}] total walks simulated: {walks}")
+
+
+def test_adaptive_spends_fewer_walks(social_graph_medium, social_engine, query_set):
+    walks_adaptive, res_a = _run(social_graph_medium, social_engine, True, query_set)
+    walks_flat, res_f = _run(social_graph_medium, social_engine, False, query_set)
+    assert walks_adaptive < walks_flat
+
+    # Quality: the top-5 answers substantially agree.
+    agreements = []
+    for u in query_set:
+        a = set(res_a[u].vertices()[:5])
+        f = set(res_f[u].vertices()[:5])
+        if f:
+            agreements.append(len(a & f) / len(f))
+    if agreements:
+        assert np.mean(agreements) >= 0.6

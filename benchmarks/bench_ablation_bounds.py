@@ -1,0 +1,84 @@
+"""Ablation bench: L1-only vs L2-only vs combined pruning (§6.3).
+
+DESIGN.md calls out the paper's claim that the two bounds are
+complementary — L1 tight for low-degree query vertices, L2 for
+high-degree — and that combining them prunes more than either alone.
+This bench measures pruning counts and query time under each setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import top_k_query
+from repro.utils.rng import ensure_rng
+
+
+def _run(graph, engine, use_l1, use_l2, queries, seed=0):
+    pruned = screened = 0
+    for u in queries:
+        result = top_k_query(
+            graph,
+            engine.index,
+            u,
+            config=engine.config,
+            seed=seed + u,
+            use_l1=use_l1,
+            use_l2=use_l2,
+        )
+        pruned += result.stats.pruned_by_bound + result.stats.skipped_by_termination
+        screened += result.stats.screened
+    return pruned, screened
+
+
+@pytest.fixture(scope="module")
+def query_set(web_graph_medium):
+    rng = ensure_rng(5)
+    return [int(u) for u in rng.choice(web_graph_medium.n, size=12, replace=False)]
+
+
+@pytest.mark.parametrize(
+    "label,use_l1,use_l2",
+    [("none", False, False), ("l1", True, False), ("l2", False, True), ("both", True, True)],
+)
+def test_bound_ablation_timing(benchmark, web_graph_medium, web_engine, query_set, label, use_l1, use_l2):
+    pruned, screened = benchmark.pedantic(
+        lambda: _run(web_graph_medium, web_engine, use_l1, use_l2, query_set),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[{label}] pruned_by_bound={pruned} screened={screened}")
+
+
+def test_combined_prunes_at_least_each_alone(web_graph_medium, web_engine, query_set):
+    # Compare the *scoring work* each pruning mode leaves behind.  The
+    # combined bound is pointwise tighter, so up to Monte-Carlo cutoff
+    # noise it screens no more candidates than either bound alone and
+    # strictly fewer than no pruning at all.
+    _, screened_l1 = _run(web_graph_medium, web_engine, True, False, query_set)
+    _, screened_l2 = _run(web_graph_medium, web_engine, False, True, query_set)
+    _, screened_both = _run(web_graph_medium, web_engine, True, True, query_set)
+    pruned_none, screened_none = _run(web_graph_medium, web_engine, False, False, query_set)
+    assert pruned_none == 0
+    assert screened_both <= 1.1 * min(screened_l1, screened_l2)
+    assert screened_both < screened_none
+
+
+def test_bounds_do_not_change_answers_materially(web_graph_medium, web_engine, query_set):
+    # Pruning is an optimisation: the surviving top answers must agree.
+    agreements = []
+    for u in query_set[:6]:
+        with_bounds = top_k_query(
+            web_graph_medium, web_engine.index, u, config=web_engine.config, seed=u
+        )
+        without = top_k_query(
+            web_graph_medium, web_engine.index, u, config=web_engine.config, seed=u,
+            use_l1=False, use_l2=False,
+        )
+        top_with = set(with_bounds.vertices()[:5])
+        top_without = set(without.vertices()[:5])
+        if top_without:
+            agreements.append(len(top_with & top_without) / len(top_without))
+    if agreements:
+        assert np.mean(agreements) >= 0.7

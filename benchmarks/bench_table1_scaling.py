@@ -1,0 +1,66 @@
+"""Table 1 bench: empirical complexity of every algorithm class.
+
+Fits log-log scaling exponents over a copying-model size ladder and
+asserts the orderings Table 1 claims:
+
+- the proposed query is (near) size-independent while the O(Tm)
+  deterministic evaluation is not;
+- preprocess time and index space are ~linear in n;
+- the baselines' space formulas are linear (Fogaras-Racz, with a much
+  larger constant) and quadratic (Yu et al.).
+
+Also covers the §8.1 observation that query time tracks structure, not
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.experiments.scaling import render_scaling, run_scaling
+
+LADDER_CONFIG = SimRankConfig(
+    T=7, r_pair=50, r_screen=10, r_alphabeta=300, r_gamma=50,
+    index_walks=6, index_checks=4,
+)
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return run_scaling(
+        sizes=(200, 400, 800, 1600), config=LADDER_CONFIG, query_trials=12, seed=0
+    )
+
+
+def test_table1_scaling_ladder(benchmark, ladder):
+    result = benchmark.pedantic(
+        lambda: run_scaling(
+            sizes=(200, 400, 800), config=LADDER_CONFIG, query_trials=4, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_scaling(result))
+    assert len(result.points) == 3
+
+
+def test_preprocess_is_linear(ladder):
+    assert 0.5 < ladder.exponents["preprocess_vs_n"] < 1.5
+
+
+def test_query_flatter_than_deterministic(ladder):
+    # The size-independence headline: MC query grows much slower than
+    # any O(m) evaluation would.
+    assert ladder.exponents["query_vs_m"] < 0.8
+
+
+def test_index_linear_and_smaller_than_fr(ladder):
+    assert 0.7 < ladder.exponents["index_vs_n"] < 1.3
+    for point in ladder.points:
+        assert point.index_bytes < point.fr_index_bytes
+
+
+def test_space_formula_exponents(ladder):
+    assert ladder.exponents["fr_index_vs_n"] == pytest.approx(1.0, abs=1e-6)
+    assert ladder.exponents["yu_memory_vs_n"] == pytest.approx(2.0, abs=1e-6)

@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+Heavy artefacts (graphs, preprocessed engines, exact matrices) are
+session-scoped so each benchmark times only its own phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.core.exact import exact_simrank
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import copying_web_graph, preferential_attachment
+
+#: One benchmark config: paper structure, laptop-sized sample counts.
+BENCH_CONFIG = SimRankConfig(
+    T=9,
+    r_pair=100,
+    r_screen=10,
+    r_alphabeta=1000,
+    r_gamma=100,
+    index_walks=10,
+    index_checks=5,
+    k=20,
+    theta=0.01,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimRankConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def web_graph_medium():
+    return copying_web_graph(1500, out_degree=6, seed=31)
+
+
+@pytest.fixture(scope="session")
+def social_graph_medium():
+    return preferential_attachment(1000, out_degree=4, seed=31)
+
+
+@pytest.fixture(scope="session")
+def web_engine(web_graph_medium) -> SimRankEngine:
+    return SimRankEngine(web_graph_medium, BENCH_CONFIG, seed=7).preprocess()
+
+
+@pytest.fixture(scope="session")
+def social_engine(social_graph_medium) -> SimRankEngine:
+    return SimRankEngine(social_graph_medium, BENCH_CONFIG, seed=7).preprocess()
+
+
+@pytest.fixture(scope="session")
+def grqc_graph():
+    return load_dataset("ca-GrQc", "tiny")
+
+
+@pytest.fixture(scope="session")
+def grqc_exact(grqc_graph):
+    return exact_simrank(grqc_graph, c=BENCH_CONFIG.c)

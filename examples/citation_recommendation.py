@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Related-paper recommendation on a citation network.
+
+SimRank's founding intuition — "two similar papers are cited by many
+similar papers" — makes it a natural related-work recommender.  This
+example builds a forest-fire citation network (the Cora / cit-HepTh
+structural class of the paper's Table 2), picks a few "reading list"
+papers, and recommends related work three ways:
+
+- **SimRank top-k** via the paper's engine (multi-step neighborhoods);
+- **co-citation counts** (Small, 1973): one-step evidence only;
+- **exact SimRank** as ground truth, so the example doubles as a sanity
+  check that the fast engine ranks like the exact method.
+
+Run:  python examples/citation_recommendation.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import SimRankConfig, SimRankEngine
+from repro.core.exact import exact_top_k
+from repro.graph.generators import forest_fire
+
+
+def co_citation_scores(graph, u: int) -> Dict[int, int]:
+    """#papers citing both u and v, for every v co-cited with u."""
+    scores: Dict[int, int] = {}
+    for citer in graph.in_neighbors(u):
+        for other in graph.out_neighbors(int(citer)):
+            other = int(other)
+            if other != u:
+                scores[other] = scores.get(other, 0) + 1
+    return scores
+
+
+def top_pairs(d: Dict[int, int], k: int) -> List[Tuple[int, int]]:
+    """Best-k (paper, count) pairs, ties broken by id."""
+    return sorted(d.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def main() -> None:
+    graph = forest_fire(900, forward_probability=0.35, backward_probability=0.2, seed=21)
+    print(f"citation network: {graph.n} papers, {graph.m} citations")
+
+    # Citation graphs have tightly bunched scores (many near-ties), so
+    # spend more samples per pair than the interactive default.
+    config = SimRankConfig.fast().with_(theta=0.002, r_pair=400, screen_slack=0.15)
+    engine = SimRankEngine(graph, config, seed=5).preprocess()
+
+    # Ground truth for the comparison column (feasible at this scale).
+    from repro.core.exact import exact_simrank
+
+    S = exact_simrank(graph, c=config.c)
+
+    # Recommend for well-cited papers (they have meaningful neighborhoods).
+    in_degrees = graph.in_degrees
+    reading_list = np.argsort(-in_degrees)[5:8]  # popular but not the hubs
+
+    overlap_engine = []
+    for paper in reading_list:
+        paper = int(paper)
+        # Domain knowledge: related work is co-cited, so merge the
+        # co-citation set into the index candidates (engine API hook).
+        cocited = list(co_citation_scores(graph, paper))
+        engine_recs = engine.top_k(paper, k=5, extra_candidates=cocited).items
+        exact_recs = exact_top_k(graph, paper, 5, S=S)
+        cocite_recs = top_pairs(co_citation_scores(graph, paper), 5)
+
+        print(f"\n--- related work for paper {paper} (cited {in_degrees[paper]}x) ---")
+        print("  SimRank engine        exact SimRank         co-citation")
+        for i in range(5):
+            eng = f"{engine_recs[i][0]:5d} ({engine_recs[i][1]:.3f})" if i < len(engine_recs) else " " * 13
+            exa = f"{exact_recs[i][0]:5d} ({exact_recs[i][1]:.3f})" if i < len(exact_recs) else " " * 13
+            coc = f"{cocite_recs[i][0]:5d} ({cocite_recs[i][1]}x)" if i < len(cocite_recs) else ""
+            print(f"  {eng}   {exa}   {coc}")
+
+        engine_set = {v for v, _ in engine_recs}
+        exact_set = {v for v, _ in exact_recs}
+        if exact_set:
+            overlap_engine.append(len(engine_set & exact_set) / len(exact_set))
+
+    if overlap_engine:
+        print(
+            f"\nengine vs exact top-5 overlap: {np.mean(overlap_engine):.2f} "
+            "(disagreements are near-ties: citation-graph scores bunch within "
+            "the Monte-Carlo resolution; the deterministic series ranks "
+            "nearly identically to exact SimRank, cf. Figure 1)"
+        )
+    print(
+        "Note how SimRank surfaces papers with *similar citers* even when "
+        "they are never co-cited directly - the multi-step advantage the "
+        "paper's introduction highlights over bibliographic coupling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Web-spam detection by link-based similarity to known spam seeds.
+
+The paper's introduction cites spam detection [4, 11] among SimRank's
+applications: link-farm pages exhibit *structural* similarity (they are
+linked from the same boosted pages) even when they avoid linking each
+other directly.  This example:
+
+1. builds a host-structured web graph and injects a link farm — a set
+   of spam pages boosted by a shared pool of fake supporter pages;
+2. starting from a handful of *labelled* spam seeds, scores every page
+   by its maximum SimRank similarity to a seed (via the engine's top-k
+   search around each seed);
+3. evaluates detection quality (precision/recall of the unlabelled farm
+   members) against a PageRank-style popularity baseline, which link
+   farms are specifically built to fool.
+
+Run:  python examples/spam_detection.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro import SimRankConfig, SimRankEngine
+from repro.graph.digraph import DiGraphBuilder
+from repro.graph.generators import host_block_web_graph
+from repro.utils.rng import ensure_rng
+
+
+def inject_link_farm(
+    base, farm_size: int, supporters: int, seed: int
+) -> tuple:
+    """Append a link farm: spam pages boosted by shared fake supporters."""
+    rng = ensure_rng(seed)
+    n = base.n
+    spam = list(range(n, n + farm_size))
+    fakes = list(range(n + farm_size, n + farm_size + supporters))
+    builder = DiGraphBuilder(n + farm_size + supporters)
+    builder.add_edges(base.edges())
+    for fake in fakes:
+        # Every supporter boosts nearly the whole farm (that is what
+        # makes a farm a farm)...
+        for target in spam:
+            if rng.random() < 0.9:
+                builder.add_edge(fake, target)
+        # ...and camouflages by linking one legitimate page.
+        builder.add_edge(fake, int(rng.integers(n)))
+    # Farm pages link popular legitimate pages (classic camouflage).
+    for page in spam:
+        for _ in range(3):
+            builder.add_edge(page, int(rng.integers(n)))
+    return builder.to_csr(), spam, fakes
+
+
+def main() -> None:
+    base = host_block_web_graph(1200, seed=41)
+    graph, spam, fakes = inject_link_farm(base, farm_size=25, supporters=40, seed=7)
+    print(
+        f"web graph: {graph.n} pages ({len(spam)} spam, {len(fakes)} fake "
+        f"supporters hidden among them)"
+    )
+
+    rng = ensure_rng(3)
+    seeds = sorted(int(s) for s in rng.choice(spam, size=5, replace=False))
+    unknown_spam: Set[int] = set(spam) - set(seeds)
+    print(f"labelled spam seeds: {seeds}")
+
+    # The farm's scores sit close to legitimate site-siblings', so spend
+    # extra walks per pair to separate the near-ties.
+    config = SimRankConfig.fast().with_(k=40, theta=0.005, r_pair=300)
+    engine = SimRankEngine(graph, config, seed=9).preprocess()
+
+    # Guilt by structural association: max similarity to any seed.
+    suspicion: Dict[int, float] = {}
+    for seed_page in seeds:
+        for vertex, score in engine.top_k(seed_page, k=40).items:
+            suspicion[vertex] = max(suspicion.get(vertex, 0.0), score)
+    for s in seeds:
+        suspicion.pop(s, None)
+
+    ranked = sorted(suspicion.items(), key=lambda kv: (-kv[1], kv[0]))
+    top = [v for v, _ in ranked[: len(unknown_spam)]]
+    hits = len(set(top) & unknown_spam)
+    precision = hits / max(len(top), 1)
+    recall = hits / max(len(unknown_spam), 1)
+    print(
+        f"\nSimRank guilt-by-association: flagged {len(top)} pages, "
+        f"precision {precision:.2f}, recall {recall:.2f}"
+    )
+
+    # Popularity baseline: in-degree rank (what the farm games).
+    in_degrees = graph.in_degrees
+    legit_and_spam: List[int] = [v for v in range(graph.n) if v not in set(seeds)]
+    by_popularity = sorted(legit_and_spam, key=lambda v: -int(in_degrees[v]))
+    baseline_top = by_popularity[: len(unknown_spam)]
+    baseline_hits = len(set(baseline_top) & unknown_spam)
+    print(
+        f"in-degree popularity baseline:  precision "
+        f"{baseline_hits / max(len(baseline_top), 1):.2f}"
+    )
+    print(
+        "\nThe farm's shared supporter pool makes spam pages structurally "
+        "similar to the seeds - SimRank surfaces them even though they "
+        "never link each other, while raw popularity is exactly what the "
+        "farm inflates."
+    )
+
+
+if __name__ == "__main__":
+    main()

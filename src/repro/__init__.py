@@ -1,0 +1,40 @@
+"""repro — reproduction of "Scalable Similarity Search for SimRank"
+(Kusumoto, Maehara, Kawarabayashi; SIGMOD 2014).
+
+Quickstart::
+
+    from repro import SimRankEngine, SimRankConfig
+    from repro.graph.generators import copying_web_graph
+
+    graph = copying_web_graph(1000, seed=42)
+    engine = SimRankEngine(graph, SimRankConfig.fast(), seed=42).preprocess()
+    for vertex, score in engine.top_k(0, k=10).items:
+        print(vertex, score)
+
+Package layout:
+
+- :mod:`repro.graph` — graph storage (CSR), generators, I/O, traversal;
+- :mod:`repro.core` — the paper's algorithms (linear formulation,
+  Monte-Carlo estimators, L1/L2 bounds, candidate index, query engine);
+- :mod:`repro.baselines` — Jeh–Widom, Lizorkin partial sums,
+  Fogaras–Rácz fingerprints, Yu et al. all-pairs;
+- :mod:`repro.experiments` — harness regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.core.query import TopKResult
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraphBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "DiGraphBuilder",
+    "SimRankConfig",
+    "SimRankEngine",
+    "TopKResult",
+    "__version__",
+]

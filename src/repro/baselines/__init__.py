@@ -1,0 +1,26 @@
+"""The paper's comparators, implemented from their original papers:
+
+- :mod:`repro.baselines.naive` — Jeh–Widom's original iteration [13];
+- :mod:`repro.baselines.partial_sums` — Lizorkin et al.'s partial-sums
+  memoization [26];
+- :mod:`repro.baselines.fogaras_racz` — Fogaras–Rácz Monte-Carlo with
+  coupled fingerprint walks [9] (the single-pair/single-source
+  state of the art the paper benchmarks against);
+- :mod:`repro.baselines.yu_allpairs` — Yu et al.'s memory-hungry
+  all-pairs iteration [37] (the all-pairs state of the art);
+- :mod:`repro.baselines.matrix_simrank` — matrix-form reference plus the
+  *incorrect* linear recursion studied in §3.3.
+"""
+
+from repro.baselines.fogaras_racz import FingerprintIndex
+from repro.baselines.naive import naive_simrank
+from repro.baselines.partial_sums import partial_sums_simrank
+from repro.baselines.yu_allpairs import YuAllPairs, yu_memory_required
+
+__all__ = [
+    "FingerprintIndex",
+    "YuAllPairs",
+    "naive_simrank",
+    "partial_sums_simrank",
+    "yu_memory_required",
+]

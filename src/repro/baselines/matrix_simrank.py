@@ -1,0 +1,65 @@
+"""Matrix-form references, including the *incorrect* recursion of §3.3.
+
+Several prior papers ([10, 12, 19, 35, 36]) "define" SimRank as
+
+    S' = c P^T S' P + (1 - c) I,
+
+which Section 3.3 shows is wrong (S' does not have a unit diagonal —
+Example 1 is the counterexample) yet harmless for top-k ranking because
+it is the linear formulation with the approximation D ≈ (1-c)I, i.e. a
+near-uniform rescaling of the true scores.  Figure 1 is precisely the
+scatter of these two quantities; this module computes both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.core.exact import exact_simrank, iterations_for_tolerance
+from repro.core.linear import all_pairs_series
+from repro.utils.validation import check_fraction
+
+
+def incorrect_linear_simrank(
+    graph: CSRGraph,
+    c: float = 0.6,
+    tol: float = 1e-7,
+) -> np.ndarray:
+    """The §3.3 'approximate SimRank': fixed point of S' = cP^T S'P + (1-c)I.
+
+    Equals the truncated series with D = (1-c)I once the tail is below
+    ``tol``; diagonal entries are generally *not* one (Example 1).
+    """
+    check_fraction("c", c)
+    T = iterations_for_tolerance(c, tol * (1.0 - c))
+    return all_pairs_series(graph, c=c, T=T, diagonal=None)
+
+
+def exact_vs_approx_pairs(
+    graph: CSRGraph,
+    c: float = 0.6,
+    score_floor: float = 1e-3,
+    max_pairs: Optional[int] = None,
+) -> np.ndarray:
+    """(exact, approx) score pairs for off-diagonal entries above a floor.
+
+    The raw data behind Figure 1: every returned row is one scatter
+    point.  ``score_floor`` keeps only 'highly similar vertices' as the
+    figure does; ``max_pairs`` caps output for plotting.
+    """
+    exact = exact_simrank(graph, c=c)
+    approx = incorrect_linear_simrank(graph, c=c)
+    n = graph.n
+    mask = exact >= score_floor
+    np.fill_diagonal(mask, False)
+    rows, cols = np.nonzero(mask)
+    pairs = np.column_stack([exact[rows, cols], approx[rows, cols]])
+    # Deduplicate symmetric pairs deterministically.
+    keep = rows < cols
+    pairs = pairs[keep]
+    if max_pairs is not None and len(pairs) > max_pairs:
+        pairs = pairs[:max_pairs]
+    return pairs

@@ -1,0 +1,210 @@
+"""End-user command line: build indexes, run queries, inspect graphs.
+
+This is the operational surface a downstream user drives without
+writing Python:
+
+.. code-block:: bash
+
+    # one-off: generate a synthetic graph (or bring your own SNAP file)
+    python -m repro.cli generate --family web --n 5000 --out web.txt
+
+    # preprocess once ...
+    python -m repro.cli build-index --graph web.txt --index web-index.npz
+
+    # ... then query as often as needed
+    python -m repro.cli query --graph web.txt --index web-index.npz --vertex 42 -k 10
+    python -m repro.cli pair  --graph web.txt --vertex 42 --other 99
+    python -m repro.cli info  --graph web.txt
+
+The experiment harness has its own CLI (``python -m
+repro.experiments.runner``); this one is for the library's primary use
+case, top-k similarity search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.utils.memory import human_bytes
+from repro.utils.tables import Table, format_seconds
+
+FAMILIES = ("web", "social", "citation", "vote", "community", "random")
+
+
+def _load_graph(path: str, directed: bool) -> CSRGraph:
+    graph = read_edge_list(path, directed=directed)
+    assert isinstance(graph, CSRGraph)
+    return graph
+
+
+def _config_from_args(args: argparse.Namespace) -> SimRankConfig:
+    base = SimRankConfig.paper() if args.profile == "paper" else SimRankConfig.fast()
+    overrides = {}
+    if args.c is not None:
+        overrides["c"] = args.c
+    if args.T is not None:
+        overrides["T"] = args.T
+    if args.theta is not None:
+        overrides["theta"] = args.theta
+    return base.with_(**overrides) if overrides else base
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Write a synthetic graph in one of the paper's structural families."""
+    from repro.graph import generators
+
+    makers = {
+        "web": lambda: generators.host_block_web_graph(args.n, seed=args.seed),
+        "social": lambda: generators.preferential_attachment(args.n, seed=args.seed),
+        "citation": lambda: generators.forest_fire(args.n, seed=args.seed),
+        "vote": lambda: generators.wiki_vote_like(args.n, seed=args.seed),
+        "community": lambda: generators.community_social_graph(args.n, seed=args.seed),
+        "random": lambda: generators.erdos_renyi(
+            args.n, min(1.0, 8.0 / args.n), seed=args.seed
+        ),
+    }
+    graph = makers[args.family]()
+    write_edge_list(graph, args.out, header=f"family={args.family} seed={args.seed}")
+    print(f"wrote {graph.n} vertices / {graph.m} edges to {args.out}")
+    return 0
+
+
+def cmd_build_index(args: argparse.Namespace) -> int:
+    """Preprocess a graph (Algorithms 3 + 4) and persist the index."""
+    graph = _load_graph(args.graph, args.directed)
+    engine = SimRankEngine(graph, _config_from_args(args), seed=args.seed)
+    engine.preprocess()
+    engine.save_index(args.index)
+    stats = engine.index.signature_size_stats()
+    print(
+        f"indexed {graph.n} vertices / {graph.m} edges in "
+        f"{format_seconds(engine.preprocess_seconds)}; "
+        f"index {human_bytes(engine.index_nbytes())} "
+        f"(mean signature {stats['mean']:.1f}) -> {args.index}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Top-k similarity search against a saved (or freshly built) index."""
+    graph = _load_graph(args.graph, args.directed)
+    engine = SimRankEngine(graph, _config_from_args(args), seed=args.seed)
+    if args.index and Path(args.index).exists():
+        engine.load_index(args.index)
+    else:
+        engine.preprocess()
+    result = engine.top_k(args.vertex, k=args.k)
+    table = Table(["rank", "vertex", "simrank"], title=f"top-{args.k} for vertex {args.vertex}")
+    for rank, (vertex, score) in enumerate(result.items, start=1):
+        table.add_row([rank, vertex, f"{score:.5f}"])
+    print(table.render())
+    print(
+        f"({result.stats.candidates} candidates, "
+        f"{result.stats.pruned_by_bound} pruned, "
+        f"{result.stats.refined} refined, "
+        f"{format_seconds(result.stats.elapsed_seconds)})"
+    )
+    return 0
+
+
+def cmd_pair(args: argparse.Namespace) -> int:
+    """Single-pair s(u, v) by both evaluation methods."""
+    graph = _load_graph(args.graph, args.directed)
+    engine = SimRankEngine(graph, _config_from_args(args), seed=args.seed)
+    mc = engine.single_pair(args.vertex, args.other)
+    det = engine.single_pair(args.vertex, args.other, method="deterministic")
+    print(f"s({args.vertex}, {args.other}) monte-carlo:    {mc:.6f}")
+    print(f"s({args.vertex}, {args.other}) deterministic:  {det:.6f}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Structural summary of a graph file."""
+    from repro.graph.stats import average_distance, degree_summary, reciprocity
+
+    graph = _load_graph(args.graph, args.directed)
+    in_summary = degree_summary(graph, "in")
+    table = Table(["property", "value"], title=str(Path(args.graph).name))
+    table.add_row(["vertices", graph.n])
+    table.add_row(["edges", graph.m])
+    table.add_row(["mean in-degree", f"{in_summary.mean:.2f}"])
+    table.add_row(["max in-degree", in_summary.maximum])
+    table.add_row(["dead-end vertices", in_summary.zeros])
+    table.add_row(["reciprocity", f"{reciprocity(graph):.3f}"])
+    table.add_row(
+        ["avg distance (sampled)", f"{average_distance(graph, samples=30, seed=0):.2f}"]
+    )
+    table.add_row(["adjacency bytes", human_bytes(graph.nbytes())])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k SimRank similarity search (SIGMOD 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, needs_graph: bool = True) -> None:
+        if needs_graph:
+            p.add_argument("--graph", required=True, help="edge-list file (.txt/.gz)")
+            p.add_argument(
+                "--undirected",
+                dest="directed",
+                action="store_false",
+                help="store each edge in both directions",
+            )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--profile", choices=("fast", "paper"), default="fast")
+        p.add_argument("--c", type=float, default=None, help="decay factor")
+        p.add_argument("--T", type=int, default=None, help="series length")
+        p.add_argument("--theta", type=float, default=None, help="score threshold")
+
+    p_gen = sub.add_parser("generate", help="write a synthetic graph")
+    p_gen.add_argument("--family", choices=FAMILIES, default="web")
+    p_gen.add_argument("--n", type=int, default=1000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(fn=cmd_generate)
+
+    p_build = sub.add_parser("build-index", help="preprocess and save the index")
+    common(p_build)
+    p_build.add_argument("--index", required=True, help="output .npz path")
+    p_build.set_defaults(fn=cmd_build_index)
+
+    p_query = sub.add_parser("query", help="top-k similarity search")
+    common(p_query)
+    p_query.add_argument("--index", default=None, help="saved index (.npz)")
+    p_query.add_argument("--vertex", type=int, required=True)
+    p_query.add_argument("-k", type=int, default=10)
+    p_query.set_defaults(fn=cmd_query)
+
+    p_pair = sub.add_parser("pair", help="single-pair SimRank score")
+    common(p_pair)
+    p_pair.add_argument("--vertex", type=int, required=True)
+    p_pair.add_argument("--other", type=int, required=True)
+    p_pair.set_defaults(fn=cmd_pair)
+
+    p_info = sub.add_parser("info", help="graph structural summary")
+    common(p_info)
+    p_info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

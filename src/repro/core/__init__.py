@@ -1,0 +1,44 @@
+"""The paper's contribution: linear SimRank, Monte-Carlo estimators,
+distance bounds, the candidate index, and the top-k query engine."""
+
+from repro.core.config import SimRankConfig
+from repro.core.diagonal import (
+    approx_diagonal,
+    diagonal_from_simrank,
+    exact_diagonal,
+    estimate_diagonal_mc,
+)
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.engine import SimRankEngine
+from repro.core.exact import exact_single_source, exact_simrank, exact_top_k
+from repro.core.linear import (
+    all_pairs_series,
+    single_pair_series,
+    single_source_series,
+    series_length_for_accuracy,
+    truncation_error_bound,
+)
+from repro.core.montecarlo import required_samples, single_pair_simrank
+from repro.core.query import TopKResult, top_k_query
+
+__all__ = [
+    "DynamicSimRankEngine",
+    "SimRankConfig",
+    "SimRankEngine",
+    "TopKResult",
+    "all_pairs_series",
+    "approx_diagonal",
+    "diagonal_from_simrank",
+    "estimate_diagonal_mc",
+    "exact_diagonal",
+    "exact_simrank",
+    "exact_single_source",
+    "exact_top_k",
+    "required_samples",
+    "series_length_for_accuracy",
+    "single_pair_series",
+    "single_pair_simrank",
+    "single_source_series",
+    "top_k_query",
+    "truncation_error_bound",
+]

@@ -1,0 +1,279 @@
+"""Preprocessing: the candidate bipartite graph H and the γ table (§7.1).
+
+Algorithm 4 builds, for every vertex u, a small set of "signature"
+vertices: repeat P times — run one walk W₀ of length T from u plus Q
+confirmation walks W₁..W_Q, and record the step-t vertex of W₀ whenever
+the confirmation walks show that position is *frequently* reached.  The
+paper states this rule twice, slightly differently:
+
+- the §7.1 **text** rule: record v = W₀[t] if at least two of W₁..W_Q
+  are also at v at step t (default here);
+- the **Algorithm 4 pseudocode** rule: record W₀[t] whenever any two
+  confirmation walks collide at step t (selectable via
+  ``candidate_rule="pseudocode"``).
+
+Vertices u and v become mutual candidates when their signature sets
+intersect — implemented with an inverted list, so candidate enumeration
+is a union of short postings.  Total index space is O(nP) plus the O(nT)
+γ table, the paper's "small space" claim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.errors import IndexNotBuiltError, SerializationError, VertexError
+from repro.graph.csr import CSRGraph
+from repro.core.bounds import GammaTable, compute_gamma_all
+from repro.core.config import SimRankConfig
+from repro.core.walks import WalkEngine
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+
+INDEX_FORMAT_VERSION = 1
+
+
+@dataclass
+class CandidateIndex:
+    """The preprocess artefact: signature sets, inverted lists, γ table."""
+
+    config: SimRankConfig
+    n: int
+    signatures: List[List[int]]
+    inverted: Dict[int, List[int]]
+    gamma: GammaTable
+    build_seconds: float = 0.0
+
+    def candidates(self, u: int, include_self: bool = False) -> List[int]:
+        """All v whose signature set intersects u's (sorted, deduplicated).
+
+        This is line 2 of Algorithm 5: S = {v | δ_H(u_left) ∩ δ_H(v_left) ≠ ∅}.
+        """
+        if not 0 <= u < self.n:
+            raise VertexError(u, self.n)
+        found: Set[int] = set()
+        for signature_vertex in self.signatures[u]:
+            found.update(self.inverted.get(signature_vertex, ()))
+        if not include_self:
+            found.discard(u)
+        return sorted(found)
+
+    def replace_signature(self, u: int, new_signature: Sequence[int]) -> None:
+        """Swap one vertex's signature, keeping the inverted lists exact.
+
+        The incremental-maintenance hook: old postings of ``u`` are
+        removed, new ones inserted (sorted, so candidate output order is
+        unchanged vs a full rebuild).
+        """
+        if not 0 <= u < self.n:
+            raise VertexError(u, self.n)
+        for vertex in self.signatures[u]:
+            postings = self.inverted.get(int(vertex))
+            if postings is not None:
+                try:
+                    postings.remove(u)
+                except ValueError:
+                    pass
+                if not postings:
+                    del self.inverted[int(vertex)]
+        cleaned = sorted({int(v) for v in new_signature})
+        self.signatures[u] = cleaned
+        for vertex in cleaned:
+            postings = self.inverted.setdefault(vertex, [])
+            # Keep postings sorted for deterministic candidate output.
+            import bisect
+
+            bisect.insort(postings, u)
+
+    def signature_size_stats(self) -> Dict[str, float]:
+        """Mean/max signature-set sizes — diagnostic for index quality."""
+        sizes = np.array([len(s) for s in self.signatures], dtype=np.float64)
+        if sizes.size == 0:
+            return {"mean": 0.0, "max": 0.0, "empty_fraction": 1.0}
+        return {
+            "mean": float(sizes.mean()),
+            "max": float(sizes.max()),
+            "empty_fraction": float((sizes == 0).mean()),
+        }
+
+    def nbytes(self) -> int:
+        """Index payload bytes: signatures + inverted lists + γ table.
+
+        Counted as packed int64/float64 payloads (see
+        :mod:`repro.utils.memory`) so comparisons against the baselines'
+        O(nR'T) and O(n^2) indexes reflect algorithmic space.
+        """
+        signature_bytes = sum(8 * len(s) for s in self.signatures)
+        inverted_bytes = sum(8 * len(v) for v in self.inverted.values())
+        return signature_bytes + inverted_bytes + self.gamma.nbytes()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to a .npz alongside a JSON config sidecar payload."""
+        path = Path(path)
+        flat_signatures = np.array(
+            [v for s in self.signatures for v in s], dtype=np.int64
+        )
+        signature_offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in self.signatures], out=signature_offsets[1:])
+        meta = {
+            "version": INDEX_FORMAT_VERSION,
+            "n": self.n,
+            "build_seconds": self.build_seconds,
+            "config": {
+                "c": self.config.c,
+                "T": self.config.T,
+                "r_pair": self.config.r_pair,
+                "r_screen": self.config.r_screen,
+                "r_alphabeta": self.config.r_alphabeta,
+                "r_gamma": self.config.r_gamma,
+                "index_walks": self.config.index_walks,
+                "index_checks": self.config.index_checks,
+                "k": self.config.k,
+                "theta": self.config.theta,
+                "d_max": self.config.d_max,
+                "candidate_rule": self.config.candidate_rule,
+                "fallback_ball_radius": self.config.fallback_ball_radius,
+                "screen_slack": self.config.screen_slack,
+            },
+        }
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            signatures=flat_signatures,
+            signature_offsets=signature_offsets,
+            gamma=self.gamma.values,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CandidateIndex":
+        """Load an index written by :meth:`save`; the inverted lists are rebuilt."""
+        import zipfile
+
+        path = Path(path)
+        try:
+            payload = np.load(path if path.suffix == ".npz" else path.with_suffix(".npz"))
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise SerializationError(f"cannot read index file {path}: {exc}") from exc
+        try:
+            meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+            if meta["version"] != INDEX_FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported index version {meta['version']}"
+                )
+            config = SimRankConfig(**meta["config"])
+            offsets = payload["signature_offsets"]
+            flat = payload["signatures"]
+            n = int(meta["n"])
+            signatures = [
+                [int(v) for v in flat[offsets[u] : offsets[u + 1]]] for u in range(n)
+            ]
+            gamma = GammaTable(c=config.c, values=payload["gamma"])
+        except KeyError as exc:
+            raise SerializationError(f"index file {path} is missing field {exc}") from exc
+        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SerializationError(f"index file {path} is corrupt: {exc}") from exc
+        index = cls(
+            config=config,
+            n=n,
+            signatures=signatures,
+            inverted=_invert(signatures),
+            gamma=gamma,
+            build_seconds=float(meta.get("build_seconds", 0.0)),
+        )
+        return index
+
+
+def _invert(signatures: Sequence[Sequence[int]]) -> Dict[int, List[int]]:
+    inverted: Dict[int, List[int]] = {}
+    for u, signature in enumerate(signatures):
+        for vertex in signature:
+            inverted.setdefault(int(vertex), []).append(u)
+    return inverted
+
+
+def signature_for_vertex(
+    engine: WalkEngine,
+    u: int,
+    config: SimRankConfig,
+) -> List[int]:
+    """Algorithm 4's inner loop: the signature set of one vertex.
+
+    All P·(1+Q) walks run as a single vectorised bundle.  The walk's
+    own start vertex (t = 0) is always part of the signature, so a
+    vertex is always its own candidate — harmless (the query drops u
+    itself) and it guarantees non-empty postings.
+    """
+    P, Q, T = config.index_walks, config.index_checks, config.T
+    signature: Set[int] = {u}
+    bundle = engine.walk_matrix(u, P * (1 + Q), T)
+    for p in range(P):
+        base = p * (1 + Q)
+        w0 = bundle[:, base]
+        checks = bundle[:, base + 1 : base + 1 + Q]
+        for t in range(1, T):
+            anchor = w0[t]
+            if anchor < 0:
+                break
+            row = checks[t]
+            alive = row[row >= 0]
+            if config.candidate_rule == "text":
+                # ≥ 2 confirmation walks sit exactly at the anchor.
+                if int((alive == anchor).sum()) >= 2:
+                    signature.add(int(anchor))
+            else:
+                # Pseudocode rule: any collision among the Q walks.
+                if alive.size >= 2 and len(np.unique(alive)) < alive.size:
+                    signature.add(int(anchor))
+    return sorted(signature)
+
+
+def build_signatures(
+    graph: CSRGraph,
+    config: SimRankConfig,
+    seed: SeedLike = None,
+    vertices: Optional[Sequence[int]] = None,
+) -> List[List[int]]:
+    """Algorithm 4 over ``vertices`` (default: every vertex).
+
+    The subset form is what incremental maintenance uses: after an edge
+    update only the vertices whose reverse-walk ball touched the change
+    need new signatures.
+    """
+    engine = WalkEngine(graph, ensure_rng(seed))
+    targets = range(graph.n) if vertices is None else vertices
+    return [signature_for_vertex(engine, int(u), config) for u in targets]
+
+
+def build_index(
+    graph: CSRGraph,
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = None,
+) -> CandidateIndex:
+    """Full §7.1 preprocess: signatures (Algorithm 4) + γ table (Algorithm 3).
+
+    Time O(n (R + P Q) T), space O(nP + nT) — the paper's preprocess
+    complexity.
+    """
+    import time
+
+    config = config or SimRankConfig()
+    start = time.perf_counter()
+    signatures = build_signatures(graph, config, seed=derive_seed(seed, 1))
+    gamma = compute_gamma_all(graph, config, seed=derive_seed(seed, 2))
+    elapsed = time.perf_counter() - start
+    return CandidateIndex(
+        config=config,
+        n=graph.n,
+        signatures=signatures,
+        inverted=_invert(signatures),
+        gamma=gamma,
+        build_seconds=elapsed,
+    )

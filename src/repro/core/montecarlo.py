@@ -1,0 +1,238 @@
+"""Monte-Carlo single-pair and single-source SimRank (Section 4).
+
+Algorithm 1 of the paper: run R independent reverse walks from u and R
+from v, and estimate each term of the truncated series (eq. 13) by the
+occupation-count collision sum of eq. (14),
+
+    c^t (P^t e_u)^T D (P^t e_v)  ≈  (c^t / R^2) Σ_w D_ww α_w β_w ,
+
+where α_w, β_w count how many u-walks / v-walks sit at w after t steps.
+The cost is O(T R) per pair — independent of n and m, which is the crux
+of the paper's scalability argument.
+
+Concentration: Proposition 3 / Corollary 1 give
+``R = 2 (1-c)^2 log(4 n T / δ) / ε^2`` for ε-accuracy with probability
+1-δ; :func:`required_samples` computes that bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass as _dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, VertexError
+from repro.graph.csr import CSRGraph
+from repro.core.config import SimRankConfig
+from repro.core.linear import resolve_diagonal, DiagonalLike
+from repro.core.walks import PositionSketch, WalkEngine
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def required_samples(
+    c: float, n: int, T: int, epsilon: float, delta: float = 0.05
+) -> int:
+    """Corollary 1's sample count ``R = 2 (1-c)^2 log(4nT/δ) / ε^2``.
+
+    The paper notes (§8, footnote 4) that Hoeffding is loose here and
+    R = 100 suffices in practice; this function is the *theoretical*
+    requirement, exposed for the concentration experiments.
+    """
+    if not 0.0 < c < 1.0:
+        raise ConfigError(f"c must be in (0, 1), got {c}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"delta must be in (0, 1), got {delta}")
+    if n < 1 or T < 1:
+        raise ConfigError(f"n and T must be >= 1, got n={n}, T={T}")
+    return max(1, math.ceil(2.0 * (1.0 - c) ** 2 * math.log(4.0 * n * T / delta) / epsilon**2))
+
+
+def single_pair_simrank(
+    graph: CSRGraph,
+    u: int,
+    v: int,
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = None,
+    diagonal: DiagonalLike = None,
+    R: Optional[int] = None,
+) -> float:
+    """Algorithm 1: Monte-Carlo estimate of s^(T)(u, v).
+
+    ``s(u, u)`` is 1 by definition and returned without simulation.
+    ``R`` overrides ``config.r_pair`` (the adaptive query uses this to
+    run the cheap screening pass).
+    """
+    config = config or SimRankConfig()
+    if not 0 <= u < graph.n:
+        raise VertexError(u, graph.n)
+    if not 0 <= v < graph.n:
+        raise VertexError(v, graph.n)
+    if u == v:
+        return 1.0
+    samples = R if R is not None else config.r_pair
+    d = resolve_diagonal(graph.n, config.c, diagonal)
+    engine = WalkEngine(graph, seed)
+    sketch_u = PositionSketch(engine.walk_matrix(u, samples, config.T))
+    sketch_v = PositionSketch(engine.walk_matrix(v, samples, config.T))
+    return _series_from_sketches(sketch_u, sketch_v, config.c, d)
+
+
+def _series_from_sketches(
+    sketch_u: PositionSketch,
+    sketch_v: PositionSketch,
+    c: float,
+    diagonal: np.ndarray,
+) -> float:
+    total = 0.0
+    weight = 1.0
+    for t in range(min(sketch_u.T, sketch_v.T)):
+        total += weight * sketch_u.collision_value(sketch_v, t, diagonal)
+        weight *= c
+    return total
+
+
+class SingleSourceEstimator:
+    """Shares the query vertex's walk bundle across many candidates.
+
+    The query phase (Algorithm 5) evaluates s(u, v) for every surviving
+    candidate v.  The u-side bundle is identical across those
+    evaluations, so we simulate it once, sketch it, and only run fresh
+    bundles for each candidate — halving the walk cost and, more
+    importantly, making the adaptive double-evaluation (R=10 screen,
+    R=100 refine) cheap.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        u: int,
+        config: Optional[SimRankConfig] = None,
+        seed: SeedLike = None,
+        diagonal: DiagonalLike = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or SimRankConfig()
+        if not 0 <= u < graph.n:
+            raise VertexError(u, graph.n)
+        self.u = int(u)
+        self.diagonal = resolve_diagonal(graph.n, self.config.c, diagonal)
+        self.engine = WalkEngine(graph, ensure_rng(seed))
+        self._sketch_u = PositionSketch(
+            self.engine.walk_matrix(self.u, self.config.r_pair, self.config.T)
+        )
+        self.walks_simulated = self.config.r_pair
+
+    def estimate(self, v: int, R: Optional[int] = None) -> float:
+        """Estimate s^(T)(u, v) with a fresh R-walk bundle for v."""
+        if not 0 <= v < self.graph.n:
+            raise VertexError(v, self.graph.n)
+        if v == self.u:
+            return 1.0
+        samples = R if R is not None else self.config.r_pair
+        sketch_v = PositionSketch(self.engine.walk_matrix(v, samples, self.config.T))
+        self.walks_simulated += samples
+        return _series_from_sketches(self._sketch_u, sketch_v, self.config.c, self.diagonal)
+
+    def estimate_many(
+        self, candidates: Sequence[int], R: Optional[int] = None
+    ) -> Dict[int, float]:
+        """Estimate scores for a batch of candidates."""
+        return {int(v): self.estimate(int(v), R=R) for v in candidates}
+
+
+@_dataclass
+class PairEstimate:
+    """A Monte-Carlo score with a batch-means confidence interval."""
+
+    value: float
+    stderr: float
+    confidence: float
+    batches: int
+
+    @property
+    def interval(self) -> "tuple[float, float]":
+        """(low, high) CI, floored at 0 (scores are nonnegative)."""
+        from scipy import stats as _stats
+
+        if self.batches < 2:
+            return (self.value, self.value)
+        t_crit = float(
+            _stats.t.ppf(0.5 + self.confidence / 2.0, df=self.batches - 1)
+        )
+        half = t_crit * self.stderr
+        return (max(0.0, self.value - half), self.value + half)
+
+
+def single_pair_with_ci(
+    graph: CSRGraph,
+    u: int,
+    v: int,
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = None,
+    diagonal: DiagonalLike = None,
+    batches: int = 8,
+    confidence: float = 0.95,
+) -> PairEstimate:
+    """Algorithm 1 with a batch-means confidence interval.
+
+    Runs ``batches`` independent replicates of the estimator (each with
+    the full ``r_pair`` walk budget) and forms a Student-t interval from
+    their spread.  This is the honest way to attach uncertainty: the
+    collision statistic's variance has no clean closed form (walks
+    within a bundle are dependent through shared positions), but the
+    replicates are i.i.d. by construction.
+    """
+    config = config or SimRankConfig()
+    if batches < 2:
+        raise ConfigError(f"batches must be >= 2, got {batches}")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0, 1), got {confidence}")
+    if int(u) == int(v):
+        if not 0 <= int(u) < graph.n:
+            raise VertexError(int(u), graph.n)
+        return PairEstimate(1.0, 0.0, confidence, batches)
+    from repro.utils.rng import derive_seed
+
+    replicates = np.array(
+        [
+            single_pair_simrank(
+                graph,
+                u,
+                v,
+                config=config,
+                seed=derive_seed(seed, 17, b) if seed is not None else None,
+                diagonal=diagonal,
+            )
+            for b in range(batches)
+        ]
+    )
+    return PairEstimate(
+        value=float(replicates.mean()),
+        stderr=float(replicates.std(ddof=1) / math.sqrt(batches)),
+        confidence=confidence,
+        batches=batches,
+    )
+
+
+def single_source_simrank(
+    graph: CSRGraph,
+    u: int,
+    candidates: Optional[Sequence[int]] = None,
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = None,
+    diagonal: DiagonalLike = None,
+) -> Dict[int, float]:
+    """Monte-Carlo single-source scores for ``candidates`` (default: all).
+
+    This is the brute-force single-source path (no index, no pruning);
+    the engine's query phase beats it by only touching candidates that
+    survive the bounds — the comparison is one of the ablation benches.
+    """
+    estimator = SingleSourceEstimator(graph, u, config=config, seed=seed, diagonal=diagonal)
+    if candidates is None:
+        candidates = [v for v in range(graph.n) if v != u]
+    return estimator.estimate_many(candidates)

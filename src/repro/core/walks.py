@@ -1,0 +1,147 @@
+"""Reverse random-walk engine.
+
+Every Monte-Carlo routine in the paper simulates walks that "start from
+a vertex and follow its in-links" (Section 4).  This module owns that
+primitive, vectorised with numpy over whole walk bundles:
+
+- a walk at a vertex with no in-links *terminates* (the corresponding
+  column of P is zero, so its probability mass vanishes); terminated
+  walks are marked with :data:`DEAD` and contribute nothing afterwards;
+- :class:`WalkEngine` steps arbitrary position arrays, so Algorithm 1
+  (pairs of bundles), Algorithm 2/3 (single bundles), and Algorithm 4
+  (index walks) all share one code path;
+- :class:`PositionSketch` is the per-step occupation-count view of a
+  bundle, the object both sides of eq. (14) reduce to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Marker for a terminated walk (its vertex had no in-links).
+DEAD = -1
+
+
+class WalkEngine:
+    """Vectorised stepping of reverse random walks over a CSR graph."""
+
+    def __init__(self, graph: CSRGraph, seed: SeedLike = None) -> None:
+        self.graph = graph
+        self.rng = ensure_rng(seed)
+        self._indptr = graph.in_indptr
+        self._indices = graph.in_indices
+        self._degrees = graph.in_degrees
+
+    def step(self, positions: np.ndarray) -> np.ndarray:
+        """Advance every walk one in-link step; dead walks stay dead.
+
+        ``positions`` is any int array of current vertices (or DEAD); a
+        fresh array is returned, inputs are never mutated.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        result = np.full(positions.shape, DEAD, dtype=np.int64)
+        alive = positions >= 0
+        if not alive.any():
+            return result
+        current = positions[alive]
+        degrees = self._degrees[current]
+        movable = degrees > 0
+        if movable.any():
+            sources = current[movable]
+            offsets = (self.rng.random(len(sources)) * degrees[movable]).astype(np.int64)
+            landed = self._indices[self._indptr[sources] + offsets]
+            alive_idx = np.nonzero(alive)[0]
+            result[alive_idx[movable]] = landed
+        return result
+
+    def walk_matrix(self, start: int, R: int, T: int) -> np.ndarray:
+        """R independent walks of T steps from ``start`` as a (T, R) array.
+
+        Row t holds the positions u^(t) of all R walks; row 0 is the
+        start vertex itself (the paper's walks include position 0).
+        """
+        if not 0 <= start < self.graph.n:
+            raise VertexError(start, self.graph.n)
+        if R < 1 or T < 1:
+            raise ValueError(f"R and T must be >= 1, got R={R}, T={T}")
+        out = np.empty((T, R), dtype=np.int64)
+        out[0] = start
+        for t in range(1, T):
+            out[t] = self.step(out[t - 1])
+        return out
+
+    def walk_matrix_multi(self, starts: Sequence[int], T: int) -> np.ndarray:
+        """One walk per start vertex, as a (T, len(starts)) array.
+
+        Used by the batched γ computation and the Fogaras–Rácz baseline's
+        whole-graph sweeps.
+        """
+        starts_arr = np.asarray(list(starts), dtype=np.int64)
+        if starts_arr.size and (starts_arr.min() < 0 or starts_arr.max() >= self.graph.n):
+            offender = int(starts_arr[(starts_arr < 0) | (starts_arr >= self.graph.n)][0])
+            raise VertexError(offender, self.graph.n)
+        out = np.empty((T, len(starts_arr)), dtype=np.int64)
+        out[0] = starts_arr
+        for t in range(1, T):
+            out[t] = self.step(out[t - 1])
+        return out
+
+
+class PositionSketch:
+    """Per-step occupation counts of one walk bundle.
+
+    For a bundle of R walks from u, ``sketch.counts[t]`` maps vertex w to
+    ``#{r : u_r^(t) = w}``.  Dividing by R gives the empirical estimate
+    of ``P^t e_u`` used on both sides of eq. (14).
+    """
+
+    def __init__(self, walk_matrix: np.ndarray, R: Optional[int] = None) -> None:
+        self.T, bundle = walk_matrix.shape
+        self.R = R if R is not None else bundle
+        self.counts: List[Dict[int, int]] = []
+        for t in range(self.T):
+            row = walk_matrix[t]
+            alive = row[row >= 0]
+            vertices, counts = np.unique(alive, return_counts=True)
+            self.counts.append({int(v): int(cnt) for v, cnt in zip(vertices, counts)})
+
+    def alive_fraction(self, t: int) -> float:
+        """Fraction of the bundle still alive at step t."""
+        return sum(self.counts[t].values()) / self.R
+
+    def collision_value(
+        self, other: "PositionSketch", t: int, diagonal: np.ndarray
+    ) -> float:
+        """Estimate of ``(P^t e_u)^T D (P^t e_v)`` — the inner sum of eq. (14).
+
+        Iterates over the smaller count table; O(min support) per step.
+        """
+        mine = self.counts[t]
+        theirs = other.counts[t]
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        total = 0.0
+        for w, count in mine.items():
+            other_count = theirs.get(w)
+            if other_count:
+                total += diagonal[w] * count * other_count
+        return total / (self.R * other.R)
+
+    def self_collision_value(self, t: int, diagonal: np.ndarray) -> float:
+        """Estimate of ``||sqrt(D) P^t e_u||^2`` from one bundle (Algorithm 3)."""
+        total = 0.0
+        for w, count in self.counts[t].items():
+            total += diagonal[w] * (count / self.R) ** 2
+        return total
+
+
+def sketch_from_walks(graph: CSRGraph, start: int, R: int, T: int, seed: SeedLike = None) -> PositionSketch:
+    """Convenience: run a bundle and sketch it in one call."""
+    engine = WalkEngine(graph, seed)
+    return PositionSketch(engine.walk_matrix(start, R, T))

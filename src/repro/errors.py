@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or serialized graph could not be parsed."""
+
+
+class VertexError(ReproError, IndexError):
+    """A vertex id is outside the valid range ``[0, n)`` of a graph."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} out of range for graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid (e.g. decay factor outside (0, 1))."""
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """A query was issued before :meth:`SimRankEngine.preprocess` was run."""
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""
+
+
+class SerializationError(ReproError):
+    """A saved index or graph file is corrupt or of an unsupported version."""

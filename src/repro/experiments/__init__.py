@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure of Section 8.
+
+Each module owns one paper artefact and exposes a ``run_*`` function
+returning a structured result plus a ``render_*`` function producing the
+paper-style text table:
+
+- :mod:`repro.experiments.correlation` — Figure 1;
+- :mod:`repro.experiments.distance` — Figure 2;
+- :mod:`repro.experiments.accuracy` — Table 3;
+- :mod:`repro.experiments.scalability` — Table 4;
+- :mod:`repro.experiments.scaling` — Table 1 (empirical complexity);
+- :mod:`repro.experiments.concentration` — Props. 3/5/7 + footnote 4;
+- :mod:`repro.experiments.runner` — the CLI gluing them together.
+"""
+
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.concentration import run_concentration
+from repro.experiments.correlation import run_correlation
+from repro.experiments.distance import run_distance
+from repro.experiments.scalability import run_scalability
+from repro.experiments.scaling import run_scaling
+
+__all__ = [
+    "run_accuracy",
+    "run_concentration",
+    "run_correlation",
+    "run_distance",
+    "run_scalability",
+    "run_scaling",
+]

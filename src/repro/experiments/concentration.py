@@ -1,0 +1,173 @@
+"""Concentration of the Monte-Carlo estimators (Props. 3/5/7, footnote 4).
+
+The paper sets R = 100 for Algorithm 1 and notes (§8, footnote 4) that
+this is "much smaller than our theoretical estimations. The reason is
+that Hoeffding bound is not tight in this case."  This experiment makes
+that statement quantitative:
+
+- measure the empirical error of the Algorithm 1 estimator against the
+  deterministic series over a sweep of sample counts R;
+- fit the error's decay rate in R (Prop. 3 predicts R^(-1/2));
+- compare each R against the ε the Hoeffding-based Corollary 1 would
+  require for that accuracy, yielding the bound's looseness factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SimRankConfig
+from repro.core.linear import single_pair_series
+from repro.core.montecarlo import required_samples, single_pair_simrank
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+from repro.utils.tables import Table
+
+DEFAULT_SAMPLE_COUNTS = (10, 25, 50, 100, 200, 400)
+
+
+@dataclass
+class ConcentrationPoint:
+    """Empirical error of Algorithm 1 at one sample count."""
+
+    R: int
+    rmse: float
+    p95_abs_error: float
+    hoeffding_R_for_p95: int
+
+    @property
+    def looseness(self) -> float:
+        """How many times more samples Corollary 1 demands than needed."""
+        return self.hoeffding_R_for_p95 / self.R
+
+
+@dataclass
+class ConcentrationResult:
+    """Sweep over R plus the fitted decay exponent."""
+
+    dataset: str
+    n: int
+    T: int
+    c: float
+    points: List[ConcentrationPoint]
+    decay_exponent: float
+    pairs_evaluated: int
+
+
+def run_concentration(
+    dataset: str = "ca-GrQc",
+    tier: str = "tiny",
+    sample_counts: Sequence[int] = DEFAULT_SAMPLE_COUNTS,
+    num_pairs: int = 20,
+    trials_per_pair: int = 10,
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = 0,
+    graph: Optional[CSRGraph] = None,
+) -> ConcentrationResult:
+    """Measure Algorithm 1's error against the deterministic series.
+
+    Pairs are sampled among vertices at undirected distance <= 3 (where
+    scores are nonnegligible — the regime the query phase lives in).
+    """
+    config = config or SimRankConfig(T=9)
+    graph = graph if graph is not None else load_dataset(dataset, tier)
+    rng = ensure_rng(seed)
+    transition = graph.transition_matrix()
+
+    # Sample evaluation pairs with meaningful scores.
+    from repro.graph.traversal import distance_ball
+
+    pairs: List[Tuple[int, int, float]] = []
+    attempts = 0
+    while len(pairs) < num_pairs and attempts < 50 * num_pairs:
+        attempts += 1
+        u = int(rng.integers(graph.n))
+        ball = [v for v in distance_ball(graph, u, 3, direction="both") if v != u]
+        if not ball:
+            continue
+        v = ball[int(rng.integers(len(ball)))]
+        truth = single_pair_series(
+            graph, u, v, c=config.c, T=config.T, transition=transition
+        )
+        if truth > 1e-4:
+            pairs.append((u, v, truth))
+
+    points: List[ConcentrationPoint] = []
+    for R in sorted(set(int(r) for r in sample_counts)):
+        errors: List[float] = []
+        for i, (u, v, truth) in enumerate(pairs):
+            for trial in range(trials_per_pair):
+                estimate = single_pair_simrank(
+                    graph,
+                    u,
+                    v,
+                    config=config,
+                    seed=derive_seed(seed, R, i, trial),
+                    R=R,
+                )
+                errors.append(abs(estimate - truth))
+        errors_arr = np.asarray(errors)
+        p95 = float(np.percentile(errors_arr, 95))
+        hoeffding_R = (
+            required_samples(config.c, graph.n, config.T, max(p95, 1e-6), delta=0.05)
+            if p95 > 0
+            else 0
+        )
+        points.append(
+            ConcentrationPoint(
+                R=R,
+                rmse=float(np.sqrt((errors_arr**2).mean())),
+                p95_abs_error=p95,
+                hoeffding_R_for_p95=hoeffding_R,
+            )
+        )
+
+    rs = np.array([p.R for p in points], dtype=np.float64)
+    rmses = np.array([p.rmse for p in points])
+    mask = rmses > 0
+    decay = (
+        float(np.polyfit(np.log(rs[mask]), np.log(rmses[mask]), 1)[0])
+        if mask.sum() >= 2
+        else float("nan")
+    )
+    return ConcentrationResult(
+        dataset=dataset,
+        n=graph.n,
+        T=config.T,
+        c=config.c,
+        points=points,
+        decay_exponent=decay,
+        pairs_evaluated=len(pairs),
+    )
+
+
+def render_concentration(result: ConcentrationResult) -> str:
+    """Error-vs-R table plus the fitted decay rate and looseness factors."""
+    table = Table(
+        ["R", "RMSE", "95% |error|", "Hoeffding R for that error", "looseness"],
+        title=(
+            f"Concentration of Algorithm 1 on {result.dataset} "
+            f"(n={result.n}, T={result.T}, c={result.c}, "
+            f"{result.pairs_evaluated} pairs)"
+        ),
+    )
+    for p in result.points:
+        table.add_row(
+            [p.R, f"{p.rmse:.5f}", f"{p.p95_abs_error:.5f}", p.hoeffding_R_for_p95,
+             f"{p.looseness:.1f}x"]
+        )
+    return "\n".join(
+        [
+            table.render(),
+            "",
+            f"fitted error decay: RMSE ~ R^{result.decay_exponent:.2f} "
+            "(Prop. 3 predicts -0.50)",
+            "looseness > 1 reproduces footnote 4: Hoeffding demands far more "
+            "samples than the estimator actually needs.",
+        ]
+    )

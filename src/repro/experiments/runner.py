@@ -1,0 +1,248 @@
+"""Command-line entry point: regenerate any paper artefact.
+
+Usage::
+
+    python -m repro.experiments.runner figure1 figure2 table3 table4 table1
+    python -m repro.experiments.runner all --tier tiny --quick
+    simrank-repro table4            # console-script alias
+
+``--quick`` shrinks query counts and ladders for a fast smoke run; the
+defaults match what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import SimRankConfig
+from repro.experiments.accuracy import render_accuracy, run_accuracy
+from repro.experiments.concentration import (
+    render_concentration,
+    run_concentration,
+)
+from repro.experiments.correlation import render_correlation, run_correlation
+from repro.experiments.distance import render_distance, run_distance
+from repro.experiments.scalability import (
+    DEFAULT_DATASETS,
+    render_scalability,
+    run_scalability,
+)
+from repro.experiments.scaling import render_scaling, run_scaling
+from repro.graph.datasets import dataset_spec
+
+FIGURE1_DATASETS = ("ca-GrQc", "cit-HepTh")
+FIGURE2_DATASETS = ("wiki-Vote", "ca-HepTh", "web-BerkStan", "soc-LiveJournal1")
+
+
+def run_figure1(tier: str, quick: bool, seed: int) -> str:
+    """Figure 1 panels on both paper datasets."""
+    results = [
+        run_correlation(
+            dataset,
+            tier=tier,
+            num_queries=5 if quick else 25,
+            seed=seed,
+        )
+        for dataset in FIGURE1_DATASETS
+    ]
+    return render_correlation(results, include_plots=True)
+
+
+def run_figure2(tier: str, quick: bool, seed: int) -> str:
+    """Figure 2 panels on the four paper datasets, plus the family gap."""
+    curves = [
+        run_distance(
+            dataset,
+            tier=tier,
+            num_queries=8 if quick else 40,
+            seed=seed,
+        )
+        for dataset in FIGURE2_DATASETS
+    ]
+    text = render_distance(curves, include_plots=True)
+    from repro.experiments.distance import web_vs_social_gap
+
+    families = {name: dataset_spec(name).family for name in FIGURE2_DATASETS}
+    gap = web_vs_social_gap(curves, families, k=10)
+    ratio = web_vs_social_gap(curves, families, k=10, normalize=True)
+    lines = [text, "", "10th similar vertex per family: distance (and / network average):"]
+    for family in sorted(gap):
+        lines.append(f"  {family:14s} {gap[family]:.2f}  ({ratio[family]:.2f}x avg)")
+    return "\n".join(lines)
+
+
+def run_table3(tier: str, quick: bool, seed: int) -> str:
+    """Table 3 accuracy rows."""
+    rows = run_accuracy(
+        tier=tier,
+        num_queries=5 if quick else 30,
+        fingerprints=50 if quick else 100,
+        seed=seed,
+    )
+    return render_accuracy(rows)
+
+
+def run_table4(tier: str, quick: bool, seed: int) -> str:
+    """Table 4 scalability rows."""
+    datasets = DEFAULT_DATASETS[:4] if quick else DEFAULT_DATASETS
+    rows = run_scalability(
+        datasets=datasets,
+        tier=tier,
+        query_trials=3 if quick else 10,
+        seed=seed,
+    )
+    return render_scalability(rows)
+
+
+def run_table2_cli(tier: str, quick: bool, seed: int) -> str:
+    """Table 2 dataset-information rows (paper scale vs stand-in scale)."""
+    from repro.experiments.table2 import render_table2, run_table2
+
+    subset = ("ca-GrQc", "wiki-Vote", "web-BerkStan", "soc-LiveJournal1") if quick else None
+    rows = run_table2(tier=tier, datasets=subset)
+    return render_table2(rows, tier=tier)
+
+
+def run_table1(tier: str, quick: bool, seed: int) -> str:
+    """Table 1 empirical scaling ladder."""
+    sizes = (250, 500, 1000) if quick else (250, 500, 1000, 2000, 4000)
+    result = run_scaling(sizes=sizes, query_trials=3 if quick else 8, seed=seed)
+    return render_scaling(result)
+
+
+def run_intro(tier: str, quick: bool, seed: int) -> str:
+    """§1.1's multi-step claim: SimRank vs one-step measures on planted clones."""
+    from repro.experiments.measures import render_measures, run_measures
+
+    results = run_measures(
+        overlaps=(0.8, 0.4, 0.0),
+        base_n=150 if quick else 300,
+        num_clones=8 if quick else 15,
+        seed=seed,
+    )
+    return render_measures(results)
+
+
+def run_ablation_cli(tier: str, quick: bool, seed: int) -> str:
+    """The DESIGN.md ablation checklist as one table."""
+    from repro.experiments.ablation import render_ablation, run_ablation
+
+    dataset = "web-BerkStan"
+    rows = run_ablation(
+        dataset=dataset,
+        tier=tier if tier == "tiny" else "tiny",  # ablations stay small
+        num_queries=6 if quick else 15,
+        seed=seed,
+    )
+    return render_ablation(rows, dataset=dataset)
+
+
+def run_footnote4(tier: str, quick: bool, seed: int) -> str:
+    """Concentration sweep reproducing footnote 4 and Prop. 3's rate."""
+    result = run_concentration(
+        tier=tier,
+        num_pairs=6 if quick else 20,
+        trials_per_pair=4 if quick else 10,
+        seed=seed,
+    )
+    return render_concentration(result)
+
+
+EXPERIMENTS: Dict[str, Callable[[str, bool, int], str]] = {
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "table1": run_table1,
+    "table2": run_table2_cli,
+    "table3": run_table3,
+    "table4": run_table4,
+    "footnote4": run_footnote4,
+    "intro": run_intro,
+    "ablation": run_ablation_cli,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="simrank-repro",
+        description="Regenerate the tables and figures of 'Scalable Similarity "
+        "Search for SimRank' (SIGMOD 2014) on synthetic dataset stand-ins.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artefacts to regenerate",
+    )
+    parser.add_argument("--tier", default="small", choices=("tiny", "small", "medium"))
+    parser.add_argument("--quick", action="store_true", help="smaller query counts")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the results as a markdown report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    names: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(sorted(EXPERIMENTS))
+        else:
+            names.append(name)
+
+    sections: List[tuple] = []
+    for name in dict.fromkeys(names):  # preserve order, drop duplicates
+        print(f"\n### {name} (tier={args.tier}, quick={args.quick}, seed={args.seed})\n")
+        rendered = EXPERIMENTS[name](args.tier, args.quick, args.seed)
+        print(rendered)
+        sections.append((name, rendered))
+
+    if args.output:
+        write_markdown_report(
+            args.output, sections, tier=args.tier, quick=args.quick, seed=args.seed
+        )
+        print(f"\n(markdown report written to {args.output})")
+    return 0
+
+
+def write_markdown_report(
+    path: str,
+    sections: Sequence[tuple],
+    tier: str,
+    quick: bool,
+    seed: int,
+) -> None:
+    """Write rendered experiment sections as a self-contained markdown file.
+
+    Tables are fenced as plain text (they are ASCII-aligned, not
+    markdown tables), each under a heading naming the artefact, with the
+    exact invocation recorded at the top for reproducibility.
+    """
+    lines = [
+        "# Experiment report",
+        "",
+        "Generated by:",
+        "",
+        "```bash",
+        "python -m repro.experiments.runner "
+        + " ".join(name for name, _ in sections)
+        + f" --tier {tier}{' --quick' if quick else ''} --seed {seed}",
+        "```",
+        "",
+    ]
+    for name, rendered in sections:
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(rendered)
+        lines.append("```")
+        lines.append("")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Graph substrate: construction, storage, I/O, generators, traversal, stats."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraphBuilder
+from repro.graph.generators import (
+    complete_graph,
+    copying_web_graph,
+    cycle_graph,
+    erdos_renyi,
+    forest_fire,
+    path_graph,
+    preferential_attachment,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.traversal import bfs_distances, distance_ball, weakly_connected_components
+from repro.graph.stats import average_distance, degree_summary
+from repro.graph.weighted import WeightedGraph
+
+__all__ = [
+    "CSRGraph",
+    "DiGraphBuilder",
+    "WeightedGraph",
+    "average_distance",
+    "bfs_distances",
+    "complete_graph",
+    "copying_web_graph",
+    "cycle_graph",
+    "degree_summary",
+    "distance_ball",
+    "erdos_renyi",
+    "forest_fire",
+    "path_graph",
+    "preferential_attachment",
+    "read_edge_list",
+    "rmat_graph",
+    "star_graph",
+    "weakly_connected_components",
+    "write_edge_list",
+]

@@ -1,0 +1,146 @@
+"""Registry of dataset stand-ins mirroring Table 2 of the paper.
+
+The paper evaluates on SNAP / LAW / MPI-SWS datasets from 14 K to 1.4 B
+edges.  This environment has no network access and pure Python cannot
+hold billion-edge graphs, so each paper dataset is mapped to a
+deterministic synthetic stand-in from the same structural family (see
+DESIGN.md "Substitutions").  Stand-ins come in three size tiers:
+
+- ``tiny``   — hundreds of edges, for unit tests;
+- ``small``  — the default, thousands of edges, for the experiment
+  harness and benchmarks;
+- ``medium`` — tens of thousands of edges, for the scaling ladder.
+
+Every graph is produced by a pure function of ``(name, tier)``, so all
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    forest_fire,
+    host_block_web_graph,
+    preferential_attachment,
+    wiki_vote_like,
+)
+
+#: Graph-family labels; the web/social contrast drives Figure 2 and §8.1.
+FAMILIES = ("collaboration", "social", "web", "citation", "vote", "autonomous")
+
+#: Size multiplier per tier relative to the ``small`` baseline vertex count.
+_TIER_SCALE: Dict[str, float] = {"tiny": 0.15, "small": 1.0, "medium": 4.0}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the Table 2 stand-in registry."""
+
+    name: str
+    family: str
+    paper_n: int
+    paper_m: int
+    small_n: int
+    seed: int
+    description: str
+
+    def tier_n(self, tier: str) -> int:
+        """Vertex count for a size tier."""
+        if tier not in _TIER_SCALE:
+            raise DatasetError(f"unknown tier {tier!r}; expected one of {sorted(_TIER_SCALE)}")
+        return max(20, int(self.small_n * _TIER_SCALE[tier]))
+
+
+def _build(spec: DatasetSpec, tier: str) -> CSRGraph:
+    n = spec.tier_n(tier)
+    if spec.family in ("collaboration", "social", "autonomous"):
+        return preferential_attachment(n, out_degree=4, seed=spec.seed, bidirected=True)
+    if spec.family == "web":
+        return host_block_web_graph(n, site_size=40, out_degree=6, seed=spec.seed)
+    if spec.family == "citation":
+        return forest_fire(n, forward_probability=0.35, backward_probability=0.2, seed=spec.seed)
+    if spec.family == "vote":
+        return wiki_vote_like(n, seed=spec.seed)
+    raise DatasetError(f"unknown family {spec.family!r}")
+
+
+#: Stand-ins for every dataset named in the paper (Table 2 plus the extra
+#: graphs appearing only in Tables 3/4 and Figures 1/2).
+_REGISTRY: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("ca-GrQc", "collaboration", 5_242, 14_496, 900, 101,
+                    "Arxiv GR-QC collaboration network (undirected)."),
+        DatasetSpec("ca-HepTh", "collaboration", 9_877, 25_998, 1_200, 102,
+                    "Arxiv HEP-TH collaboration network (undirected)."),
+        DatasetSpec("cit-HepTh", "citation", 27_770, 352_807, 1_000, 103,
+                    "Arxiv HEP-TH citation network (Figure 1)."),
+        DatasetSpec("as20000102", "autonomous", 6_474, 13_895, 800, 104,
+                    "Autonomous-systems topology (Table 3)."),
+        DatasetSpec("wiki-Vote", "vote", 7_115, 103_689, 700, 105,
+                    "Wikipedia adminship votes (dense directed core)."),
+        DatasetSpec("email-Enron", "social", 36_692, 183_831, 1_500, 106,
+                    "Enron email network."),
+        DatasetSpec("email-EuAll", "social", 265_214, 420_045, 2_000, 107,
+                    "EU research-institution email network."),
+        DatasetSpec("soc-Epinions1", "social", 75_879, 508_837, 1_800, 108,
+                    "Epinions who-trusts-whom network."),
+        DatasetSpec("soc-Slashdot0811", "social", 77_360, 905_468, 1_800, 109,
+                    "Slashdot Zoo, Nov 2008."),
+        DatasetSpec("soc-Slashdot0902", "social", 82_168, 948_464, 1_800, 110,
+                    "Slashdot Zoo, Feb 2009."),
+        DatasetSpec("Cora-direct", "citation", 225_026, 714_266, 1_500, 111,
+                    "Cora research-paper citations."),
+        DatasetSpec("web-Stanford", "web", 281_903, 2_312_497, 2_000, 112,
+                    "Stanford.edu crawl."),
+        DatasetSpec("web-NotreDame", "web", 325_728, 1_497_134, 2_000, 113,
+                    "Notre Dame crawl."),
+        DatasetSpec("web-Google", "web", 875_713, 5_105_049, 2_500, 114,
+                    "Google programming-contest web graph."),
+        DatasetSpec("web-BerkStan", "web", 685_230, 7_600_505, 2_500, 115,
+                    "Berkeley/Stanford crawl (Figure 2)."),
+        DatasetSpec("dblp-2011", "collaboration", 933_258, 6_707_236, 2_500, 116,
+                    "DBLP co-authorship, 2011 snapshot."),
+        DatasetSpec("in-2004", "web", 1_382_908, 17_917_053, 3_000, 117,
+                    "Indian web crawl, 2004."),
+        DatasetSpec("flickr", "social", 1_715_255, 22_613_981, 3_000, 118,
+                    "Flickr follower network."),
+        DatasetSpec("soc-LiveJournal1", "social", 4_847_571, 68_993_773, 3_500, 119,
+                    "LiveJournal friendship network (Figure 2)."),
+        DatasetSpec("indochina-2004", "web", 7_414_866, 194_109_311, 4_000, 120,
+                    "Indochina web crawl, 2004."),
+        DatasetSpec("it-2004", "web", 41_291_549, 1_150_725_436, 5_000, 121,
+                    "Italian web crawl (the paper's billion-edge case)."),
+        DatasetSpec("twitter-2010", "social", 41_652_230, 1_468_365_182, 5_000, 122,
+                    "Twitter follower network, 2010."),
+    ]
+}
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names, in Table 2 order."""
+    return list(_REGISTRY)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up the spec for a dataset name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def load_dataset(name: str, tier: str = "small") -> CSRGraph:
+    """Build the synthetic stand-in for a paper dataset at a size tier."""
+    return _build(dataset_spec(name), tier)
+
+
+def dataset_table() -> List[Tuple[str, str, int, int]]:
+    """(name, family, paper_n, paper_m) rows for rendering Table 2."""
+    return [(s.name, s.family, s.paper_n, s.paper_m) for s in _REGISTRY.values()]

@@ -1,0 +1,142 @@
+"""Mutable directed-graph builder.
+
+:class:`DiGraphBuilder` is the ingestion-side representation: it accepts
+edges one by one (or in bulk), deduplicates parallel edges, drops self
+loops on request, and can relabel arbitrary hashable vertex ids to the
+dense integer range the CSR layer requires.  Once construction is done,
+call :meth:`DiGraphBuilder.to_csr` and use the immutable
+:class:`~repro.graph.csr.CSRGraph` everywhere else.
+
+SimRank is defined on in-neighborhoods, so edge direction matters: an
+edge ``(u, v)`` means "u links to v", i.e. ``u`` is an *in-neighbor* of
+``v`` (``u in delta(v)`` in the paper's notation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import VertexError
+
+
+class DiGraphBuilder:
+    """Accumulates directed edges before freezing into CSR form.
+
+    Parameters
+    ----------
+    n:
+        Optional initial vertex count.  Vertices are the integers
+        ``0..n-1``; adding an edge with a larger endpoint grows the range
+        automatically (unless the builder was created via
+        :meth:`with_labels`, where ids are assigned densely on first use).
+    allow_self_loops:
+        Whether to keep edges ``(u, u)``.  SimRank's random-surfer model
+        is well defined with self loops, and some web-graph datasets
+        contain them, so the default is ``True``.
+    """
+
+    def __init__(self, n: int = 0, allow_self_loops: bool = True) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be nonnegative, got {n}")
+        self._n = n
+        self._edges: Set[Tuple[int, int]] = set()
+        self._allow_self_loops = allow_self_loops
+        self._labels: Optional[Dict[Hashable, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def with_labels(cls, allow_self_loops: bool = True) -> "DiGraphBuilder":
+        """Create a builder that maps arbitrary hashable labels to dense ids."""
+        builder = cls(0, allow_self_loops=allow_self_loops)
+        builder._labels = {}
+        return builder
+
+    def _intern(self, label: Hashable) -> int:
+        assert self._labels is not None
+        vertex = self._labels.get(label)
+        if vertex is None:
+            vertex = len(self._labels)
+            self._labels[label] = vertex
+            self._n = max(self._n, vertex + 1)
+        return vertex
+
+    def add_vertex(self, vertex: Optional[Hashable] = None) -> int:
+        """Ensure a vertex exists; returns its dense integer id.
+
+        With no argument, appends a fresh vertex.  With a label (in label
+        mode) or an int id, ensures that vertex is present.
+        """
+        if vertex is None:
+            self._n += 1
+            return self._n - 1
+        if self._labels is not None:
+            return self._intern(vertex)
+        vid = int(vertex)  # type: ignore[arg-type]
+        if vid < 0:
+            raise VertexError(vid, self._n)
+        self._n = max(self._n, vid + 1)
+        return vid
+
+    def add_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Add the directed edge u -> v.  Returns False if it was a duplicate
+        or a rejected self loop, True if it was newly inserted."""
+        uid = self.add_vertex(u)
+        vid = self.add_vertex(v)
+        if uid == vid and not self._allow_self_loops:
+            return False
+        if (uid, vid) in self._edges:
+            return False
+        self._edges.add((uid, vid))
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> int:
+        """Bulk :meth:`add_edge`; returns the number of newly inserted edges."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    def add_bidirected_edge(self, u: Hashable, v: Hashable) -> int:
+        """Add u -> v and v -> u (undirected datasets are stored bidirected,
+        matching how the paper's SNAP collaboration networks are used)."""
+        return int(self.add_edge(u, v)) + int(self.add_edge(v, u))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Current number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Current number of (deduplicated) directed edges."""
+        return len(self._edges)
+
+    @property
+    def labels(self) -> Optional[Dict[Hashable, int]]:
+        """Label -> dense-id mapping, or None for integer-id builders."""
+        return dict(self._labels) if self._labels is not None else None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge u -> v has been added."""
+        return (int(u), int(v)) in self._edges
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate edges in sorted order (deterministic)."""
+        return iter(sorted(self._edges))
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+
+    def to_csr(self) -> "CSRGraph":
+        """Freeze into an immutable :class:`~repro.graph.csr.CSRGraph`."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_edges(self._n, sorted(self._edges))
+
+    def __repr__(self) -> str:
+        return f"DiGraphBuilder(n={self._n}, m={self.m})"

@@ -1,0 +1,471 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP / LAW web crawls and social networks we
+cannot download here, so the experiment harness substitutes synthetic
+graphs from the same structural families (see DESIGN.md).  Two families
+carry the paper's key structural contrast (Section 5 / 8.1):
+
+- **copying-model web graphs** — strong locality, so top-k SimRank
+  vertices sit very close to the query vertex;
+- **preferential-attachment social graphs** — hubs and short paths, so
+  similar vertices are spread slightly farther.
+
+All generators are deterministic given a seed and return
+:class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraphBuilder
+from repro.utils.rng import SeedLike, ensure_rng
+
+# ----------------------------------------------------------------------
+# Fixture graphs (used heavily in tests; Example 1 of the paper)
+# ----------------------------------------------------------------------
+
+
+def star_graph(leaves: int, bidirected: bool = True) -> CSRGraph:
+    """A star with one hub (vertex 0) and ``leaves`` spokes.
+
+    With ``bidirected=True`` and ``leaves=3`` this is exactly the claw of
+    the paper's Example 1: SimRank with c=0.8 gives s(leaf, leaf)=4/5 and
+    diagonal correction D = diag(23/75, 1/5, 1/5, 1/5).
+    """
+    if leaves < 0:
+        raise ConfigError(f"leaves must be nonnegative, got {leaves}")
+    builder = DiGraphBuilder(leaves + 1)
+    for leaf in range(1, leaves + 1):
+        if bidirected:
+            builder.add_bidirected_edge(0, leaf)
+        else:
+            builder.add_edge(0, leaf)
+    return builder.to_csr()
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Directed cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    return CSRGraph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Directed path 0 -> 1 -> ... -> n-1."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    return CSRGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def complete_graph(n: int, self_loops: bool = False) -> CSRGraph:
+    """Complete directed graph on ``n`` vertices."""
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    edges = [(i, j) for i in range(n) for j in range(n) if self_loops or i != j]
+    return CSRGraph.from_edges(n, edges)
+
+
+def bipartite_double_star(left: int, right: int) -> CSRGraph:
+    """Two hubs sharing leaf sets — a worst case for naive candidate pruning."""
+    n = 2 + left + right
+    builder = DiGraphBuilder(n)
+    for leaf in range(2, 2 + left):
+        builder.add_bidirected_edge(0, leaf)
+    for leaf in range(2 + left, n):
+        builder.add_bidirected_edge(1, leaf)
+    builder.add_bidirected_edge(0, 2)
+    builder.add_bidirected_edge(1, 2)
+    return builder.to_csr()
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> CSRGraph:
+    """Directed G(n, p) without self loops.
+
+    Sampled via the geometric skipping trick so the cost is proportional
+    to the number of edges, not n^2.
+    """
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigError(f"p must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    total_slots = n * (n - 1)
+    edges: List[Tuple[int, int]] = []
+    if p > 0:
+        slot = -1
+        log1mp = np.log1p(-p) if p < 1.0 else None
+        while True:
+            if p >= 1.0:
+                slot += 1
+            else:
+                # Skip a geometric number of non-edges.
+                gap = int(np.floor(np.log(1.0 - rng.random()) / log1mp))
+                slot += gap + 1
+            if slot >= total_slots:
+                break
+            u, offset = divmod(slot, n - 1)
+            v = offset if offset < u else offset + 1
+            edges.append((u, v))
+    return CSRGraph.from_edges(n, edges)
+
+
+def preferential_attachment(
+    n: int,
+    out_degree: int = 4,
+    seed: SeedLike = None,
+    bidirected: bool = True,
+) -> CSRGraph:
+    """Barabási–Albert-style social network.
+
+    Each arriving vertex links to ``out_degree`` targets chosen
+    proportionally to current degree (via the repeated-endpoints trick).
+    ``bidirected=True`` mirrors how the paper treats social/collaboration
+    networks whose friendship edges are symmetric.
+    """
+    if n < 2:
+        raise ConfigError(f"n must be >= 2, got {n}")
+    if out_degree < 1:
+        raise ConfigError(f"out_degree must be >= 1, got {out_degree}")
+    rng = ensure_rng(seed)
+    builder = DiGraphBuilder(n)
+    # endpoint pool: every endpoint of every edge, so sampling uniformly
+    # from the pool is sampling proportionally to degree.
+    pool: List[int] = [0]
+    for vertex in range(1, n):
+        targets = set()
+        k = min(out_degree, vertex)
+        while len(targets) < k:
+            if rng.random() < 0.15:  # uniform mixing keeps the graph connected
+                candidate = int(rng.integers(vertex))
+            else:
+                candidate = pool[int(rng.integers(len(pool)))]
+            if candidate != vertex:
+                targets.add(candidate)
+        for target in sorted(targets):
+            if bidirected:
+                builder.add_bidirected_edge(vertex, target)
+            else:
+                builder.add_edge(vertex, target)
+            pool.append(vertex)
+            pool.append(target)
+    return builder.to_csr()
+
+
+def copying_web_graph(
+    n: int,
+    out_degree: int = 6,
+    copy_probability: float = 0.75,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Kleinberg copying model — the classic web-graph generator.
+
+    Each new page picks a random *prototype* page and copies each of its
+    out-links with probability ``copy_probability``, otherwise linking to
+    a uniform random page.  Copying creates many pages with near-identical
+    in-neighborhoods, i.e. exactly the dense local SimRank structure that
+    makes the paper's pruning effective on web graphs.
+    """
+    if n < 2:
+        raise ConfigError(f"n must be >= 2, got {n}")
+    if out_degree < 1:
+        raise ConfigError(f"out_degree must be >= 1, got {out_degree}")
+    if not 0.0 <= copy_probability <= 1.0:
+        raise ConfigError(f"copy_probability must be in [0, 1], got {copy_probability}")
+    rng = ensure_rng(seed)
+    builder = DiGraphBuilder(n)
+    out_lists: List[List[int]] = [[] for _ in range(n)]
+    # Seed nucleus: a small directed cycle.
+    nucleus = min(out_degree + 1, n)
+    for i in range(nucleus):
+        target = (i + 1) % nucleus
+        if target != i:
+            builder.add_edge(i, target)
+            out_lists[i].append(target)
+    for vertex in range(nucleus, n):
+        prototype = int(rng.integers(vertex))
+        proto_links = out_lists[prototype]
+        targets = set()
+        for i in range(out_degree):
+            if proto_links and rng.random() < copy_probability:
+                candidate = proto_links[int(rng.integers(len(proto_links)))]
+            else:
+                candidate = int(rng.integers(vertex))
+            if candidate != vertex:
+                targets.add(candidate)
+        for target in sorted(targets):
+            builder.add_edge(vertex, target)
+            out_lists[vertex].append(target)
+    return builder.to_csr()
+
+
+def host_block_web_graph(
+    n: int,
+    site_size: int = 40,
+    intra_probability: float = 0.85,
+    out_degree: int = 6,
+    copy_probability: float = 0.75,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Two-level web-crawl model: pages grouped into sites (hosts).
+
+    Real crawls (the paper's web-BerkStan / it-2004 class) are dominated
+    by *host-level block structure*: most links stay within a site, and
+    sites connect through a sparse backbone of home pages.  That is what
+    produces Figure 2's web-graph signature — top-k similar pages at
+    distance <= 2 while the average pairwise distance (which must cross
+    the backbone) stays large.  A flat copying model misses this; here
+    each page copies links from a same-site prototype with probability
+    ``intra_probability`` and links across sites otherwise, and
+    consecutive home pages form the inter-site backbone.
+    """
+    if n < 2:
+        raise ConfigError(f"n must be >= 2, got {n}")
+    if site_size < 2:
+        raise ConfigError(f"site_size must be >= 2, got {site_size}")
+    if not 0.0 <= intra_probability <= 1.0:
+        raise ConfigError(f"intra_probability must be in [0, 1], got {intra_probability}")
+    if out_degree < 1:
+        raise ConfigError(f"out_degree must be >= 1, got {out_degree}")
+    rng = ensure_rng(seed)
+    builder = DiGraphBuilder(n)
+    out_lists: List[List[int]] = [[] for _ in range(n)]
+
+    def add_link(page: int, target: int) -> None:
+        if target != page and builder.add_edge(page, target):
+            out_lists[page].append(target)
+
+    homes = list(range(0, n, site_size))
+    for i, home in enumerate(homes):
+        # Sparse backbone: a chain of home pages with an occasional
+        # long-range shortcut, so inter-site distance grows with n while
+        # intra-site distance stays ~2.
+        if i > 0:
+            add_link(home, homes[i - 1])
+            add_link(homes[i - 1], home)
+        if i > 1 and i % 5 == 0:
+            add_link(home, homes[int(rng.integers(i))])
+    for page in range(n):
+        site_start = (page // site_size) * site_size
+        site_members = range(site_start, min(site_start + site_size, n))
+        earlier_in_site = [p for p in site_members if p < page]
+        home = site_start
+        if page != home:
+            add_link(page, home)  # every page links its home page
+        for _ in range(out_degree):
+            if earlier_in_site and rng.random() < intra_probability:
+                prototype = earlier_in_site[int(rng.integers(len(earlier_in_site)))]
+                proto_links = [t for t in out_lists[prototype] if t != page]
+                if proto_links and rng.random() < copy_probability:
+                    add_link(page, proto_links[int(rng.integers(len(proto_links)))])
+                else:
+                    add_link(page, earlier_in_site[int(rng.integers(len(earlier_in_site)))])
+            elif page > 0:
+                add_link(page, int(rng.integers(page)))
+    return builder.to_csr()
+
+
+def forest_fire(
+    n: int,
+    forward_probability: float = 0.35,
+    backward_probability: float = 0.2,
+    seed: SeedLike = None,
+    max_burn: int = 200,
+) -> CSRGraph:
+    """Leskovec's forest-fire model — citation-network stand-in.
+
+    A new vertex picks an ambassador and "burns" recursively through its
+    out- and in-links, citing every burned vertex.  Produces the heavy
+    local clustering of citation graphs (the paper's Cora-direct /
+    cit-HepTh class).
+    """
+    if n < 2:
+        raise ConfigError(f"n must be >= 2, got {n}")
+    rng = ensure_rng(seed)
+    builder = DiGraphBuilder(n)
+    out_lists: List[List[int]] = [[] for _ in range(n)]
+    in_lists: List[List[int]] = [[] for _ in range(n)]
+
+    def geometric(p: float) -> int:
+        if p <= 0.0:
+            return 0
+        return int(rng.geometric(1.0 - p)) - 1
+
+    builder.add_edge(1, 0)
+    out_lists[1].append(0)
+    in_lists[0].append(1)
+    for vertex in range(2, n):
+        ambassador = int(rng.integers(vertex))
+        burned = {ambassador}
+        frontier = [ambassador]
+        while frontier and len(burned) < max_burn:
+            current = frontier.pop()
+            forward = geometric(forward_probability)
+            backward = geometric(backward_probability)
+            neighbors: List[int] = []
+            out_candidates = [w for w in out_lists[current] if w not in burned]
+            in_candidates = [w for w in in_lists[current] if w not in burned]
+            if out_candidates:
+                picks = min(forward, len(out_candidates))
+                neighbors.extend(
+                    out_candidates[i]
+                    for i in rng.choice(len(out_candidates), size=picks, replace=False)
+                )
+            if in_candidates:
+                picks = min(backward, len(in_candidates))
+                neighbors.extend(
+                    in_candidates[i]
+                    for i in rng.choice(len(in_candidates), size=picks, replace=False)
+                )
+            for neighbor in neighbors:
+                if neighbor not in burned:
+                    burned.add(neighbor)
+                    frontier.append(neighbor)
+        for target in sorted(burned):
+            builder.add_edge(vertex, target)
+            out_lists[vertex].append(target)
+            in_lists[target].append(vertex)
+    return builder.to_csr()
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: SeedLike = None,
+    bidirected: bool = False,
+) -> CSRGraph:
+    """R-MAT / Kronecker generator (Graph500-style) for power-law graphs.
+
+    ``n = 2**scale`` vertices and about ``edge_factor * n`` directed
+    edges (duplicates and self loops removed).  Used by the scaling
+    ladder because a single parameterisation spans 3+ decades of sizes.
+    """
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1, got {scale}")
+    if edge_factor < 1:
+        raise ConfigError(f"edge_factor must be >= 1, got {edge_factor}")
+    a, b, c_, d = probabilities
+    total = a + b + c_ + d
+    if not np.isclose(total, 1.0):
+        raise ConfigError(f"RMAT probabilities must sum to 1, got {total}")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    m_target = edge_factor * n
+    sources = np.zeros(m_target, dtype=np.int64)
+    targets = np.zeros(m_target, dtype=np.int64)
+    for level in range(scale):
+        draw = rng.random(m_target)
+        go_right = (draw >= a + c_).astype(np.int64)  # column half (b or d)
+        go_down = (((draw >= a) & (draw < a + c_)) | (draw >= a + b + c_)).astype(np.int64)
+        sources |= go_down << level
+        targets |= go_right << level
+    mask = sources != targets
+    edges = set(zip(sources[mask].tolist(), targets[mask].tolist()))
+    builder = DiGraphBuilder(n)
+    for u, v in sorted(edges):
+        builder.add_edge(u, v)
+        if bidirected:
+            builder.add_edge(v, u)
+    return builder.to_csr()
+
+
+def community_social_graph(
+    n: int,
+    community_size: int = 15,
+    p_intra: float = 0.4,
+    inter_links_per_vertex: float = 0.5,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Planted-community social network with strong triadic closure.
+
+    Vertices are partitioned into communities of ``community_size``;
+    within a community each (bidirected) friendship exists with
+    probability ``p_intra``, plus sparse random inter-community ties.
+    Friends inside a community share many *low-degree* common
+    neighbors, which is the regime where SimRank-based link prediction
+    and graph clustering (two applications from the paper's
+    introduction) actually work — unlike pure preferential attachment,
+    where all shared neighbors are hubs that SimRank's normalization
+    discounts.
+    """
+    if n < 4:
+        raise ConfigError(f"n must be >= 4, got {n}")
+    if community_size < 2:
+        raise ConfigError(f"community_size must be >= 2, got {community_size}")
+    if not 0.0 <= p_intra <= 1.0:
+        raise ConfigError(f"p_intra must be in [0, 1], got {p_intra}")
+    if inter_links_per_vertex < 0:
+        raise ConfigError(
+            f"inter_links_per_vertex must be >= 0, got {inter_links_per_vertex}"
+        )
+    rng = ensure_rng(seed)
+    builder = DiGraphBuilder(n)
+    for start in range(0, n, community_size):
+        members = range(start, min(start + community_size, n))
+        for i in members:
+            for j in members:
+                if i < j and rng.random() < p_intra:
+                    builder.add_bidirected_edge(i, j)
+    total_inter = int(n * inter_links_per_vertex)
+    for _ in range(total_inter):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v and u // community_size != v // community_size:
+            builder.add_bidirected_edge(u, v)
+    return builder.to_csr()
+
+
+def wiki_vote_like(
+    n: int,
+    core_fraction: float = 0.15,
+    votes_per_user: int = 12,
+    fringe_probability: float = 0.35,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Dense-core directed graph mimicking wiki-Vote's structure.
+
+    A small "admin candidate" core receives most edges; ordinary users
+    vote for core members with preference proportional to popularity.
+    A ``fringe_probability`` share of votes instead goes to random
+    non-core users — the low-in-degree fringe where wiki-Vote's
+    high-SimRank pairs live (two users endorsed by the same few voters).
+    Wiki-Vote is the paper's accuracy stress case (Table 3's worst
+    rows), because its dense core makes many vertices nearly tied.
+    """
+    if n < 10:
+        raise ConfigError(f"n must be >= 10, got {n}")
+    if not 0.0 <= fringe_probability <= 1.0:
+        raise ConfigError(
+            f"fringe_probability must be in [0, 1], got {fringe_probability}"
+        )
+    rng = ensure_rng(seed)
+    core_size = max(3, int(n * core_fraction))
+    builder = DiGraphBuilder(n)
+    popularity = np.ones(core_size, dtype=np.float64)
+    for voter in range(n):
+        k = int(rng.integers(1, votes_per_user + 1))
+        fringe_votes = int(rng.binomial(k, fringe_probability))
+        core_votes = k - fringe_votes
+        weights = popularity / popularity.sum()
+        choices = rng.choice(
+            core_size, size=min(core_votes, core_size), replace=False, p=weights
+        )
+        for target in sorted(int(t) for t in choices):
+            if target != voter:
+                builder.add_edge(voter, target)
+                popularity[target] += 1.0
+        for _ in range(fringe_votes):
+            target = int(rng.integers(core_size, n))
+            if target != voter:
+                builder.add_edge(voter, target)
+    return builder.to_csr()

@@ -1,0 +1,147 @@
+"""Edge-list I/O in the SNAP text format used by the paper's datasets.
+
+The format is one ``source<whitespace>target`` pair per line, with ``#``
+comment lines (SNAP headers) ignored.  Files ending in ``.gz`` are
+transparently (de)compressed.  Vertex ids in a file may be sparse (SNAP
+files often are); :func:`read_edge_list` relabels them to the dense range
+``0..n-1`` and can return the mapping.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, IO, Iterator, Optional, Tuple, Union
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraphBuilder
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_lines(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Yield raw (source, target) integer pairs from an edge-list file."""
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected two fields, got {stripped!r}")
+            try:
+                yield int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: non-integer vertex id") from exc
+
+
+def read_edge_list(
+    path: PathLike,
+    directed: bool = True,
+    return_labels: bool = False,
+) -> Union[CSRGraph, Tuple[CSRGraph, Dict[int, int]]]:
+    """Read an edge list into a :class:`CSRGraph`.
+
+    Parameters
+    ----------
+    path:
+        Text or ``.gz`` file in SNAP format.
+    directed:
+        If ``False``, every edge is stored in both directions (how the
+        paper treats undirected collaboration networks like ca-GrQc).
+    return_labels:
+        If ``True``, also return the original-id -> dense-id mapping.
+
+    Files whose vertex ids are already dense (every id in ``[0, max]``
+    appears consistently) keep their ids unchanged, so writing and
+    re-reading a graph round-trips exactly; sparse SNAP ids are
+    relabelled in order of first appearance.
+    """
+    raw = list(iter_edge_lines(path))
+    ids = {u for u, _ in raw} | {v for _, v in raw}
+    dense = not ids or (min(ids) >= 0 and max(ids) < 2 * len(ids))
+    if dense:
+        builder = DiGraphBuilder()
+    else:
+        builder = DiGraphBuilder.with_labels()
+    for u, v in raw:
+        if directed:
+            builder.add_edge(u, v)
+        else:
+            builder.add_bidirected_edge(u, v)
+    graph = builder.to_csr()
+    if return_labels:
+        labels = builder.labels
+        if labels is None:
+            labels = {int(i): int(i) for i in sorted(ids)}
+        return graph, {int(k): v for k, v in labels.items()}
+    return graph
+
+
+def read_weighted_edge_list(path: PathLike, directed: bool = True):
+    """Read a 3-column edge list (``source target weight``) into a
+    :class:`~repro.graph.weighted.WeightedGraph`.
+
+    Lines without a weight column default to weight 1.0; undirected mode
+    materialises both directions with the same weight; sparse vertex ids
+    follow the same densification rule as :func:`read_edge_list`.
+    """
+    from repro.graph.weighted import WeightedGraph
+
+    triples = []
+    with _open_text(path, "r") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected at least two fields, got {stripped!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                weight = float(parts[2]) if len(parts) >= 3 else 1.0
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: malformed line") from exc
+            if weight <= 0:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: weights must be positive, got {weight}"
+                )
+            triples.append((u, v, weight))
+            if not directed:
+                triples.append((v, u, weight))
+
+    ids = {u for u, _, _ in triples} | {v for _, v, _ in triples}
+    dense = not ids or (min(ids) >= 0 and max(ids) < 2 * len(ids))
+    if dense:
+        n = (max(ids) + 1) if ids else 0
+        return WeightedGraph.from_weighted_edges(n, triples)
+    mapping: dict = {}
+    relabelled = []
+    for u, v, w in triples:
+        for vertex in (u, v):
+            if vertex not in mapping:
+                mapping[vertex] = len(mapping)
+        relabelled.append((mapping[u], mapping[v], w))
+    return WeightedGraph.from_weighted_edges(len(mapping), relabelled)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, header: Optional[str] = None) -> None:
+    """Write a graph as a SNAP-style edge list (round-trips with
+    :func:`read_edge_list` when vertex ids are already dense)."""
+    with _open_text(path, "w") as handle:
+        handle.write(f"# Directed graph: n={graph.n} m={graph.m}\n")
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")

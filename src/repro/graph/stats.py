@@ -1,0 +1,121 @@
+"""Graph statistics used by the experiments.
+
+Two statistics appear directly in the paper:
+
+- the **average distance between two vertices** — the blue reference line
+  of Figure 2, estimated here by sampled BFS;
+- degree summaries, which explain when the L1 vs L2 bound is tighter
+  (Section 6.3: L1 for low-degree query vertices, L2 for high-degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import UNREACHABLE, Direction, bfs_distances
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree distribution summary for one direction."""
+
+    mean: float
+    median: float
+    maximum: int
+    zeros: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for report rendering."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "maximum": float(self.maximum),
+            "zeros": float(self.zeros),
+        }
+
+
+def degree_summary(graph: CSRGraph, direction: Direction = "in") -> DegreeSummary:
+    """Summarize the in- or out-degree distribution."""
+    if direction == "in":
+        degrees = graph.in_degrees
+    elif direction == "out":
+        degrees = graph.out_degrees
+    else:
+        degrees = graph.in_degrees + graph.out_degrees
+    if len(degrees) == 0:
+        return DegreeSummary(0.0, 0.0, 0, 0)
+    return DegreeSummary(
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        maximum=int(degrees.max()),
+        zeros=int((degrees == 0).sum()),
+    )
+
+
+def average_distance(
+    graph: CSRGraph,
+    samples: int = 50,
+    direction: Direction = "both",
+    seed: SeedLike = None,
+) -> float:
+    """Estimate the mean hop distance between reachable vertex pairs.
+
+    Runs BFS from ``samples`` random sources and averages finite
+    distances.  This is the blue line of Figure 2; the paper's point is
+    that top-k similar vertices are *much closer* than this average.
+    Returns ``nan`` for graphs where no pair is reachable.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    rng = ensure_rng(seed)
+    sources = rng.choice(graph.n, size=min(samples, graph.n), replace=False)
+    total = 0.0
+    count = 0
+    for source in sources:
+        dist = bfs_distances(graph, int(source), direction=direction)
+        finite = dist[(dist != UNREACHABLE) & (dist > 0)]
+        if len(finite):
+            total += float(finite.sum())
+            count += int(len(finite))
+    return total / count if count else float("nan")
+
+
+def effective_diameter(
+    graph: CSRGraph,
+    samples: int = 50,
+    percentile: float = 90.0,
+    direction: Direction = "both",
+    seed: SeedLike = None,
+) -> float:
+    """Sampled 90th-percentile pairwise distance (SNAP's effective diameter)."""
+    rng = ensure_rng(seed)
+    sources = rng.choice(graph.n, size=min(samples, graph.n), replace=False)
+    collected = []
+    for source in sources:
+        dist = bfs_distances(graph, int(source), direction=direction)
+        finite = dist[(dist != UNREACHABLE) & (dist > 0)]
+        collected.append(finite)
+    if not collected:
+        return float("nan")
+    merged = np.concatenate(collected)
+    if merged.size == 0:
+        return float("nan")
+    return float(np.percentile(merged, percentile))
+
+
+def reciprocity(graph: CSRGraph) -> float:
+    """Fraction of edges whose reverse edge also exists.
+
+    Distinguishes the bidirected social stand-ins (reciprocity 1.0) from
+    the directed web crawls (low reciprocity).
+    """
+    if graph.m == 0:
+        return float("nan")
+    edges = set(map(tuple, graph.edge_array().tolist()))
+    mutual = sum(1 for u, v in edges if (v, u) in edges)
+    return mutual / len(edges)

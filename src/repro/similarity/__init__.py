@@ -1,0 +1,27 @@
+"""Classical link-based similarity measures (the paper's related work).
+
+The introduction motivates SimRank against one-step measures —
+bibliographic coupling [16] and co-citation [30] — and mentions the
+P-Rank generalisation [38].  This package implements those comparators
+so the ranking-quality experiment can reproduce the paper's qualitative
+claim: SimRank's multi-step evidence finds similar vertices that
+one-step neighborhood overlap misses.
+"""
+
+from repro.similarity.neighborhood import (
+    bibliographic_coupling,
+    co_citation,
+    cosine_in_neighbors,
+    jaccard_in_neighbors,
+)
+from repro.similarity.prank import prank_matrix
+from repro.similarity.simrankpp import simrankpp_matrix
+
+__all__ = [
+    "bibliographic_coupling",
+    "co_citation",
+    "cosine_in_neighbors",
+    "jaccard_in_neighbors",
+    "prank_matrix",
+    "simrankpp_matrix",
+]

@@ -1,0 +1,98 @@
+"""SimRank++ evidence weighting (Antonellis et al. [3]).
+
+SimRank++ observes that plain SimRank can score a pair sharing *one*
+in-neighbor higher than a pair sharing many (the 1/(|I(u)||I(v)|)
+normalisation).  It multiplies SimRank by an *evidence factor*
+
+    evidence(u, v) = Σ_{i=1}^{|I(u) ∩ I(v)|} 2^{-i} = 1 - 2^{-|I(u) ∩ I(v)|},
+
+which saturates toward 1 as the common in-neighborhood grows.  The
+paper cites SimRank++ as one of the successful SimRank applications
+(query rewriting on click graphs); we implement the evidence layer so
+downstream users can combine it with any of our SimRank backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.exact import exact_simrank
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+
+
+def evidence_factor(common_in_neighbors: int) -> float:
+    """``1 - 2^{-k}`` for ``k`` common in-neighbors (0 -> no evidence)."""
+    if common_in_neighbors < 0:
+        raise ValueError(
+            f"common neighbor count must be nonnegative, got {common_in_neighbors}"
+        )
+    if common_in_neighbors >= 64:
+        return 1.0
+    return 1.0 - 2.0**-common_in_neighbors
+
+
+def evidence_matrix(graph: CSRGraph) -> np.ndarray:
+    """Dense n×n evidence factors (small graphs; ground-truth use)."""
+    n = graph.n
+    in_sets = [set(graph.in_neighbors(v).tolist()) for v in range(n)]
+    result = np.zeros((n, n))
+    for u in range(n):
+        for v in range(u, n):
+            factor = evidence_factor(len(in_sets[u] & in_sets[v]))
+            result[u, v] = factor
+            result[v, u] = factor
+    return result
+
+
+def simrankpp_matrix(
+    graph: CSRGraph,
+    c: float = 0.6,
+    iterations: Optional[int] = None,
+    S: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Evidence-weighted SimRank matrix: ``evidence ∘ S`` (Hadamard).
+
+    A precomputed SimRank matrix ``S`` may be passed to reuse the fixed
+    point; the diagonal stays 1 (a vertex is fully similar to itself
+    regardless of evidence).
+    """
+    base = S if S is not None else exact_simrank(graph, c=c, iterations=iterations)
+    weighted = evidence_matrix(graph) * base
+    np.fill_diagonal(weighted, 1.0)
+    return weighted
+
+
+def simrankpp_single_source(
+    graph: CSRGraph,
+    u: int,
+    simrank_scores: np.ndarray,
+) -> np.ndarray:
+    """Weight a single-source SimRank vector by per-pair evidence.
+
+    ``simrank_scores`` can come from any backend — the exact matrix row,
+    the deterministic series, or the engine's Monte-Carlo estimates —
+    making this the composition point for large graphs (evidence only
+    needs u's in-neighborhood and one hop).
+    """
+    u = int(u)
+    if not 0 <= u < graph.n:
+        raise VertexError(u, graph.n)
+    if simrank_scores.shape != (graph.n,):
+        raise ValueError(
+            f"expected scores of shape ({graph.n},), got {simrank_scores.shape}"
+        )
+    in_u = set(graph.in_neighbors(u).tolist())
+    common: Dict[int, int] = {}
+    for citer in in_u:
+        for v in graph.out_neighbors(citer):
+            v = int(v)
+            if v != u:
+                common[v] = common.get(v, 0) + 1
+    weighted = np.zeros(graph.n)
+    for v, k in common.items():
+        weighted[v] = evidence_factor(k) * simrank_scores[v]
+    weighted[u] = 1.0
+    return weighted

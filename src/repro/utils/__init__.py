@@ -1,0 +1,26 @@
+"""Shared utilities: RNG handling, timing, table rendering, memory accounting."""
+
+from repro.utils.memory import human_bytes, nbytes_of_arrays
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import Table, format_float, format_seconds
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "Table",
+    "Timer",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability",
+    "ensure_rng",
+    "format_float",
+    "format_seconds",
+    "human_bytes",
+    "nbytes_of_arrays",
+    "spawn_rngs",
+    "timed",
+]

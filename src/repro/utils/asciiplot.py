@@ -1,0 +1,164 @@
+"""Terminal plotting for the figure experiments.
+
+The paper's Figures 1 and 2 are plots; reproducing them as summary
+statistics alone loses the visual sanity check.  This module renders
+small scatter plots and line charts in plain ASCII so
+``python -m repro.experiments.runner figure1 figure2`` shows the same
+shapes the paper prints — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 4) -> List[float]:
+    if not math.isfinite(lo) or not math.isfinite(hi) or lo == hi:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 18,
+    log: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    marker: str = "*",
+) -> str:
+    """Render an (optionally log-log) scatter plot as ASCII art.
+
+    Points outside the positive quadrant are dropped in log mode, as a
+    log-log plot must.  Overplotted cells escalate ``* -> o -> @`` so
+    density remains visible.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area too small (need width >= 10, height >= 5)")
+    pairs = [
+        (float(x), float(y))
+        for x, y in zip(xs, ys)
+        if math.isfinite(x) and math.isfinite(y) and (not log or (x > 0 and y > 0))
+    ]
+    if not pairs:
+        return f"{title}\n(no plottable points)"
+
+    def fwd(value: float) -> float:
+        return math.log10(value) if log else value
+
+    px = [fwd(x) for x, _ in pairs]
+    py = [fwd(y) for _, y in pairs]
+    x_lo, x_hi = min(px), max(px)
+    y_lo, y_hi = min(py), max(py)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    escalation = {" ": marker, marker: "o", "o": "@", "@": "@"}
+    for x, y in zip(px, py):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # origin bottom-left
+        grid[row][col] = escalation.get(grid[row][col], "@")
+
+    def fmt(value: float) -> str:
+        real = 10**value if log else value
+        return f"{real:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis_label_width = max(len(fmt(y_lo)), len(fmt(y_hi)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = fmt(y_hi)
+        elif i == height - 1:
+            label = fmt(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_label_width}} |" + "".join(row))
+    lines.append(" " * axis_label_width + " +" + "-" * width)
+    x_axis = f"{fmt(x_lo)}" + " " * max(1, width - len(fmt(x_lo)) - len(fmt(x_hi))) + fmt(x_hi)
+    lines.append(" " * (axis_label_width + 2) + x_axis)
+    footer = []
+    if xlabel:
+        footer.append(f"x: {xlabel}")
+    if ylabel:
+        footer.append(f"y: {ylabel}")
+    if log:
+        footer.append("log-log")
+    if footer:
+        lines.append(" " * (axis_label_width + 2) + "  ".join(footer))
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 56,
+    height: int = 14,
+    title: str = "",
+    xlabel: str = "",
+    reference: Optional[Tuple[str, float]] = None,
+) -> str:
+    """Render one or more named series over shared x values.
+
+    ``reference`` draws a horizontal dashed line (Figure 2's network
+    average distance).  Each series gets a distinct marker, listed in
+    the legend.
+    """
+    markers = "*+x%#&"
+    values = [v for _, ys in series for v in ys if math.isfinite(v)]
+    if reference is not None:
+        values.append(reference[1])
+    if not values:
+        return f"{title}\n(no plottable points)"
+    y_lo, y_hi = min(values), max(values)
+    y_span = (y_hi - y_lo) or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, mark: str) -> None:
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[row][col] = mark
+
+    if reference is not None:
+        ref_row = height - 1 - min(
+            height - 1, int((reference[1] - y_lo) / y_span * (height - 1))
+        )
+        for col in range(width):
+            if col % 2 == 0:
+                grid[ref_row][col] = "-"
+
+    legend: List[str] = []
+    for index, (name, ys) in enumerate(series):
+        mark = markers[index % len(markers)]
+        legend.append(f"{mark} {name}")
+        for x, y in zip(xs, ys):
+            if math.isfinite(y):
+                place(float(x), float(y), mark)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_lo:.2f}"), len(f"{y_hi:.2f}"))
+    for i, row in enumerate(grid):
+        label = f"{y_hi:.2f}" if i == 0 else (f"{y_lo:.2f}" if i == height - 1 else "")
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:g}" + " " * max(1, width - len(f"{x_lo:g}") - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    footer = list(legend)
+    if reference is not None:
+        footer.append(f"-- {reference[0]}")
+    if xlabel:
+        footer.append(f"x: {xlabel}")
+    lines.append(" " * (label_width + 2) + "  ".join(footer))
+    return "\n".join(lines)

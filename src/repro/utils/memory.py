@@ -1,0 +1,61 @@
+"""Memory accounting helpers.
+
+The paper's Table 4 reports index sizes for each algorithm.  Rather than
+sampling the OS allocator (noisy, interpreter-dependent), we account for
+the actual payload arrays and containers each index owns, which matches
+how the paper reasons about space (O(m), O(nR'), O(n^2) ...).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+
+def nbytes_of_arrays(arrays: Iterable[np.ndarray]) -> int:
+    """Total payload bytes of a collection of numpy arrays."""
+    return int(sum(int(a.nbytes) for a in arrays))
+
+
+def nbytes_of_int_lists(lists: Iterable[List[int]]) -> int:
+    """Approximate payload bytes of lists of Python ints (index candidates).
+
+    Counts 8 bytes per element, i.e. the size the data *would* occupy in a
+    packed int64 array.  This deliberately undercounts CPython object
+    overhead: the paper's space numbers describe packed C++ storage, and
+    we want cross-algorithm ratios to reflect algorithmic space, not
+    interpreter boxing.
+    """
+    return int(sum(8 * len(lst) for lst in lists))
+
+
+def nbytes_of_mapping(mapping: Mapping[int, float]) -> int:
+    """Approximate payload bytes of an int->float mapping (16 bytes/entry)."""
+    return 16 * len(mapping)
+
+
+def deep_getsizeof_sample(obj: object) -> int:
+    """Interpreter-reported size of an object (non-recursive), for debugging."""
+    return sys.getsizeof(obj)
+
+
+def human_bytes(nbytes: int) -> str:
+    """Render a byte count the way Table 4 does (KB / MB / GB)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def breakdown_to_str(breakdown: Dict[str, int]) -> str:
+    """Render a component->bytes breakdown on one line, largest first."""
+    parts = sorted(breakdown.items(), key=lambda kv: -kv[1])
+    return ", ".join(f"{name}={human_bytes(size)}" for name, size in parts)

@@ -1,0 +1,84 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints tables mirroring the layout of the paper's
+Tables 3 and 4.  We render with simple ASCII so output survives logs,
+CI, and ``tee`` without a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_float(value: Optional[float], digits: int = 5) -> str:
+    """Format a float for a table cell; ``None`` renders as the paper's em-dash."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Format a duration the way the paper does (ms / s / h as magnitude fits)."""
+    if seconds is None:
+        return "-"
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 3600.0:
+        return f"{seconds:.1f} s"
+    return f"{seconds / 3600.0:.1f} h"
+
+
+class Table:
+    """Accumulate rows and render an aligned ASCII table.
+
+    >>> table = Table(["Dataset", "n", "m"])
+    >>> table.add_row(["ca-GrQc", 5242, 14496])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    Dataset | n    | m
+    --------+------+------
+    ca-GrQc | 5242 | 14496
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified, ``None`` becomes ``-``."""
+        row = ["-" if cell is None else str(cell) for cell in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table (and optional title) as a string."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            for row in self.rows
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(header.rstrip())
+        lines.append(rule)
+        lines.extend(body)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    ``Timer`` records every measured interval, so experiments can report a
+    mean, a total, or the full distribution of query latencies.
+
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     sum(range(100))
+    4950
+    >>> timer.count
+    1
+    """
+
+    intervals: List[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager that appends the elapsed time of its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.intervals.append(time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        """Sum of all measured intervals in seconds."""
+        return sum(self.intervals)
+
+    @property
+    def count(self) -> int:
+        """Number of measured intervals."""
+        return len(self.intervals)
+
+    @property
+    def mean(self) -> float:
+        """Mean interval length in seconds (0.0 when nothing was measured)."""
+        return self.total / self.count if self.intervals else 0.0
+
+    @property
+    def median(self) -> float:
+        """Median interval in seconds (0.0 when nothing was measured) —
+        the robust statistic for small trial counts with outliers."""
+        if not self.intervals:
+            return 0.0
+        ordered = sorted(self.intervals)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def last(self) -> float:
+        """Most recent interval in seconds (0.0 when nothing was measured)."""
+        return self.intervals[-1] if self.intervals else 0.0
+
+    def reset(self) -> None:
+        """Drop all recorded intervals."""
+        self.intervals.clear()
+
+
+def timed(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

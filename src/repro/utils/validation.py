@@ -1,0 +1,39 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Ensure ``value`` is an integer >= 1, returning it for chaining."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(name: str, value: int) -> int:
+    """Ensure ``value`` is an integer >= 0, returning it for chaining."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Ensure ``value`` lies strictly inside (0, 1) — e.g. the decay factor c."""
+    value = float(value)
+    if not 0.0 < value < 1.0:
+        raise ConfigError(f"{name} must be in the open interval (0, 1), got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value}")
+    return value

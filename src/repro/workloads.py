@@ -1,0 +1,154 @@
+"""Query workloads and a result cache for serving deployments.
+
+The paper measures one-shot query latency; a deployed similarity-search
+service sees *streams* of queries whose skew determines how much work a
+result cache absorbs.  This module provides:
+
+- workload generators matching the standard access patterns (uniform,
+  in-degree-biased — popular pages get queried more — and Zipfian
+  repetition over a hot set);
+- :class:`CachedSimRankEngine`, an LRU layer over
+  :class:`~repro.core.engine.SimRankEngine` that also invalidates
+  cleanly when the caller swaps the underlying engine (e.g. after a
+  dynamic-graph flush).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.engine import SimRankEngine
+from repro.core.query import TopKResult
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def uniform_workload(
+    graph: CSRGraph, length: int, seed: SeedLike = None
+) -> List[int]:
+    """Each query vertex drawn uniformly (the paper's measurement setup)."""
+    if length < 0:
+        raise ConfigError(f"length must be nonnegative, got {length}")
+    rng = ensure_rng(seed)
+    return [int(v) for v in rng.integers(0, graph.n, size=length)]
+
+
+def degree_biased_workload(
+    graph: CSRGraph, length: int, seed: SeedLike = None, smoothing: float = 1.0
+) -> List[int]:
+    """Query probability proportional to in-degree + smoothing.
+
+    Models "similar pages to X" widgets: popular pages are asked about
+    more often.
+    """
+    if length < 0:
+        raise ConfigError(f"length must be nonnegative, got {length}")
+    if smoothing < 0:
+        raise ConfigError(f"smoothing must be nonnegative, got {smoothing}")
+    rng = ensure_rng(seed)
+    weights = graph.in_degrees.astype(np.float64) + smoothing
+    total = weights.sum()
+    if total <= 0:
+        return uniform_workload(graph, length, seed=rng)
+    probabilities = weights / total
+    return [int(v) for v in rng.choice(graph.n, size=length, p=probabilities)]
+
+
+def zipf_workload(
+    graph: CSRGraph,
+    length: int,
+    hot_set_size: int = 100,
+    exponent: float = 1.1,
+    seed: SeedLike = None,
+) -> List[int]:
+    """Zipf-repeated queries over a random hot set (cache-friendliest case)."""
+    if length < 0:
+        raise ConfigError(f"length must be nonnegative, got {length}")
+    if hot_set_size < 1:
+        raise ConfigError(f"hot_set_size must be >= 1, got {hot_set_size}")
+    if exponent <= 1.0:
+        raise ConfigError(f"exponent must be > 1, got {exponent}")
+    rng = ensure_rng(seed)
+    hot_set_size = min(hot_set_size, graph.n)
+    hot = rng.choice(graph.n, size=hot_set_size, replace=False)
+    ranks = rng.zipf(exponent, size=length)
+    return [int(hot[(rank - 1) % hot_set_size]) for rank in ranks]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`CachedSimRankEngine`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedSimRankEngine:
+    """LRU cache of :meth:`SimRankEngine.top_k` results.
+
+    Keyed by ``(vertex, k)``.  Because engine queries are deterministic
+    given the engine seed, a cached result is *identical* to a recomputed
+    one — the cache changes latency only, never answers.
+    """
+
+    def __init__(self, engine: SimRankEngine, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self._capacity = capacity
+        self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def engine(self) -> SimRankEngine:
+        """The wrapped engine."""
+        return self._engine
+
+    def top_k(self, u: int, k: Optional[int] = None) -> TopKResult:
+        """Cached top-k query."""
+        key = (int(u), k)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = self._engine.top_k(int(u), k=k)
+        self._store[key] = result
+        if len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def invalidate(self) -> None:
+        """Drop every cached result (call after graph/index changes)."""
+        self._store.clear()
+
+    def replace_engine(self, engine: SimRankEngine) -> None:
+        """Swap the wrapped engine and invalidate the cache."""
+        self._engine = engine
+        self.invalidate()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def replay(
+    cached: CachedSimRankEngine, workload: List[int], k: Optional[int] = None
+) -> CacheStats:
+    """Run a workload through the cache and return the final stats."""
+    for u in workload:
+        cached.top_k(u, k=k)
+    return cached.stats

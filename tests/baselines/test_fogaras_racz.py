@@ -1,0 +1,132 @@
+"""Unit tests for the Fogaras–Rácz fingerprint baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fogaras_racz import FingerprintIndex, fingerprint_memory_required
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError, VertexError
+from repro.graph.generators import cycle_graph, star_graph
+
+
+class TestConstruction:
+    def test_steps_shape(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=10, T=5, seed=0)
+        assert fr.steps.shape == (10, 5, social_graph.n)
+
+    def test_steps_are_in_neighbors_or_dead(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=5, T=4, seed=0)
+        for r in range(5):
+            for t in range(4):
+                for w in range(social_graph.n):
+                    target = fr.steps[r, t, w]
+                    if target >= 0:
+                        assert target in social_graph.in_neighbors(w)
+
+    def test_dead_marks_no_in_links(self, small_path):
+        fr = FingerprintIndex(small_path, num_fingerprints=3, T=3, seed=0)
+        assert (fr.steps[:, :, 0] == -1).all()  # path head has no in-links
+
+    def test_memory_formula(self):
+        assert fingerprint_memory_required(100, 10, 5) == 4 * 100 * 10 * 5
+
+    def test_memory_budget_enforced(self, social_graph):
+        tiny_budget = fingerprint_memory_required(social_graph.n, 10, 5) - 1
+        with pytest.raises(MemoryError):
+            FingerprintIndex(
+                social_graph, num_fingerprints=10, T=5, memory_budget=tiny_budget
+            )
+
+    def test_nbytes_matches_formula(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=7, T=6, seed=0)
+        assert fr.nbytes() == fingerprint_memory_required(social_graph.n, 7, 6)
+
+    def test_invalid_parameters(self, social_graph):
+        with pytest.raises(ConfigError):
+            FingerprintIndex(social_graph, num_fingerprints=0)
+        with pytest.raises(ConfigError):
+            FingerprintIndex(social_graph, c=1.0)
+
+
+class TestQueries:
+    def test_self_similarity_one(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=10, T=5, seed=0)
+        assert fr.single_pair(3, 3) == 1.0
+        assert fr.single_source(3)[3] == 1.0
+
+    def test_directed_star_pair_exact(self):
+        # Leaves meet at the hub at t=1 with probability 1: s = c.
+        graph = star_graph(3, bidirected=False)
+        fr = FingerprintIndex(graph, num_fingerprints=50, T=5, c=0.6, seed=1)
+        assert fr.single_pair(1, 2) == pytest.approx(0.6)
+
+    def test_cycle_never_meets(self):
+        graph = cycle_graph(6)
+        fr = FingerprintIndex(graph, num_fingerprints=20, T=6, c=0.6, seed=2)
+        assert fr.single_pair(0, 3) == 0.0
+
+    def test_single_source_consistent_with_single_pair(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=30, T=6, seed=3)
+        scores = fr.single_source(5)
+        for v in (1, 8, 20):
+            assert scores[v] == pytest.approx(fr.single_pair(5, v), abs=1e-12)
+
+    def test_estimates_correlate_with_exact(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=300, T=10, c=0.6, seed=4)
+        S = exact_simrank(social_graph, c=0.6)
+        u = 5
+        estimate = fr.single_source(u)
+        mask = np.ones(social_graph.n, dtype=bool)
+        mask[u] = False
+        correlation = np.corrcoef(estimate[mask], S[u][mask])[0, 1]
+        assert correlation > 0.7
+
+    def test_top_k_excludes_query_and_is_sorted(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=20, T=6, seed=5)
+        result = fr.top_k(2, 5)
+        assert len(result) == 5
+        assert all(v != 2 for v, _ in result)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_invalid_k(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=5, T=4, seed=6)
+        with pytest.raises(ConfigError):
+            fr.top_k(0, 0)
+
+    def test_high_score_vertices(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=50, T=6, seed=7)
+        high = fr.high_score_vertices(2, 0.05)
+        scores = fr.single_source(2)
+        assert all(scores[v] >= 0.05 for v in high)
+        assert 2 not in high
+
+    def test_vertex_validation(self, social_graph):
+        fr = FingerprintIndex(social_graph, num_fingerprints=5, T=4, seed=8)
+        with pytest.raises(VertexError):
+            fr.single_pair(0, social_graph.n)
+        with pytest.raises(VertexError):
+            fr.single_source(-1)
+
+    def test_deterministic_given_seed(self, social_graph):
+        a = FingerprintIndex(social_graph, num_fingerprints=10, T=5, seed=9)
+        b = FingerprintIndex(social_graph, num_fingerprints=10, T=5, seed=9)
+        np.testing.assert_array_equal(a.steps, b.steps)
+
+    def test_coupling_produces_coalescence(self, social_graph):
+        # Once two walks meet they stay together: verify on trajectories.
+        fr = FingerprintIndex(social_graph, num_fingerprints=1, T=8, seed=10)
+        layer = fr.steps[0]
+        pos_a, pos_b = 4, 11
+        met = False
+        for t in range(8):
+            if pos_a < 0 or pos_b < 0:
+                break
+            pos_a = int(layer[t][pos_a])
+            pos_b = int(layer[t][pos_b])
+            if met:
+                assert pos_a == pos_b
+            if pos_a == pos_b:
+                met = True

@@ -1,0 +1,54 @@
+"""Tests for Li et al.'s iterative single-pair baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.li_single_pair import li_single_pair
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError, VertexError
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+
+
+class TestLiSinglePair:
+    def test_claw_example(self, claw):
+        assert li_single_pair(claw, 1, 2, c=0.8, iterations=40) == pytest.approx(
+            0.8, abs=1e-6
+        )
+
+    def test_matches_exact_on_random_graph(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6, iterations=9)
+        for u, v in [(0, 1), (4, 17), (10, 30), (2, 2)]:
+            assert li_single_pair(
+                social_graph, u, v, c=0.6, iterations=9
+            ) == pytest.approx(S[u, v], abs=1e-12)
+
+    def test_self_pair_short_circuits(self, social_graph):
+        assert li_single_pair(social_graph, 7, 7) == 1.0
+
+    def test_dead_end_pair_zero(self):
+        graph = path_graph(4)
+        assert li_single_pair(graph, 0, 2, c=0.6, iterations=5) == 0.0
+
+    def test_cycle_pairs_zero(self):
+        graph = cycle_graph(6)
+        assert li_single_pair(graph, 0, 3, c=0.6, iterations=12) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_directed_star_value(self):
+        graph = star_graph(3, bidirected=False)
+        assert li_single_pair(graph, 1, 2, c=0.6, iterations=5) == pytest.approx(0.6)
+
+    def test_frontier_guard(self, social_graph):
+        with pytest.raises(MemoryError):
+            li_single_pair(social_graph, 0, 1, iterations=8, max_pairs=10)
+
+    def test_vertex_validation(self, claw):
+        with pytest.raises(VertexError):
+            li_single_pair(claw, 0, 99)
+
+    def test_invalid_c(self, claw):
+        with pytest.raises(ConfigError):
+            li_single_pair(claw, 0, 1, c=1.5)

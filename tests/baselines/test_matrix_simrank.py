@@ -1,0 +1,62 @@
+"""Unit tests for the incorrect-recursion reference (§3.3 / Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_simrank import (
+    exact_vs_approx_pairs,
+    incorrect_linear_simrank,
+)
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError
+
+
+class TestIncorrectRecursion:
+    def test_satisfies_its_fixed_point(self, claw):
+        S = incorrect_linear_simrank(claw, c=0.8, tol=1e-10)
+        P = claw.transition_matrix()
+        reconstructed = 0.8 * (P.T @ (P.T @ S.T).T) + 0.2 * np.eye(4)
+        np.testing.assert_allclose(S, reconstructed, atol=1e-8)
+
+    def test_diagonal_not_one_on_claw(self, claw):
+        # Example 1 is exactly the counterexample to S'_ii = 1.
+        S = incorrect_linear_simrank(claw, c=0.8)
+        assert not np.allclose(np.diag(S), 1.0, atol=0.01)
+
+    def test_symmetric(self, social_graph):
+        S = incorrect_linear_simrank(social_graph, c=0.6)
+        np.testing.assert_allclose(S, S.T, atol=1e-10)
+
+    def test_scores_below_exact(self, social_graph):
+        # D = (1-c)I underestimates the true correction (Prop. 2 says
+        # D_uu in [1-c, 1]), so approximate scores sit below exact.
+        approx = incorrect_linear_simrank(social_graph, c=0.6)
+        exact = exact_simrank(social_graph, c=0.6)
+        assert (approx <= exact + 1e-9).all()
+
+    def test_invalid_c(self, claw):
+        with pytest.raises(ConfigError):
+            incorrect_linear_simrank(claw, c=0.0)
+
+
+class TestFigure1Pairs:
+    def test_pairs_above_floor(self, social_graph):
+        pairs = exact_vs_approx_pairs(social_graph, c=0.6, score_floor=0.01)
+        assert (pairs[:, 0] >= 0.01).all()
+
+    def test_pairs_strongly_correlated(self, social_graph):
+        pairs = exact_vs_approx_pairs(social_graph, c=0.6, score_floor=0.005)
+        logs = np.log(pairs[(pairs > 0).all(axis=1)])
+        correlation = np.corrcoef(logs[:, 0], logs[:, 1])[0, 1]
+        assert correlation > 0.95
+
+    def test_max_pairs_cap(self, social_graph):
+        pairs = exact_vs_approx_pairs(social_graph, c=0.6, score_floor=0.001, max_pairs=7)
+        assert len(pairs) <= 7
+
+    def test_symmetric_duplicates_removed(self, claw):
+        pairs = exact_vs_approx_pairs(claw, c=0.8, score_floor=0.5)
+        # Claw: three leaf pairs at 0.8 (1,2),(1,3),(2,3) — kept once each.
+        assert len(pairs) == 3

@@ -1,0 +1,41 @@
+"""Unit tests for the Jeh–Widom naive baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_simrank, naive_single_pair
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError
+from repro.graph.generators import path_graph
+
+
+class TestNaive:
+    def test_matches_matrix_form_exactly(self, social_graph):
+        a = naive_simrank(social_graph, c=0.6, iterations=8)
+        b = exact_simrank(social_graph, c=0.6, iterations=8)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_claw_example(self, claw):
+        S = naive_simrank(claw, c=0.8, iterations=30)
+        assert S[1, 2] == pytest.approx(0.8, abs=1e-6)
+        assert S[0, 1] == pytest.approx(0.0)
+
+    def test_dead_end_vertices_zero(self):
+        S = naive_simrank(path_graph(3), c=0.6, iterations=5)
+        assert S[0, 1] == 0.0
+        assert S[0, 0] == 1.0
+
+    def test_symmetric(self, web_graph):
+        S = naive_simrank(web_graph, c=0.6, iterations=5)
+        np.testing.assert_allclose(S, S.T, atol=1e-12)
+
+    def test_single_pair_helper(self, claw):
+        assert naive_single_pair(claw, 1, 2, c=0.8, iterations=30) == pytest.approx(
+            0.8, abs=1e-6
+        )
+
+    def test_invalid_c(self, claw):
+        with pytest.raises(ConfigError):
+            naive_simrank(claw, c=1.5)

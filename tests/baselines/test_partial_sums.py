@@ -1,0 +1,39 @@
+"""Unit tests for the Lizorkin partial-sums baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_simrank
+from repro.baselines.partial_sums import partial_sums_simrank
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError
+
+
+class TestPartialSums:
+    def test_identical_to_naive(self, social_graph):
+        a = partial_sums_simrank(social_graph, c=0.6, iterations=6)
+        b = naive_simrank(social_graph, c=0.6, iterations=6)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_identical_to_matrix_form(self, web_graph):
+        a = partial_sums_simrank(web_graph, c=0.6, iterations=6)
+        b = exact_simrank(web_graph, c=0.6, iterations=6)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_claw_example(self, claw):
+        S = partial_sums_simrank(claw, c=0.8, iterations=40)
+        assert S[1, 2] == pytest.approx(0.8, abs=1e-6)
+
+    def test_unit_diagonal(self, social_graph):
+        S = partial_sums_simrank(social_graph, c=0.6, iterations=4)
+        np.testing.assert_allclose(np.diag(S), 1.0)
+
+    def test_tolerance_driven_iterations(self, claw):
+        S = partial_sums_simrank(claw, c=0.8, tol=1e-9)
+        assert S[1, 2] == pytest.approx(0.8, abs=1e-7)
+
+    def test_invalid_c(self, claw):
+        with pytest.raises(ConfigError):
+            partial_sums_simrank(claw, c=0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the Yu et al. all-pairs baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.yu_allpairs import YuAllPairs, yu_memory_required
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError, VertexError
+
+
+class TestYuAllPairs:
+    def test_matches_exact(self, social_graph):
+        yu = YuAllPairs(social_graph, c=0.6, iterations=10)
+        expected = exact_simrank(social_graph, c=0.6, iterations=10)
+        np.testing.assert_allclose(yu.compute(), expected, atol=1e-12)
+
+    def test_matrix_property_caches(self, claw):
+        yu = YuAllPairs(claw, c=0.8)
+        first = yu.matrix
+        second = yu.matrix
+        assert first is second
+
+    def test_single_source_row(self, social_graph):
+        yu = YuAllPairs(social_graph, c=0.6, iterations=8)
+        np.testing.assert_allclose(yu.single_source(4), yu.matrix[4])
+
+    def test_single_source_validation(self, claw):
+        yu = YuAllPairs(claw, c=0.8)
+        with pytest.raises(VertexError):
+            yu.single_source(99)
+
+    def test_top_k(self, social_graph):
+        yu = YuAllPairs(social_graph, c=0.6, iterations=8)
+        result = yu.top_k(2, 5)
+        assert len(result) == 5
+        assert all(v != 2 for v, _ in result)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_invalid(self, claw):
+        with pytest.raises(ConfigError):
+            YuAllPairs(claw, c=0.8).top_k(0, 0)
+
+    def test_memory_formula(self):
+        assert yu_memory_required(1000) == 16 * 10**6
+
+    def test_memory_budget_enforced(self, social_graph):
+        with pytest.raises(MemoryError):
+            YuAllPairs(social_graph, memory_budget=yu_memory_required(social_graph.n) - 1)
+
+    def test_memory_budget_allows_when_sufficient(self, claw):
+        yu = YuAllPairs(claw, memory_budget=yu_memory_required(claw.n))
+        assert yu.matrix.shape == (4, 4)
+
+    def test_nbytes_zero_before_compute(self, claw):
+        assert YuAllPairs(claw).nbytes() == 0
+
+    def test_nbytes_after_compute(self, claw):
+        yu = YuAllPairs(claw)
+        yu.compute()
+        assert yu.nbytes() == 8 * claw.n * claw.n
+
+    def test_invalid_c(self, claw):
+        with pytest.raises(ConfigError):
+            YuAllPairs(claw, c=1.0)

@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs and scaled-down configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    copying_web_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+
+
+@pytest.fixture
+def claw() -> CSRGraph:
+    """Example 1 of the paper: the bidirected star of order 4."""
+    return star_graph(3, bidirected=True)
+
+
+@pytest.fixture
+def directed_star() -> CSRGraph:
+    """Hub with out-edges only: all leaves share the single in-neighbor."""
+    return star_graph(4, bidirected=False)
+
+
+@pytest.fixture
+def small_cycle() -> CSRGraph:
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def small_path() -> CSRGraph:
+    return path_graph(5)
+
+
+@pytest.fixture
+def social_graph() -> CSRGraph:
+    """Deterministic preferential-attachment graph (n=60)."""
+    return preferential_attachment(60, out_degree=3, seed=42)
+
+
+@pytest.fixture
+def web_graph() -> CSRGraph:
+    """Deterministic copying-model web graph (n=80)."""
+    return copying_web_graph(80, out_degree=4, seed=42)
+
+
+@pytest.fixture
+def sparse_random_graph() -> CSRGraph:
+    """Erdős–Rényi digraph with isolated and dead-end vertices likely."""
+    return erdos_renyi(50, 0.03, seed=7)
+
+
+@pytest.fixture
+def test_config() -> SimRankConfig:
+    """Small sample counts: fast, still statistically meaningful."""
+    return SimRankConfig(
+        T=8,
+        r_pair=200,
+        r_screen=20,
+        r_alphabeta=500,
+        r_gamma=100,
+        index_walks=6,
+        index_checks=5,
+        k=10,
+        theta=0.005,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,114 @@
+"""Unit tests for the diagonal correction matrix D (Section 3.1/3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagonal import (
+    approx_diagonal,
+    diagonal_bounds_violations,
+    diagonal_from_simrank,
+    estimate_diagonal_mc,
+    exact_diagonal,
+)
+from repro.core.exact import exact_simrank
+from repro.errors import ConfigError
+from repro.graph.generators import cycle_graph
+
+
+class TestApproxDiagonal:
+    def test_values(self):
+        np.testing.assert_allclose(approx_diagonal(5, 0.6), 0.4)
+
+    def test_invalid_c(self):
+        with pytest.raises(ConfigError):
+            approx_diagonal(5, 1.0)
+
+    def test_negative_n(self):
+        with pytest.raises(ConfigError):
+            approx_diagonal(-1, 0.6)
+
+
+class TestExampleOne:
+    """The paper's Example 1 is an exact, hand-computable test vector."""
+
+    def test_diagonal_from_simrank_matches_paper(self, claw):
+        S = exact_simrank(claw, c=0.8, tol=1e-12)
+        d = diagonal_from_simrank(claw, S, 0.8)
+        np.testing.assert_allclose(d, [23 / 75, 1 / 5, 1 / 5, 1 / 5], atol=1e-9)
+
+    def test_exact_diagonal_solver_matches_paper(self, claw):
+        d = exact_diagonal(claw, c=0.8)
+        np.testing.assert_allclose(d, [23 / 75, 1 / 5, 1 / 5, 1 / 5], atol=1e-8)
+
+    def test_paper_emphasis_D_is_not_uniform(self, claw):
+        # "Let us emphasis that D != (1 - c) I."
+        d = exact_diagonal(claw, c=0.8)
+        assert not np.allclose(d, 0.2)
+
+
+class TestExactDiagonal:
+    def test_matches_recovery_from_simrank(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6, tol=1e-12)
+        from_matrix = diagonal_from_simrank(social_graph, S, 0.6)
+        solved = exact_diagonal(social_graph, c=0.6)
+        np.testing.assert_allclose(solved, from_matrix, atol=1e-6)
+
+    def test_proposition_2_bounds(self, web_graph):
+        d = exact_diagonal(web_graph, c=0.6)
+        assert diagonal_bounds_violations(d, 0.6) == 0
+
+    def test_cycle_diagonal_is_one_minus_c(self):
+        # On a directed cycle S = I (off-diagonal scores shrink by c per
+        # rotation, hence vanish), so D_uu = 1 - c * s(pred, pred) = 1 - c:
+        # the uniform approximation is *exact* here.
+        graph = cycle_graph(5)
+        d = exact_diagonal(graph, c=0.6)
+        np.testing.assert_allclose(d, 0.4, atol=1e-8)
+        S = exact_simrank(graph, c=0.6, tol=1e-12)
+        np.testing.assert_allclose(
+            d, diagonal_from_simrank(graph, S, 0.6), atol=1e-8
+        )
+
+    def test_shape_mismatch_rejected(self, claw):
+        with pytest.raises(ConfigError):
+            diagonal_from_simrank(claw, np.eye(3), 0.8)
+
+
+class TestMonteCarloEstimate:
+    def test_converges_to_exact_on_claw(self, claw):
+        exact = exact_diagonal(claw, c=0.8)
+        estimated = estimate_diagonal_mc(claw, c=0.8, T=30, R=3000, seed=1)
+        np.testing.assert_allclose(estimated, exact, atol=0.03)
+
+    def test_respects_proposition_2_box_when_clipped(self, social_graph):
+        d = estimate_diagonal_mc(social_graph, c=0.6, T=8, R=100, seed=2)
+        assert diagonal_bounds_violations(d, 0.6) == 0
+
+    def test_deterministic_given_seed(self, claw):
+        a = estimate_diagonal_mc(claw, c=0.8, T=10, R=200, seed=5)
+        b = estimate_diagonal_mc(claw, c=0.8, T=10, R=200, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_better_than_uniform_approximation(self, claw):
+        exact = exact_diagonal(claw, c=0.8)
+        uniform = approx_diagonal(claw.n, 0.8)
+        estimated = estimate_diagonal_mc(claw, c=0.8, T=30, R=3000, seed=3)
+        assert np.abs(estimated - exact).max() < np.abs(uniform - exact).max()
+
+    def test_invalid_parameters(self, claw):
+        with pytest.raises(ConfigError):
+            estimate_diagonal_mc(claw, c=0.8, T=0)
+        with pytest.raises(ConfigError):
+            estimate_diagonal_mc(claw, c=0.8, R=0)
+
+
+class TestBoundsViolationCounter:
+    def test_counts_out_of_box_entries(self):
+        d = np.array([0.39, 0.4, 1.0, 1.01, 0.5])
+        assert diagonal_bounds_violations(d, 0.6, slack=1e-6) == 2
+
+    def test_slack_tolerates_numerical_noise(self):
+        d = np.array([0.4 - 1e-12, 1.0 + 1e-12])
+        assert diagonal_bounds_violations(d, 0.6) == 0

@@ -1,0 +1,150 @@
+"""Tests for incremental index maintenance (DynamicSimRankEngine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.engine import SimRankEngine
+from repro.errors import VertexError
+from repro.graph.generators import copying_web_graph, cycle_graph
+
+
+@pytest.fixture
+def dyn_config() -> SimRankConfig:
+    return SimRankConfig(
+        T=6, r_pair=80, r_screen=10, r_alphabeta=200, r_gamma=60,
+        index_walks=5, index_checks=4, k=5, theta=0.003,
+    )
+
+
+@pytest.fixture
+def dynamic(dyn_config) -> DynamicSimRankEngine:
+    graph = copying_web_graph(200, seed=6)
+    return DynamicSimRankEngine(graph, dyn_config, seed=3)
+
+
+class TestEditStaging:
+    def test_duplicate_add_rejected(self, dynamic):
+        u, v = next(iter(dynamic.graph.edges()))
+        assert dynamic.add_edge(u, v) is False
+        assert dynamic.pending_edits == 0
+
+    def test_new_edge_staged(self, dynamic):
+        assert dynamic.add_edge(0, 199) in (True,)
+        assert dynamic.pending_edits == 1
+
+    def test_remove_absent_edge_rejected(self, dynamic):
+        assert dynamic.remove_edge(198, 199) in (False,)
+
+    def test_remove_existing_edge(self, dynamic):
+        u, v = next(iter(dynamic.graph.edges()))
+        assert dynamic.remove_edge(u, v) is True
+        assert dynamic.pending_edits == 1
+
+    def test_negative_vertex_rejected(self, dynamic):
+        with pytest.raises(VertexError):
+            dynamic.add_edge(-1, 3)
+
+    def test_flush_without_edits_is_noop(self, dynamic):
+        stats = dynamic.flush()
+        assert stats.edits_applied == 0
+        assert stats.vertices_affected == 0
+
+
+class TestFlushSemantics:
+    def test_flush_applies_edges(self, dynamic):
+        dynamic.add_edge(0, 150)
+        stats = dynamic.flush()
+        assert stats.edits_applied == 1
+        assert 150 in dynamic.graph.out_neighbors(0)
+
+    def test_affected_set_is_local(self, dynamic):
+        dynamic.add_edge(0, 150)
+        stats = dynamic.flush()
+        assert 0 < stats.vertices_affected < dynamic.graph.n
+
+    def test_growth_adds_vertices(self, dynamic):
+        dynamic.add_edge(5, 250)  # beyond current range
+        dynamic.flush()
+        assert dynamic.graph.n == 251
+        assert dynamic._engine.index.gamma.values.shape[0] == 251
+
+    def test_query_auto_flushes(self, dynamic):
+        dynamic.add_edge(0, 150)
+        dynamic.top_k(3)
+        assert dynamic.pending_edits == 0
+
+    def test_mass_edit_triggers_full_rebuild(self, dyn_config):
+        graph = copying_web_graph(150, seed=7)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1, rebuild_fraction=0.05)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            dynamic.add_edge(int(rng.integers(150)), int(rng.integers(150)))
+        stats = dynamic.flush()
+        assert stats.full_rebuild
+
+    def test_invalid_rebuild_fraction(self, dyn_config):
+        with pytest.raises(ValueError):
+            DynamicSimRankEngine(cycle_graph(5), dyn_config, rebuild_fraction=0.0)
+
+
+class TestEquivalenceWithStaticRebuild:
+    """The incremental path must answer like an engine built from scratch."""
+
+    def test_scores_match_static_engine_after_edits(self, dyn_config):
+        graph = copying_web_graph(200, seed=6)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=3)
+        edits = [(0, 60), (5, 61), (60, 5)]
+        for u, v in edits:
+            dynamic.add_edge(u, v)
+        dynamic.flush()
+
+        from repro.graph.digraph import DiGraphBuilder
+
+        builder = DiGraphBuilder(200)
+        builder.add_edges(graph.edges())
+        builder.add_edges(edits)
+        static = SimRankEngine(builder.to_csr(), dyn_config, seed=3).preprocess()
+
+        # Deterministic single-source scores agree exactly (same graph).
+        np.testing.assert_allclose(
+            dynamic.single_source(5), static.single_source(5), atol=1e-12
+        )
+
+    def test_removed_edge_changes_similarity(self, dyn_config):
+        # Two leaves sharing one citer: removing the shared edge kills s.
+        from repro.graph.csr import CSRGraph
+
+        graph = CSRGraph.from_edges(4, [(0, 1), (0, 2), (3, 0)])
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=0)
+        before = dynamic.single_pair(1, 2, method="deterministic")
+        dynamic.remove_edge(0, 2)
+        after = dynamic.single_pair(1, 2, method="deterministic")
+        assert before > 0
+        assert after == 0.0
+
+    def test_untouched_region_signatures_preserved(self, dyn_config):
+        # An edit in one corner must not rewrite far-away signatures.
+        graph = cycle_graph(60)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=2)
+        far_signature = list(dynamic._engine.index.signatures[30])
+        dynamic.add_edge(0, 2)
+        stats = dynamic.flush()
+        assert not stats.full_rebuild
+        assert dynamic._engine.index.signatures[30] == far_signature
+
+    def test_candidates_consistent_after_patch(self, dynamic):
+        dynamic.add_edge(0, 150)
+        dynamic.flush()
+        index = dynamic._engine.index
+        # Inverted lists and signatures must stay mutually consistent.
+        for u in range(index.n):
+            for w in index.signatures[u]:
+                assert u in index.inverted[w]
+        for w, postings in index.inverted.items():
+            assert postings == sorted(postings)
+            for u in postings:
+                assert w in index.signatures[u]

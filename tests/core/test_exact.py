@@ -1,0 +1,151 @@
+"""Unit tests for the exact SimRank fixed point (ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    exact_simrank,
+    exact_single_source,
+    exact_top_k,
+    high_score_vertices,
+    iterations_for_tolerance,
+)
+from repro.errors import ConfigError, VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestIterationCount:
+    def test_tolerance_reached(self):
+        for tol in (0.1, 1e-3, 1e-7):
+            k = iterations_for_tolerance(0.6, tol)
+            assert 0.6**k <= tol
+
+    def test_minimal(self):
+        k = iterations_for_tolerance(0.6, 1e-3)
+        assert 0.6 ** (k - 1) > 1e-3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            iterations_for_tolerance(0.6, 0.0)
+        with pytest.raises(ConfigError):
+            iterations_for_tolerance(1.5, 0.1)
+
+
+class TestKnownValues:
+    def test_claw_example(self, claw):
+        S = exact_simrank(claw, c=0.8, tol=1e-12)
+        assert S[1, 2] == pytest.approx(0.8)
+        assert S[1, 3] == pytest.approx(0.8)
+        assert S[0, 1] == pytest.approx(0.0)
+
+    def test_directed_star_leaves_fully_similar(self):
+        # All leaves share the hub as their only in-neighbor: s = c.
+        graph = star_graph(4, bidirected=False)
+        S = exact_simrank(graph, c=0.6)
+        for i in range(1, 5):
+            for j in range(i + 1, 5):
+                assert S[i, j] == pytest.approx(0.6)
+
+    def test_cycle_is_identity(self):
+        S = exact_simrank(cycle_graph(6), c=0.6, tol=1e-10)
+        np.testing.assert_allclose(S, np.eye(6), atol=1e-6)
+
+    def test_path_head_has_zero_similarity(self):
+        S = exact_simrank(path_graph(4), c=0.6)
+        assert S[0, 1] == 0.0
+        assert S[0, 3] == 0.0
+
+    def test_empty_graph_identity(self):
+        S = exact_simrank(CSRGraph.empty(3), c=0.6)
+        np.testing.assert_array_equal(S, np.eye(3))
+
+
+class TestMatrixProperties:
+    def test_symmetric(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6)
+        np.testing.assert_allclose(S, S.T, atol=1e-12)
+
+    def test_unit_diagonal(self, web_graph):
+        S = exact_simrank(web_graph, c=0.6)
+        np.testing.assert_allclose(np.diag(S), 1.0)
+
+    def test_range(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6)
+        assert S.min() >= 0.0
+        assert S.max() <= 1.0 + 1e-12
+
+    def test_off_diagonal_bounded_by_c(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6)
+        off = S - np.diag(np.diag(S))
+        assert off.max() <= 0.6 + 1e-12
+
+    def test_monotone_convergence(self, social_graph):
+        s_prev = exact_simrank(social_graph, c=0.6, iterations=3)
+        s_next = exact_simrank(social_graph, c=0.6, iterations=6)
+        assert (s_next - s_prev).min() >= -1e-12
+
+    def test_iteration_override(self, claw):
+        one_step = exact_simrank(claw, c=0.8, iterations=1)
+        assert one_step[1, 2] == pytest.approx(0.8)
+
+    def test_invalid_iterations(self, claw):
+        with pytest.raises(ConfigError):
+            exact_simrank(claw, iterations=0)
+
+    def test_matches_networkx(self, social_graph):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.DiGraph(list(social_graph.edges()))
+        nxg.add_nodes_from(range(social_graph.n))
+        sim = nx.simrank_similarity(
+            nxg, importance_factor=0.6, max_iterations=200, tolerance=1e-9
+        )
+        reference = np.array(
+            [[sim[i][j] for j in range(social_graph.n)] for i in range(social_graph.n)]
+        )
+        ours = exact_simrank(social_graph, c=0.6, tol=1e-10)
+        np.testing.assert_allclose(ours, reference, atol=1e-4)
+
+
+class TestQueries:
+    def test_single_source_is_matrix_row(self, web_graph):
+        S = exact_simrank(web_graph, c=0.6)
+        np.testing.assert_allclose(exact_single_source(web_graph, 3, c=0.6), S[3])
+
+    def test_single_source_vertex_validated(self, claw):
+        with pytest.raises(VertexError):
+            exact_single_source(claw, 10)
+
+    def test_top_k_excludes_query(self, social_graph):
+        result = exact_top_k(social_graph, 5, 10, c=0.6)
+        assert all(v != 5 for v, _ in result)
+
+    def test_top_k_sorted_descending(self, social_graph):
+        result = exact_top_k(social_graph, 5, 10, c=0.6)
+        scores = [s for _, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_deterministic_tie_break(self):
+        graph = star_graph(4, bidirected=False)
+        result = exact_top_k(graph, 1, 3, c=0.6)
+        assert [v for v, _ in result] == [2, 3, 4]  # ties by vertex id
+
+    def test_top_k_with_precomputed_matrix(self, social_graph):
+        S = exact_simrank(social_graph, c=0.6)
+        a = exact_top_k(social_graph, 2, 5, c=0.6)
+        b = exact_top_k(social_graph, 2, 5, S=S)
+        assert a == b
+
+    def test_top_k_invalid_k(self, claw):
+        with pytest.raises(ConfigError):
+            exact_top_k(claw, 0, 0)
+
+    def test_high_score_vertices(self):
+        scores = np.array([1.0, 0.5, 0.04, 0.039])
+        assert high_score_vertices(scores, 0, 0.04) == [1, 2]
+
+    def test_high_score_excludes_query_itself(self):
+        scores = np.array([1.0, 0.5])
+        assert 0 not in high_score_vertices(scores, 0, 0.1)

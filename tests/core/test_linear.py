@@ -1,0 +1,139 @@
+"""Unit tests for the linear recursive formulation (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagonal import exact_diagonal
+from repro.core.exact import exact_simrank
+from repro.core.linear import (
+    all_pairs_series,
+    linear_residual,
+    resolve_diagonal,
+    series_length_for_accuracy,
+    single_pair_series,
+    single_source_series,
+    truncation_error_bound,
+)
+from repro.errors import ConfigError, VertexError
+
+
+class TestDiagonalResolution:
+    def test_none_gives_one_minus_c(self):
+        d = resolve_diagonal(4, 0.6, None)
+        np.testing.assert_allclose(d, 0.4)
+
+    def test_scalar_broadcasts(self):
+        d = resolve_diagonal(3, 0.6, 0.25)
+        np.testing.assert_allclose(d, 0.25)
+
+    def test_vector_copied(self):
+        original = np.array([0.5, 0.6, 0.7])
+        d = resolve_diagonal(3, 0.6, original)
+        d[0] = 99.0
+        assert original[0] == 0.5
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_diagonal(3, 0.6, np.ones(4))
+
+
+class TestTruncation:
+    def test_error_bound_formula(self):
+        assert truncation_error_bound(0.6, 11) == pytest.approx(0.6**11 / 0.4)
+
+    def test_error_bound_decreasing_in_T(self):
+        assert truncation_error_bound(0.6, 12) < truncation_error_bound(0.6, 11)
+
+    def test_series_length_achieves_accuracy(self):
+        for eps in (0.1, 0.01, 0.001):
+            T = series_length_for_accuracy(0.6, eps)
+            assert truncation_error_bound(0.6, T) <= eps
+
+    def test_series_length_minimal(self):
+        T = series_length_for_accuracy(0.6, 0.01)
+        assert truncation_error_bound(0.6, T - 1) > 0.01
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigError):
+            truncation_error_bound(1.2, 5)
+        with pytest.raises(ConfigError):
+            series_length_for_accuracy(0.6, 2.0)
+
+
+class TestSeriesEvaluation:
+    def test_single_pair_matches_all_pairs(self, social_graph):
+        S = all_pairs_series(social_graph, c=0.6, T=8)
+        for u, v in [(0, 1), (5, 20), (3, 3)]:
+            value = single_pair_series(social_graph, u, v, c=0.6, T=8)
+            assert value == pytest.approx(S[u, v], abs=1e-12)
+
+    def test_single_source_matches_all_pairs_row(self, web_graph):
+        S = all_pairs_series(web_graph, c=0.6, T=8)
+        for u in (0, 7, 33):
+            row = single_source_series(web_graph, u, c=0.6, T=8)
+            np.testing.assert_allclose(row, S[u], atol=1e-12)
+
+    def test_series_is_symmetric(self, social_graph):
+        S = all_pairs_series(social_graph, c=0.6, T=8)
+        np.testing.assert_allclose(S, S.T, atol=1e-12)
+
+    def test_series_with_exact_diagonal_recovers_simrank(self, claw):
+        # With the exact D, the series (long T) equals true SimRank.
+        d = exact_diagonal(claw, c=0.8)
+        S_series = all_pairs_series(claw, c=0.8, T=80, diagonal=d)
+        S_true = exact_simrank(claw, c=0.8, tol=1e-12)
+        np.testing.assert_allclose(S_series, S_true, atol=1e-8)
+
+    def test_series_with_approx_diagonal_preserves_ranking(self, social_graph):
+        d = exact_diagonal(social_graph, c=0.6)
+        S_exactish = all_pairs_series(social_graph, c=0.6, T=25, diagonal=d)
+        S_approx = all_pairs_series(social_graph, c=0.6, T=25)
+        u = 10
+        exact_order = np.argsort(-S_exactish[u])[:5]
+        approx_order = np.argsort(-S_approx[u])[:5]
+        # Top-5 overlap should be high (Figure 1's claim).
+        assert len(set(exact_order.tolist()) & set(approx_order.tolist())) >= 3
+
+    def test_transition_matrix_reuse(self, social_graph):
+        P = social_graph.transition_matrix()
+        with_reuse = single_pair_series(social_graph, 0, 1, transition=P)
+        without = single_pair_series(social_graph, 0, 1)
+        assert with_reuse == pytest.approx(without)
+
+    def test_monotone_in_T(self, social_graph):
+        # All terms are nonnegative, so longer series only add mass.
+        values = [
+            single_pair_series(social_graph, 2, 9, c=0.6, T=T) for T in (1, 3, 6, 10)
+        ]
+        assert values == sorted(values)
+
+    def test_vertex_validation(self, small_cycle):
+        with pytest.raises(VertexError):
+            single_pair_series(small_cycle, 0, 99)
+        with pytest.raises(VertexError):
+            single_source_series(small_cycle, -1)
+
+    def test_dead_end_vertices_contribute_only_t0(self):
+        # A path's head has no in-links: its walk dies immediately, so
+        # s(head, v) keeps only the t=0 term (zero off-diagonal).
+        from repro.graph.generators import path_graph
+
+        graph = path_graph(4)
+        row = single_source_series(graph, 0, c=0.6, T=6)
+        assert row[0] > 0
+        assert row[1] == row[2] == row[3] == 0.0
+
+
+class TestResidual:
+    def test_fixed_point_has_zero_residual(self, claw):
+        d = exact_diagonal(claw, c=0.8)
+        S = all_pairs_series(claw, c=0.8, T=200, diagonal=d)
+        assert linear_residual(claw, S, 0.8, diagonal=d) < 1e-10
+
+    def test_truncated_series_residual_matches_tail(self, social_graph):
+        S = all_pairs_series(social_graph, c=0.6, T=5)
+        residual = linear_residual(social_graph, S, 0.6)
+        assert residual <= 0.6**5 + 1e-9
+        assert residual > 0.0

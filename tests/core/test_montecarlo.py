@@ -1,0 +1,200 @@
+"""Unit tests for the Monte-Carlo SimRank estimators (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.linear import single_pair_series, single_source_series
+from repro.core.montecarlo import (
+    SingleSourceEstimator,
+    required_samples,
+    single_pair_simrank,
+    single_source_simrank,
+)
+from repro.errors import ConfigError, VertexError
+from repro.graph.generators import cycle_graph, star_graph
+
+
+class TestRequiredSamples:
+    def test_corollary_1_formula(self):
+        c, n, T, eps, delta = 0.6, 1000, 11, 0.1, 0.05
+        expected = 2 * (1 - c) ** 2 * np.log(4 * n * T / delta) / eps**2
+        assert required_samples(c, n, T, eps, delta) == int(np.ceil(expected))
+
+    def test_monotone_in_accuracy(self):
+        assert required_samples(0.6, 1000, 11, 0.01) > required_samples(0.6, 1000, 11, 0.1)
+
+    def test_monotone_in_confidence(self):
+        assert required_samples(0.6, 1000, 11, 0.1, 0.01) > required_samples(
+            0.6, 1000, 11, 0.1, 0.2
+        )
+
+    def test_grows_slowly_in_n(self):
+        # Logarithmic dependence: a 1000x larger graph needs only a few
+        # more samples — the size-independence claim.
+        small = required_samples(0.6, 10**3, 11, 0.1)
+        large = required_samples(0.6, 10**6, 11, 0.1)
+        assert large < 2 * small
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigError):
+            required_samples(0.6, 0, 11, 0.1)
+        with pytest.raises(ConfigError):
+            required_samples(0.6, 10, 11, 1.5)
+        with pytest.raises(ConfigError):
+            required_samples(1.0, 10, 11, 0.1)
+
+
+class TestSinglePair:
+    def test_identical_vertices_score_one(self, social_graph, test_config):
+        assert single_pair_simrank(social_graph, 4, 4, test_config, seed=0) == 1.0
+
+    def test_deterministic_given_seed(self, social_graph, test_config):
+        a = single_pair_simrank(social_graph, 1, 2, test_config, seed=3)
+        b = single_pair_simrank(social_graph, 1, 2, test_config, seed=3)
+        assert a == b
+
+    def test_exact_on_deterministic_cycle(self):
+        # Walks on a cycle are deterministic, so MC has zero variance:
+        # two distinct starts never meet, score is exactly 0.
+        graph = cycle_graph(5)
+        config = SimRankConfig(T=5, r_pair=10)
+        assert single_pair_simrank(graph, 0, 2, config, seed=0) == 0.0
+
+    def test_exact_on_directed_star(self):
+        # Leaves share the single in-neighbor: the t=1 term contributes
+        # exactly c * (1 - c) with D = (1-c)I and the walk dies after.
+        graph = star_graph(3, bidirected=False)
+        config = SimRankConfig(c=0.6, T=5, r_pair=50)
+        value = single_pair_simrank(graph, 1, 2, config, seed=0)
+        assert value == pytest.approx(0.6 * 0.4)
+
+    def test_unbiasedness_against_series(self, social_graph):
+        config = SimRankConfig(T=8, r_pair=400)
+        truth = single_pair_series(social_graph, 3, 11, c=config.c, T=config.T)
+        estimates = [
+            single_pair_simrank(social_graph, 3, 11, config, seed=s) for s in range(30)
+        ]
+        sem = np.std(estimates) / np.sqrt(len(estimates))
+        assert np.mean(estimates) == pytest.approx(truth, abs=max(5 * sem, 5e-3))
+
+    def test_variance_shrinks_with_R(self, social_graph):
+        small = [
+            single_pair_simrank(
+                social_graph, 3, 11, SimRankConfig(T=8, r_pair=20), seed=s
+            )
+            for s in range(25)
+        ]
+        large = [
+            single_pair_simrank(
+                social_graph, 3, 11, SimRankConfig(T=8, r_pair=500), seed=s
+            )
+            for s in range(25)
+        ]
+        assert np.std(large) < np.std(small)
+
+    def test_R_override(self, social_graph, test_config):
+        value = single_pair_simrank(social_graph, 0, 1, test_config, seed=1, R=5)
+        assert 0.0 <= value <= 1.5
+
+    def test_vertex_validation(self, small_cycle, test_config):
+        with pytest.raises(VertexError):
+            single_pair_simrank(small_cycle, 0, 99, test_config)
+
+    def test_custom_diagonal_scales_estimate(self):
+        graph = star_graph(3, bidirected=False)
+        config = SimRankConfig(c=0.6, T=5, r_pair=50)
+        doubled = single_pair_simrank(graph, 1, 2, config, seed=0, diagonal=0.8)
+        assert doubled == pytest.approx(2 * 0.6 * 0.4)
+
+
+class TestSingleSourceEstimator:
+    def test_shares_u_walks(self, social_graph, test_config):
+        estimator = SingleSourceEstimator(social_graph, 2, test_config, seed=0)
+        before = estimator.walks_simulated
+        estimator.estimate(5)
+        after = estimator.walks_simulated
+        assert after - before == test_config.r_pair  # only v-side walks added
+
+    def test_self_estimate_is_one(self, social_graph, test_config):
+        estimator = SingleSourceEstimator(social_graph, 2, test_config, seed=0)
+        assert estimator.estimate(2) == 1.0
+
+    def test_estimate_many(self, social_graph, test_config):
+        estimator = SingleSourceEstimator(social_graph, 2, test_config, seed=0)
+        scores = estimator.estimate_many([4, 5, 6])
+        assert set(scores) == {4, 5, 6}
+
+    def test_agrees_with_series_on_average(self, web_graph):
+        config = SimRankConfig(T=8, r_pair=300)
+        truth = single_source_series(web_graph, 6, c=config.c, T=config.T)
+        collected = {v: [] for v in range(10, 16)}
+        for s in range(15):
+            estimator = SingleSourceEstimator(web_graph, 6, config, seed=s)
+            for v in collected:
+                collected[v].append(estimator.estimate(v))
+        for v, estimates in collected.items():
+            assert np.mean(estimates) == pytest.approx(truth[v], abs=0.01)
+
+    def test_vertex_validation(self, small_cycle, test_config):
+        estimator = SingleSourceEstimator(small_cycle, 0, test_config, seed=0)
+        with pytest.raises(VertexError):
+            estimator.estimate(99)
+        with pytest.raises(VertexError):
+            SingleSourceEstimator(small_cycle, -1, test_config)
+
+    def test_single_source_simrank_defaults_to_all(self, small_cycle, test_config):
+        scores = single_source_simrank(small_cycle, 0, config=test_config, seed=0)
+        assert set(scores) == set(range(1, small_cycle.n))
+
+
+class TestConfidenceIntervals:
+    def test_interval_covers_series_truth(self, social_graph):
+        from repro.core.linear import single_pair_series
+        from repro.core.montecarlo import single_pair_with_ci
+
+        config = SimRankConfig(T=8, r_pair=200)
+        truth = single_pair_series(social_graph, 3, 11, c=config.c, T=config.T)
+        covered = 0
+        trials = 12
+        for s in range(trials):
+            est = single_pair_with_ci(
+                social_graph, 3, 11, config, seed=s, batches=8, confidence=0.95
+            )
+            low, high = est.interval
+            covered += low <= truth <= high
+        # 95% nominal coverage; allow sampling slack over 12 trials.
+        assert covered >= 9
+
+    def test_self_pair_zero_width(self, social_graph, test_config):
+        from repro.core.montecarlo import single_pair_with_ci
+
+        est = single_pair_with_ci(social_graph, 4, 4, test_config, seed=0)
+        assert est.value == 1.0
+        assert est.interval == (1.0, 1.0)
+
+    def test_more_batches_tighter_stderr(self, social_graph):
+        from repro.core.montecarlo import single_pair_with_ci
+
+        config = SimRankConfig(T=6, r_pair=60)
+        wide = single_pair_with_ci(social_graph, 3, 11, config, seed=1, batches=3)
+        tight = single_pair_with_ci(social_graph, 3, 11, config, seed=1, batches=24)
+        assert tight.stderr < wide.stderr * 1.5  # stderr shrinks ~1/sqrt(B)
+
+    def test_interval_floored_at_zero(self, social_graph):
+        from repro.core.montecarlo import single_pair_with_ci
+
+        config = SimRankConfig(T=6, r_pair=10)
+        est = single_pair_with_ci(social_graph, 0, 55, config, seed=2, batches=4)
+        assert est.interval[0] >= 0.0
+
+    def test_invalid_parameters(self, social_graph, test_config):
+        from repro.core.montecarlo import single_pair_with_ci
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            single_pair_with_ci(social_graph, 0, 1, test_config, batches=1)
+        with pytest.raises(ConfigError):
+            single_pair_with_ci(social_graph, 0, 1, test_config, confidence=1.5)

@@ -1,0 +1,82 @@
+"""Tests for the parallel all-vertices mode (§2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimRankEngine
+from repro.core.parallel import _chunked, top_k_all_parallel
+
+
+class TestChunking:
+    def test_covers_all_items_once(self):
+        items = list(range(17))
+        chunks = _chunked(items, 4)
+        flat = [x for chunk in chunks for x in chunk]
+        assert flat == items
+
+    def test_single_chunk(self):
+        assert _chunked([1, 2], 1) == [[1, 2]]
+
+    def test_more_chunks_than_items(self):
+        chunks = _chunked([1, 2], 10)
+        assert [x for c in chunks for x in c] == [1, 2]
+
+
+class TestParallelSweep:
+    @pytest.fixture(scope="class")
+    def engine(self, request):
+        from repro.graph.generators import copying_web_graph
+        from repro.core.config import SimRankConfig
+
+        graph = copying_web_graph(150, seed=4)
+        config = SimRankConfig(
+            T=6, r_pair=60, r_screen=10, r_alphabeta=150, r_gamma=40,
+            index_walks=5, index_checks=4, k=5, theta=0.005,
+        )
+        return SimRankEngine(graph, config, seed=9).preprocess()
+
+    def test_matches_sequential_exactly(self, engine):
+        vertices = list(range(0, engine.graph.n, 10))
+        sequential = engine.top_k_all(vertices=vertices)
+        parallel = engine.top_k_all_parallel(vertices=vertices, workers=2)
+        assert set(parallel) == set(sequential)
+        for u in vertices:
+            assert parallel[u] == sequential[u].items
+
+    def test_single_worker_path(self, engine):
+        vertices = [0, 10, 20]
+        direct = top_k_all_parallel(
+            engine.graph,
+            engine.index,
+            engine.config,
+            engine.diagonal,
+            seed=9,
+            vertices=vertices,
+            workers=1,
+        )
+        sequential = engine.top_k_all(vertices=vertices)
+        for u in vertices:
+            assert direct[u] == sequential[u].items
+
+    def test_default_covers_every_vertex(self, engine):
+        results = engine.top_k_all_parallel(workers=2, k=3)
+        assert set(results) == set(range(engine.graph.n))
+
+    def test_k_override(self, engine):
+        results = engine.top_k_all_parallel(vertices=[0, 5], workers=1, k=2)
+        assert all(len(items) <= 2 for items in results.values())
+
+    def test_generator_seed_rejected(self):
+        from repro.graph.generators import cycle_graph
+        from repro.core.config import SimRankConfig
+
+        engine = SimRankEngine(
+            cycle_graph(10),
+            SimRankConfig(T=4, r_pair=10, r_alphabeta=20, r_gamma=10,
+                          index_walks=2, index_checks=2),
+            seed=np.random.default_rng(0),
+        ).preprocess()
+        with pytest.raises(ValueError):
+            engine.top_k_all_parallel(vertices=[0])

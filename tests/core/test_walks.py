@@ -1,0 +1,153 @@
+"""Unit tests for the reverse random-walk engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.walks import DEAD, PositionSketch, WalkEngine, sketch_from_walks
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+
+
+class TestStepping:
+    def test_cycle_walk_is_deterministic(self):
+        graph = cycle_graph(4)  # in-neighbor of v is v-1
+        engine = WalkEngine(graph, seed=0)
+        positions = np.array([0, 1, 2, 3])
+        stepped = engine.step(positions)
+        np.testing.assert_array_equal(stepped, [3, 0, 1, 2])
+
+    def test_dead_end_terminates(self):
+        graph = path_graph(3)  # vertex 0 has no in-links
+        engine = WalkEngine(graph, seed=0)
+        stepped = engine.step(np.array([0, 1, 2]))
+        assert stepped[0] == DEAD
+        assert stepped[1] == 0
+        assert stepped[2] == 1
+
+    def test_dead_stays_dead(self):
+        graph = cycle_graph(3)
+        engine = WalkEngine(graph, seed=0)
+        stepped = engine.step(np.array([DEAD, 0]))
+        assert stepped[0] == DEAD
+        assert stepped[1] == 2
+
+    def test_all_dead_short_circuit(self):
+        engine = WalkEngine(cycle_graph(3), seed=0)
+        stepped = engine.step(np.array([DEAD, DEAD]))
+        assert (stepped == DEAD).all()
+
+    def test_input_not_mutated(self):
+        engine = WalkEngine(cycle_graph(3), seed=0)
+        positions = np.array([0, 1])
+        engine.step(positions)
+        np.testing.assert_array_equal(positions, [0, 1])
+
+    def test_steps_land_on_in_neighbors(self, social_graph):
+        engine = WalkEngine(social_graph, seed=1)
+        positions = np.arange(social_graph.n)
+        stepped = engine.step(positions)
+        for before, after in zip(positions, stepped):
+            if after != DEAD:
+                assert after in social_graph.in_neighbors(int(before))
+
+    def test_step_distribution_uniform(self):
+        # Hub of a bidirected star: in-neighbors are the 3 leaves.
+        graph = star_graph(3, bidirected=True)
+        engine = WalkEngine(graph, seed=2)
+        samples = engine.step(np.zeros(30_000, dtype=np.int64))
+        _, counts = np.unique(samples, return_counts=True)
+        np.testing.assert_allclose(counts / 30_000, 1 / 3, atol=0.02)
+
+
+class TestWalkMatrix:
+    def test_shape_and_start_row(self, social_graph):
+        engine = WalkEngine(social_graph, seed=3)
+        walks = engine.walk_matrix(7, R=50, T=6)
+        assert walks.shape == (6, 50)
+        assert (walks[0] == 7).all()
+
+    def test_rows_are_valid_transitions(self, web_graph):
+        engine = WalkEngine(web_graph, seed=4)
+        walks = engine.walk_matrix(3, R=20, T=5)
+        for t in range(1, 5):
+            for r in range(20):
+                prev, curr = walks[t - 1, r], walks[t, r]
+                if curr != DEAD:
+                    assert curr in web_graph.in_neighbors(int(prev))
+
+    def test_invalid_start(self, small_cycle):
+        engine = WalkEngine(small_cycle, seed=0)
+        with pytest.raises(VertexError):
+            engine.walk_matrix(99, R=5, T=5)
+
+    def test_invalid_counts(self, small_cycle):
+        engine = WalkEngine(small_cycle, seed=0)
+        with pytest.raises(ValueError):
+            engine.walk_matrix(0, R=0, T=5)
+
+    def test_multi_start(self, social_graph):
+        engine = WalkEngine(social_graph, seed=5)
+        walks = engine.walk_matrix_multi([1, 2, 3], T=4)
+        assert walks.shape == (4, 3)
+        np.testing.assert_array_equal(walks[0], [1, 2, 3])
+
+    def test_multi_start_validates(self, small_cycle):
+        engine = WalkEngine(small_cycle, seed=0)
+        with pytest.raises(VertexError):
+            engine.walk_matrix_multi([0, 99], T=3)
+
+    def test_determinism_per_seed(self, social_graph):
+        a = WalkEngine(social_graph, seed=6).walk_matrix(0, R=10, T=5)
+        b = WalkEngine(social_graph, seed=6).walk_matrix(0, R=10, T=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPositionSketch:
+    def test_counts_sum_to_alive_walks(self, social_graph):
+        sketch = sketch_from_walks(social_graph, 0, R=40, T=5, seed=7)
+        for t in range(5):
+            assert sum(sketch.counts[t].values()) <= 40
+
+    def test_alive_fraction_monotone_on_dag(self):
+        graph = path_graph(4)
+        sketch = sketch_from_walks(graph, 3, R=30, T=6, seed=8)
+        fractions = [sketch.alive_fraction(t) for t in range(6)]
+        assert fractions[0] == 1.0
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[4] == 0.0  # walk of length 4 exhausts the path
+
+    def test_collision_value_estimates_quadratic_form(self):
+        # Deterministic cycle: P^t e_u is a point mass, collision value
+        # is D_w when the two walks coincide, else 0.
+        graph = cycle_graph(4)
+        d = np.full(4, 0.4)
+        a = sketch_from_walks(graph, 0, R=10, T=4, seed=9)
+        b = sketch_from_walks(graph, 0, R=10, T=4, seed=10)
+        for t in range(4):
+            assert a.collision_value(b, t, d) == pytest.approx(0.4)
+
+    def test_collision_value_zero_without_overlap(self):
+        graph = cycle_graph(4)
+        d = np.full(4, 0.4)
+        a = sketch_from_walks(graph, 0, R=5, T=2, seed=11)
+        b = sketch_from_walks(graph, 2, R=5, T=2, seed=12)
+        assert a.collision_value(b, 0, d) == 0.0
+
+    def test_self_collision_equals_norm_squared(self):
+        graph = cycle_graph(5)
+        d = np.full(5, 0.4)
+        sketch = sketch_from_walks(graph, 0, R=20, T=3, seed=13)
+        # Point mass: ||sqrt(D) e_w||^2 = 0.4.
+        assert sketch.self_collision_value(2, d) == pytest.approx(0.4)
+
+    def test_symmetry_of_collision_value(self, social_graph):
+        d = np.full(social_graph.n, 0.4)
+        a = sketch_from_walks(social_graph, 1, R=30, T=4, seed=14)
+        b = sketch_from_walks(social_graph, 2, R=30, T=4, seed=15)
+        for t in range(4):
+            assert a.collision_value(b, t, d) == pytest.approx(
+                b.collision_value(a, t, d)
+            )

@@ -1,0 +1,79 @@
+"""Tests for the ablation experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.experiments.ablation import (
+    VARIANTS,
+    AblationRow,
+    render_ablation,
+    run_ablation,
+)
+from repro.graph.generators import copying_web_graph
+
+
+@pytest.fixture(scope="module")
+def rows():
+    config = SimRankConfig(
+        T=6, r_pair=60, r_screen=10, r_alphabeta=150, r_gamma=50,
+        index_walks=5, index_checks=4, k=5, theta=0.005,
+    )
+    return run_ablation(
+        graph=copying_web_graph(180, seed=14),
+        config=config,
+        num_queries=10,
+        seed=0,
+    )
+
+
+class TestRunAblation:
+    def test_all_variants_present(self, rows):
+        assert [r.variant for r in rows] == list(VARIANTS)
+
+    def test_full_variant_is_reference(self, rows):
+        full = next(r for r in rows if r.variant == "full")
+        assert full.overlap_with_full == 1.0
+
+    def test_no_adaptive_refines_more(self, rows):
+        by_name = {r.variant: r for r in rows}
+        assert by_name["no-adaptive"].refined >= by_name["full"].refined
+        assert by_name["no-adaptive"].walks > by_name["full"].walks
+
+    def test_no_bounds_screens_at_least_full(self, rows):
+        by_name = {r.variant: r for r in rows}
+        assert by_name["no-bounds"].screened >= by_name["full"].screened
+
+    def test_answers_substantially_agree(self, rows):
+        # Every ablation changes work, not (much) the answers.
+        for row in rows:
+            assert row.overlap_with_full >= 0.5
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_ablation(
+                graph=copying_web_graph(60, seed=1),
+                config=SimRankConfig.fast(),
+                num_queries=2,
+                variants=["quantum"],
+            )
+
+    def test_subset_of_variants(self):
+        config = SimRankConfig(
+            T=5, r_pair=30, r_screen=10, r_alphabeta=60, r_gamma=30,
+            index_walks=4, index_checks=3,
+        )
+        rows = run_ablation(
+            graph=copying_web_graph(80, seed=2),
+            config=config,
+            num_queries=4,
+            variants=["full", "no-l2"],
+        )
+        assert [r.variant for r in rows] == ["full", "no-l2"]
+
+    def test_render(self, rows):
+        text = render_ablation(rows, dataset="fixture")
+        assert "Ablation" in text
+        assert "no-bounds" in text

@@ -1,0 +1,60 @@
+"""Tests for the concentration experiment (Props. 3/5/7, footnote 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.experiments.concentration import (
+    ConcentrationPoint,
+    render_concentration,
+    run_concentration,
+)
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.graph.generators import preferential_attachment
+
+    return run_concentration(
+        "fixture",
+        graph=preferential_attachment(80, out_degree=3, seed=2),
+        sample_counts=(10, 40, 160),
+        num_pairs=10,
+        trials_per_pair=6,
+        config=SimRankConfig(T=7),
+        seed=0,
+    )
+
+
+class TestConcentration:
+    def test_sweep_covers_requested_counts(self, result):
+        assert [p.R for p in result.points] == [10, 40, 160]
+
+    def test_error_decreases_with_R(self, result):
+        rmses = [p.rmse for p in result.points]
+        assert rmses[0] > rmses[-1]
+
+    def test_decay_at_least_hoeffding_rate(self, result):
+        # Prop. 3 guarantees R^(-1/2); measured decay should not be slower.
+        assert result.decay_exponent <= -0.3
+
+    def test_footnote4_looseness(self, result):
+        # The Hoeffding requirement exceeds the actual sample count by
+        # orders of magnitude at every operating point.
+        for point in result.points:
+            assert point.looseness > 10
+
+    def test_pairs_found(self, result):
+        assert result.pairs_evaluated >= 5
+
+    def test_render(self, result):
+        text = render_concentration(result)
+        assert "Concentration" in text
+        assert "footnote 4" in text
+
+    def test_point_looseness_property(self):
+        point = ConcentrationPoint(R=100, rmse=0.01, p95_abs_error=0.02,
+                                   hoeffding_R_for_p95=5000)
+        assert point.looseness == 50.0

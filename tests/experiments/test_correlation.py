@@ -1,0 +1,59 @@
+"""Tests for the Figure 1 experiment (exact vs approx correlation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.correlation import (
+    CorrelationResult,
+    render_correlation,
+    run_correlation,
+    topk_overlap,
+)
+
+
+class TestTopkOverlap:
+    def test_full_overlap(self):
+        items = [(1, 0.5), (2, 0.4)]
+        assert topk_overlap(items, items) == 1.0
+
+    def test_disjoint(self):
+        assert topk_overlap([(1, 0.5)], [(2, 0.5)]) == 0.0
+
+    def test_partial(self):
+        assert topk_overlap([(1, 0.5), (2, 0.4)], [(2, 0.5), (3, 0.4)]) == 0.5
+
+    def test_empty_safe(self):
+        assert topk_overlap([], []) == 0.0
+
+
+class TestRunCorrelation:
+    def test_on_fixture_graph(self, social_graph):
+        result = run_correlation(
+            "fixture", graph=social_graph, num_queries=8, score_floor=1e-3, seed=0
+        )
+        assert result.num_pairs > 0
+        # The paper's claim: slope-one line in log-log space.
+        assert result.loglog_slope == pytest.approx(1.0, abs=0.15)
+        assert result.pearson_log > 0.95
+        assert result.mean_topk_overlap > 0.5
+
+    def test_registry_dataset_loads(self):
+        result = run_correlation("ca-GrQc", tier="tiny", num_queries=4, seed=0)
+        assert result.dataset == "ca-GrQc"
+        assert result.pearson_log > 0.9
+
+    def test_render(self, social_graph):
+        result = run_correlation("fixture", graph=social_graph, num_queries=3, seed=0)
+        text = render_correlation([result])
+        assert "Figure 1" in text
+        assert "fixture" in text
+
+    def test_degenerate_graph_yields_nan(self):
+        from repro.graph.generators import cycle_graph
+
+        # A cycle has no similar pairs at all: no scatter points.
+        result = run_correlation("cycle", graph=cycle_graph(8), num_queries=3, seed=0)
+        assert result.num_pairs == 0
+        assert np.isnan(result.loglog_slope)

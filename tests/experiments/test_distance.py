@@ -1,0 +1,69 @@
+"""Tests for the Figure 2 experiment (distance of top-k vertices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.distance import (
+    DistanceCurve,
+    render_distance,
+    run_distance,
+    web_vs_social_gap,
+)
+
+
+class TestRunDistance:
+    def test_on_fixture_graph(self, social_graph):
+        curve = run_distance(
+            "fixture", graph=social_graph, num_queries=15, ks=(1, 5, 10), seed=0
+        )
+        assert curve.ks == [1, 5, 10]
+        assert len(curve.mean_distances) == 3
+        assert curve.network_average_distance > 0
+
+    def test_top_vertices_closer_than_average(self, web_graph):
+        # The paper's core observation (Section 5).
+        curve = run_distance(
+            "fixture", graph=web_graph, num_queries=20, ks=(1, 5), seed=0
+        )
+        assert curve.distance_at(1) < curve.network_average_distance
+
+    def test_distance_weakly_increases_with_rank(self, social_graph):
+        curve = run_distance(
+            "fixture", graph=social_graph, num_queries=25, ks=(1, 20), seed=0
+        )
+        assert curve.distance_at(1) <= curve.distance_at(20) + 0.5
+
+    def test_invalid_rank(self, social_graph):
+        with pytest.raises(ValueError):
+            run_distance("fixture", graph=social_graph, ks=(0,))
+
+    def test_ks_beyond_graph_size_skipped(self, claw):
+        curve = run_distance("claw", graph=claw, num_queries=4, ks=(1, 100), seed=0)
+        assert np.isnan(curve.distance_at(100))
+
+    def test_render(self, social_graph):
+        curve = run_distance("fixture", graph=social_graph, num_queries=5, seed=0)
+        text = render_distance([curve])
+        assert "Figure 2" in text
+
+    def test_render_empty(self):
+        assert "no distance curves" in render_distance([])
+
+
+class TestFamilyGap:
+    def test_gap_computation(self):
+        curves = [
+            DistanceCurve("webA", 10, 20, [10], [2.0], 4.0, 5),
+            DistanceCurve("socialA", 10, 20, [10], [3.0], 4.0, 5),
+            DistanceCurve("socialB", 10, 20, [10], [3.5], 4.0, 5),
+        ]
+        families = {"webA": "web", "socialA": "social", "socialB": "social"}
+        gap = web_vs_social_gap(curves, families, k=10)
+        assert gap["web"] == 2.0
+        assert gap["social"] == pytest.approx(3.25)
+
+    def test_nan_curves_skipped(self):
+        curves = [DistanceCurve("x", 10, 20, [10], [float("nan")], 4.0, 5)]
+        assert web_vs_social_gap(curves, {"x": "web"}, k=10) == {}

@@ -1,0 +1,95 @@
+"""Tests for the measure-comparison experiment (§1.1's multi-step claim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.measures import (
+    plant_clones,
+    render_measures,
+    run_measures,
+)
+
+
+class TestPlanting:
+    def test_clone_count_and_ids(self):
+        planted = plant_clones(base_n=120, num_clones=6, direct_overlap=0.5, seed=1)
+        assert len(planted.pairs) == 6
+        for original, clone in planted.pairs:
+            assert original < 120 <= clone
+
+    def test_full_overlap_copies_in_neighborhood(self):
+        planted = plant_clones(base_n=120, num_clones=4, direct_overlap=1.0, seed=2)
+        graph = planted.graph
+        for original, clone in planted.pairs:
+            original_in = set(graph.in_neighbors(original).tolist())
+            clone_in = set(graph.in_neighbors(clone).tolist())
+            # The clone copies the original's *base* citers verbatim; the
+            # original may additionally be cited by other clones (ids >=
+            # base_n) that replicated their own originals' out-links.
+            assert clone_in <= original_in
+            assert all(extra >= 120 for extra in original_in - clone_in)
+
+    def test_zero_overlap_shares_no_citers(self):
+        planted = plant_clones(base_n=120, num_clones=4, direct_overlap=0.0, seed=3)
+        graph = planted.graph
+        for original, clone in planted.pairs:
+            original_in = set(graph.in_neighbors(original).tolist())
+            clone_in = set(graph.in_neighbors(clone).tolist())
+            assert not (original_in & clone_in)
+
+    def test_clone_gets_out_links(self):
+        planted = plant_clones(base_n=120, num_clones=4, direct_overlap=0.5, seed=4)
+        graph = planted.graph
+        for original, clone in planted.pairs:
+            clone_out = set(graph.out_neighbors(clone).tolist())
+            original_out = set(graph.out_neighbors(original).tolist())
+            # Clones copy the original's base out-links; the original may
+            # also cite other clones (planted in-edges), ids >= base_n.
+            assert clone_out <= original_out
+            assert all(extra >= 120 for extra in original_out - clone_out)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            plant_clones(direct_overlap=1.5)
+
+
+class TestRunMeasures:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_measures(
+            overlaps=(0.8, 0.0), base_n=150, num_clones=8, seed=0
+        )
+
+    def test_one_row_per_overlap(self, results):
+        assert [r.direct_overlap for r in results] == [0.8, 0.0]
+
+    def test_one_step_measures_collapse_at_zero_overlap(self, results):
+        zero = results[-1]
+        assert zero.mrr["co-citation"] == 0.0
+        assert zero.mrr["jaccard"] == 0.0
+        assert zero.mrr["cosine"] == 0.0
+
+    def test_multi_step_measures_survive(self, results):
+        zero = results[-1]
+        assert zero.mrr["simrank"] > 0.0
+        assert zero.hit_at_20["simrank"] > 0.0
+        assert zero.mrr["p-rank"] > 0.0
+
+    def test_one_step_strong_at_high_overlap(self, results):
+        high = results[0]
+        assert high.mrr["jaccard"] > 0.8
+
+    def test_metrics_in_unit_interval(self, results):
+        for row in results:
+            for mapping in (row.mrr, row.hit_at_20):
+                assert all(0.0 <= v <= 1.0 for v in mapping.values())
+
+    def test_render(self, results):
+        text = render_measures(results)
+        assert "multi-step" in text
+        assert "simrank" in text
+
+    def test_render_empty(self):
+        assert "no measure comparisons" in render_measures([])

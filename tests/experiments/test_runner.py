@@ -1,0 +1,68 @@
+"""Tests for the experiment CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure1", "figure2", "table1", "table2", "table3", "table4",
+            "footnote4", "intro", "ablation",
+        }
+
+    def test_invalid_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["no-such-artefact"])
+
+    def test_figure1_quick(self, capsys):
+        code = main(["figure1", "--tier", "tiny", "--quick", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 1" in out
+
+    def test_duplicates_deduplicated(self, capsys):
+        code = main(["figure1", "figure1", "--tier", "tiny", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("### figure1") == 1
+
+    def test_all_expands(self, capsys, monkeypatch):
+        # Stub the heavy experiments; only check dispatch.
+        for name in EXPERIMENTS:
+            monkeypatch.setitem(EXPERIMENTS, name, lambda tier, quick, seed: "stub-output")
+        code = main(["all", "--tier", "tiny", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert f"### {name}" in out
+
+
+class TestMarkdownReport:
+    def test_output_flag_writes_report(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            monkeypatch.setitem(
+                EXPERIMENTS, name, lambda tier, quick, seed: "stub body"
+            )
+        report = tmp_path / "report.md"
+        code = main(["figure1", "table3", "--quick", "--output", str(report)])
+        assert code == 0
+        text = report.read_text()
+        assert "# Experiment report" in text
+        assert "## figure1" in text
+        assert "## table3" in text
+        assert "stub body" in text
+        assert "--quick" in text  # invocation recorded
+
+    def test_report_round_trips_real_artefact(self, tmp_path):
+        report = tmp_path / "fig1.md"
+        code = main(
+            ["figure1", "--tier", "tiny", "--quick", "--output", str(report)]
+        )
+        assert code == 0
+        assert "log-log slope" in report.read_text()

@@ -1,0 +1,110 @@
+"""Tests for the Table 4 experiment (scalability comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.experiments.scalability import (
+    FR_EDGE_LIMIT,
+    PAPER_MEMORY_BYTES,
+    fr_feasible_at_paper_scale,
+    render_scalability,
+    run_scalability,
+    yu_feasible_at_paper_scale,
+)
+from repro.graph.datasets import dataset_spec
+
+
+class TestFeasibilityGates:
+    """The gates must reproduce Table 4's dash pattern from first principles."""
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("ca-GrQc", True),
+            ("wiki-Vote", True),
+            ("soc-Slashdot0902", True),   # 82k vertices: 108 GB fits
+            ("email-EuAll", False),       # 265k vertices: 1.1 TB does not
+            ("web-Stanford", False),
+            ("soc-LiveJournal1", False),
+        ],
+    )
+    def test_yu_gate_matches_paper(self, name, expected):
+        assert yu_feasible_at_paper_scale(dataset_spec(name).paper_n) is expected
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("ca-GrQc", True),
+            ("web-BerkStan", True),
+            ("soc-LiveJournal1", True),   # 69M edges: the last FR success
+            ("indochina-2004", False),    # 194M edges: paper reports failure
+            ("it-2004", False),
+            ("twitter-2010", False),
+        ],
+    )
+    def test_fr_gate_matches_paper(self, name, expected):
+        spec = dataset_spec(name)
+        assert fr_feasible_at_paper_scale(spec.paper_n, spec.paper_m, 100, 11) is expected
+
+    def test_fr_livejournal_index_size_matches_paper(self):
+        # Paper's Table 4 prints 21.6 GB for soc-LiveJournal1's FR index;
+        # the 4-byte/slot formula gives 21.3 GB.
+        from repro.baselines.fogaras_racz import fingerprint_memory_required
+
+        spec = dataset_spec("soc-LiveJournal1")
+        required = fingerprint_memory_required(spec.paper_n, 100, 11)
+        assert required == pytest.approx(21.6 * 1024**3, rel=0.10)
+
+    def test_edge_limit_is_papers(self):
+        assert FR_EDGE_LIMIT == 70_000_000
+        assert PAPER_MEMORY_BYTES == 256 * 1024**3
+
+
+class TestRunScalability:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = SimRankConfig(
+            T=7, r_pair=50, r_screen=10, r_alphabeta=200, r_gamma=40,
+            index_walks=5, index_checks=4,
+        )
+        return run_scalability(
+            datasets=("ca-GrQc", "it-2004"),
+            tier="tiny",
+            config=config,
+            query_trials=2,
+            fingerprints=20,
+            allpairs_max_n=0,
+            seed=0,
+        )
+
+    def test_row_per_dataset(self, rows):
+        assert [r.dataset for r in rows] == ["ca-GrQc", "it-2004"]
+
+    def test_proposed_always_runs(self, rows):
+        for row in rows:
+            assert row.proposed_preprocess > 0
+            assert row.proposed_query > 0
+            assert row.proposed_index_bytes > 0
+
+    def test_baselines_dash_on_large_dataset(self, rows):
+        big = rows[1]
+        assert big.fr_preprocess is None
+        assert big.yu_allpairs is None
+
+    def test_baselines_run_on_small_dataset(self, rows):
+        small = rows[0]
+        assert small.fr_preprocess is not None
+        assert small.yu_allpairs is not None
+        assert small.fr_index_bytes > row_index_bytes(small)
+
+    def test_render_contains_dashes(self, rows):
+        text = render_scalability(rows)
+        assert "Table 4" in text
+        assert "-" in text.splitlines()[-1]
+
+
+def row_index_bytes(row):
+    """Proposed index bytes of a scalability row (readability helper)."""
+    return row.proposed_index_bytes

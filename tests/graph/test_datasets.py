@@ -1,0 +1,91 @@
+"""Unit tests for the Table 2 dataset stand-in registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    dataset_names,
+    dataset_spec,
+    dataset_table,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = dataset_names()
+        for expected in (
+            "ca-GrQc",
+            "ca-HepTh",
+            "wiki-Vote",
+            "as20000102",
+            "cit-HepTh",
+            "web-BerkStan",
+            "soc-LiveJournal1",
+            "it-2004",
+            "twitter-2010",
+        ):
+            assert expected in names
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("no-such-dataset")
+
+    def test_spec_fields_match_paper_table2(self):
+        spec = dataset_spec("ca-GrQc")
+        assert spec.paper_n == 5_242
+        assert spec.paper_m == 14_496
+        spec = dataset_spec("twitter-2010")
+        assert spec.paper_m == 1_468_365_182
+
+    def test_tier_sizes_ordered(self):
+        spec = dataset_spec("web-Google")
+        assert spec.tier_n("tiny") < spec.tier_n("small") < spec.tier_n("medium")
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("ca-GrQc").tier_n("enormous")
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == len(dataset_names())
+        assert rows[0][0] == "ca-GrQc"
+
+
+class TestLoading:
+    def test_load_is_deterministic(self):
+        a = load_dataset("ca-GrQc", "tiny")
+        b = load_dataset("ca-GrQc", "tiny")
+        assert a == b
+
+    def test_different_datasets_differ(self):
+        a = load_dataset("ca-GrQc", "tiny")
+        b = load_dataset("ca-HepTh", "tiny")
+        assert a != b
+
+    def test_tier_scales_vertex_count(self):
+        tiny = load_dataset("wiki-Vote", "tiny")
+        small = load_dataset("wiki-Vote", "small")
+        assert tiny.n < small.n
+
+    @pytest.mark.parametrize(
+        "name", ["ca-GrQc", "cit-HepTh", "wiki-Vote", "web-BerkStan", "soc-LiveJournal1"]
+    )
+    def test_each_family_loads_nonempty(self, name):
+        graph = load_dataset(name, "tiny")
+        assert graph.n > 0
+        assert graph.m > 0
+
+    def test_web_family_is_directed(self):
+        from repro.graph.stats import reciprocity
+
+        graph = load_dataset("web-Stanford", "tiny")
+        assert reciprocity(graph) < 0.5
+
+    def test_social_family_is_bidirected(self):
+        from repro.graph.stats import reciprocity
+
+        graph = load_dataset("soc-Epinions1", "tiny")
+        assert reciprocity(graph) == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Unit tests for the mutable graph builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VertexError
+from repro.graph.digraph import DiGraphBuilder
+
+
+class TestBasics:
+    def test_empty_builder(self):
+        builder = DiGraphBuilder()
+        assert builder.n == 0
+        assert builder.m == 0
+
+    def test_negative_initial_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraphBuilder(-1)
+
+    def test_add_edge_grows_vertex_range(self):
+        builder = DiGraphBuilder()
+        builder.add_edge(0, 5)
+        assert builder.n == 6
+        assert builder.m == 1
+
+    def test_duplicate_edges_deduplicated(self):
+        builder = DiGraphBuilder()
+        assert builder.add_edge(0, 1) is True
+        assert builder.add_edge(0, 1) is False
+        assert builder.m == 1
+
+    def test_reverse_edge_is_distinct(self):
+        builder = DiGraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 0)
+        assert builder.m == 2
+
+    def test_self_loop_default_allowed(self):
+        builder = DiGraphBuilder()
+        assert builder.add_edge(2, 2) is True
+
+    def test_self_loop_rejected_when_disallowed(self):
+        builder = DiGraphBuilder(allow_self_loops=False)
+        assert builder.add_edge(2, 2) is False
+        assert builder.m == 0
+        assert builder.n == 3  # vertex still registered
+
+    def test_add_vertex_appends(self):
+        builder = DiGraphBuilder(2)
+        assert builder.add_vertex() == 2
+        assert builder.n == 3
+
+    def test_add_vertex_with_id(self):
+        builder = DiGraphBuilder()
+        assert builder.add_vertex(7) == 7
+        assert builder.n == 8
+
+    def test_negative_vertex_rejected(self):
+        builder = DiGraphBuilder()
+        with pytest.raises(VertexError):
+            builder.add_vertex(-3)
+
+    def test_add_edges_bulk_returns_inserted_count(self):
+        builder = DiGraphBuilder()
+        inserted = builder.add_edges([(0, 1), (0, 1), (1, 2)])
+        assert inserted == 2
+
+    def test_bidirected_edge(self):
+        builder = DiGraphBuilder()
+        assert builder.add_bidirected_edge(0, 1) == 2
+        assert builder.has_edge(0, 1)
+        assert builder.has_edge(1, 0)
+
+    def test_edges_iterates_sorted(self):
+        builder = DiGraphBuilder()
+        builder.add_edges([(2, 0), (0, 1)])
+        assert list(builder.edges()) == [(0, 1), (2, 0)]
+
+    def test_repr(self):
+        builder = DiGraphBuilder()
+        builder.add_edge(0, 1)
+        assert "n=2" in repr(builder)
+        assert "m=1" in repr(builder)
+
+
+class TestLabels:
+    def test_labels_assigned_densely(self):
+        builder = DiGraphBuilder.with_labels()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "carol")
+        labels = builder.labels
+        assert labels == {"alice": 0, "bob": 1, "carol": 2}
+
+    def test_label_reuse(self):
+        builder = DiGraphBuilder.with_labels()
+        builder.add_edge("x", "y")
+        builder.add_edge("x", "z")
+        assert builder.n == 3
+
+    def test_integer_builder_has_no_labels(self):
+        assert DiGraphBuilder().labels is None
+
+    def test_sparse_integer_labels(self):
+        builder = DiGraphBuilder.with_labels()
+        builder.add_edge(1000, 2000)  # SNAP-style sparse ids
+        assert builder.n == 2
+
+
+class TestFreezing:
+    def test_to_csr_preserves_edges(self):
+        builder = DiGraphBuilder()
+        builder.add_edges([(0, 1), (1, 2), (2, 0)])
+        graph = builder.to_csr()
+        assert graph.n == 3
+        assert list(graph.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_to_csr_includes_isolated_vertices(self):
+        builder = DiGraphBuilder(10)
+        builder.add_edge(0, 1)
+        graph = builder.to_csr()
+        assert graph.n == 10
+        assert graph.in_degree(9) == 0
+
+    def test_builder_reusable_after_freeze(self):
+        builder = DiGraphBuilder()
+        builder.add_edge(0, 1)
+        first = builder.to_csr()
+        builder.add_edge(1, 2)
+        second = builder.to_csr()
+        assert first.m == 1
+        assert second.m == 2

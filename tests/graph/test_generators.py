@@ -1,0 +1,262 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import (
+    bipartite_double_star,
+    complete_graph,
+    copying_web_graph,
+    cycle_graph,
+    erdos_renyi,
+    forest_fire,
+    path_graph,
+    preferential_attachment,
+    rmat_graph,
+    star_graph,
+    wiki_vote_like,
+)
+from repro.graph.stats import reciprocity
+from repro.graph.traversal import weakly_connected_components
+
+
+class TestFixtureGraphs:
+    def test_star_bidirected_shape(self):
+        graph = star_graph(3, bidirected=True)
+        assert graph.n == 4
+        assert graph.m == 6
+        assert graph.in_degree(0) == 3
+        assert graph.in_degree(1) == 1
+
+    def test_star_directed_shape(self):
+        graph = star_graph(4, bidirected=False)
+        assert graph.m == 4
+        assert graph.in_degree(0) == 0
+
+    def test_star_zero_leaves(self):
+        graph = star_graph(0)
+        assert graph.n == 1
+        assert graph.m == 0
+
+    def test_star_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            star_graph(-1)
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.m == 5
+        assert all(graph.in_degree(v) == 1 for v in range(5))
+
+    def test_cycle_single_vertex_self_loop(self):
+        graph = cycle_graph(1)
+        assert graph.m == 1
+        assert graph.in_neighbors(0).tolist() == [0]
+
+    def test_path(self):
+        graph = path_graph(4)
+        assert graph.m == 3
+        assert graph.in_degree(0) == 0
+        assert graph.out_degree(3) == 0
+
+    def test_complete(self):
+        graph = complete_graph(4)
+        assert graph.m == 12
+        assert all(graph.in_degree(v) == 3 for v in range(4))
+
+    def test_complete_with_self_loops(self):
+        graph = complete_graph(3, self_loops=True)
+        assert graph.m == 9
+
+    def test_double_star(self):
+        graph = bipartite_double_star(3, 3)
+        assert graph.n == 8
+        assert graph.in_degree(0) >= 3
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_determinism(self):
+        a = erdos_renyi(50, 0.05, seed=1)
+        b = erdos_renyi(50, 0.05, seed=1)
+        assert a == b
+
+    def test_erdos_renyi_different_seeds_differ(self):
+        a = erdos_renyi(50, 0.05, seed=1)
+        b = erdos_renyi(50, 0.05, seed=2)
+        assert a != b
+
+    def test_erdos_renyi_edge_count_near_expectation(self):
+        n, p = 200, 0.02
+        graph = erdos_renyi(n, p, seed=3)
+        expected = p * n * (n - 1)
+        assert 0.7 * expected < graph.m < 1.3 * expected
+
+    def test_erdos_renyi_p_zero(self):
+        assert erdos_renyi(10, 0.0, seed=1).m == 0
+
+    def test_erdos_renyi_p_one_is_complete(self):
+        graph = erdos_renyi(6, 1.0, seed=1)
+        assert graph.m == 30
+
+    def test_erdos_renyi_no_self_loops(self):
+        graph = erdos_renyi(30, 0.2, seed=4)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_erdos_renyi_invalid_p(self):
+        with pytest.raises(ConfigError):
+            erdos_renyi(10, 1.5)
+
+    def test_preferential_attachment_is_bidirected(self):
+        graph = preferential_attachment(80, out_degree=3, seed=5)
+        assert reciprocity(graph) == pytest.approx(1.0)
+
+    def test_preferential_attachment_connected(self):
+        graph = preferential_attachment(100, out_degree=3, seed=6)
+        components = weakly_connected_components(graph)
+        assert len(components[0]) == graph.n
+
+    def test_preferential_attachment_has_hubs(self):
+        graph = preferential_attachment(300, out_degree=3, seed=7)
+        degrees = graph.in_degrees
+        # Heavy tail: the max degree dwarfs the median.
+        assert degrees.max() > 5 * np.median(degrees)
+
+    def test_preferential_attachment_determinism(self):
+        assert preferential_attachment(50, seed=8) == preferential_attachment(50, seed=8)
+
+    def test_copying_web_graph_directed(self):
+        graph = copying_web_graph(150, seed=9)
+        assert reciprocity(graph) < 0.5
+
+    def test_copying_web_graph_creates_shared_in_neighborhoods(self):
+        # Copying produces pairs with several common in-neighbors — the
+        # structure SimRank rewards on web graphs.
+        graph = copying_web_graph(200, out_degree=6, copy_probability=0.9, seed=10)
+        in_sets = [set(graph.in_neighbors(v).tolist()) for v in range(graph.n)]
+        best_overlap = max(
+            len(in_sets[u] & in_sets[v])
+            for u in range(50)
+            for v in range(u + 1, 50)
+        )
+        assert best_overlap >= 2
+
+    def test_copying_web_graph_determinism(self):
+        assert copying_web_graph(60, seed=11) == copying_web_graph(60, seed=11)
+
+    def test_forest_fire_grows_dense_local_citations(self):
+        graph = forest_fire(120, seed=12)
+        assert graph.m >= graph.n - 2  # at least ambassador edges
+        assert weakly_connected_components(graph)[0] == sorted(range(graph.n))
+
+    def test_forest_fire_determinism(self):
+        assert forest_fire(60, seed=13) == forest_fire(60, seed=13)
+
+    def test_rmat_shape(self):
+        graph = rmat_graph(7, edge_factor=4, seed=14)
+        assert graph.n == 128
+        assert 0 < graph.m <= 4 * 128
+
+    def test_rmat_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            rmat_graph(5, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_bidirected_mode(self):
+        graph = rmat_graph(6, edge_factor=4, seed=15, bidirected=True)
+        assert reciprocity(graph) == pytest.approx(1.0)
+
+    def test_wiki_vote_like_core_receives_most_votes(self):
+        graph = wiki_vote_like(200, core_fraction=0.1, seed=16)
+        core_size = 20
+        core_in = graph.in_degrees[:core_size].sum()
+        fringe_in = graph.in_degrees[core_size:].sum()
+        assert core_in > fringe_in
+
+    def test_wiki_vote_like_has_fringe_in_degrees(self):
+        graph = wiki_vote_like(200, seed=17)
+        core_size = 30
+        assert (graph.in_degrees[core_size:] > 0).any()
+
+    def test_wiki_vote_invalid_fringe_probability(self):
+        with pytest.raises(ConfigError):
+            wiki_vote_like(50, fringe_probability=1.5)
+
+    def test_minimum_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            preferential_attachment(1)
+        with pytest.raises(ConfigError):
+            copying_web_graph(1)
+        with pytest.raises(ConfigError):
+            wiki_vote_like(5)
+
+
+class TestStructuredFamilies:
+    def test_host_block_web_graph_shape(self):
+        from repro.graph.generators import host_block_web_graph
+
+        graph = host_block_web_graph(400, site_size=40, seed=1)
+        assert graph.n == 400
+        assert graph.m > 400
+
+    def test_host_block_intra_site_locality(self):
+        from repro.graph.generators import host_block_web_graph
+        from repro.graph.traversal import bfs_distances
+
+        graph = host_block_web_graph(400, site_size=40, seed=2)
+        # Pages in the same site are within ~2 hops (all link their home).
+        dist = bfs_distances(graph, 45, direction="both")
+        same_site = range(40, 80)
+        assert max(int(dist[p]) for p in same_site) <= 3
+
+    def test_host_block_inter_site_distance_grows(self):
+        from repro.graph.generators import host_block_web_graph
+        from repro.graph.stats import average_distance
+
+        small = host_block_web_graph(400, site_size=40, seed=3)
+        large = host_block_web_graph(3200, site_size=40, seed=3)
+        assert average_distance(large, samples=25, seed=1) > average_distance(
+            small, samples=25, seed=1
+        )
+
+    def test_host_block_determinism(self):
+        from repro.graph.generators import host_block_web_graph
+
+        assert host_block_web_graph(200, seed=4) == host_block_web_graph(200, seed=4)
+
+    def test_host_block_validation(self):
+        from repro.graph.generators import host_block_web_graph
+
+        with pytest.raises(ConfigError):
+            host_block_web_graph(100, site_size=1)
+        with pytest.raises(ConfigError):
+            host_block_web_graph(100, intra_probability=1.5)
+
+    def test_community_graph_triadic_closure(self):
+        from repro.graph.generators import community_social_graph
+
+        graph = community_social_graph(150, community_size=15, p_intra=0.5, seed=5)
+        # Most edges stay within a community.
+        intra = sum(1 for u, v in graph.edges() if u // 15 == v // 15)
+        assert intra > 0.7 * graph.m
+
+    def test_community_graph_is_bidirected(self):
+        from repro.graph.generators import community_social_graph
+
+        graph = community_social_graph(90, seed=6)
+        assert reciprocity(graph) == pytest.approx(1.0)
+
+    def test_community_graph_determinism(self):
+        from repro.graph.generators import community_social_graph
+
+        assert community_social_graph(90, seed=7) == community_social_graph(90, seed=7)
+
+    def test_community_graph_validation(self):
+        from repro.graph.generators import community_social_graph
+
+        with pytest.raises(ConfigError):
+            community_social_graph(3)
+        with pytest.raises(ConfigError):
+            community_social_graph(50, p_intra=2.0)
+        with pytest.raises(ConfigError):
+            community_social_graph(50, inter_links_per_vertex=-1)

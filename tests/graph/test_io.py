@@ -1,0 +1,159 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import iter_edge_lines, read_edge_list, write_edge_list
+
+
+class TestReading:
+    def test_basic_read(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.n == 3
+        assert graph.m == 2
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# SNAP header\n% matrix-market style\n\n0\t1\n")
+        graph = read_edge_list(path)
+        assert graph.m == 1
+
+    def test_sparse_ids_relabelled(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("100 5000\n5000 100\n")
+        graph, labels = read_edge_list(path, return_labels=True)
+        assert graph.n == 2
+        assert labels == {100: 0, 5000: 1}
+
+    def test_undirected_mode_doubles_edges(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, directed=False)
+        assert graph.m == 2
+
+    def test_duplicate_edges_deduplicated(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n0 1\n")
+        graph = read_edge_list(path)
+        assert graph.m == 1
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 0\n")
+        graph = read_edge_list(path)
+        assert graph.m == 2
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nonly_one_field\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:2"):
+            read_edge_list(path)
+
+    def test_non_integer_ids_raise(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            list(iter_edge_lines(path))
+
+    def test_extra_fields_tolerated(self, tmp_path):
+        # Some SNAP files carry weights/timestamps in extra columns.
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 0.5 1234\n")
+        graph = read_edge_list(path)
+        assert graph.m == 1
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, social_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(social_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.n == social_graph.n
+        assert loaded.m == social_graph.m
+        # Dense already-sorted ids survive exactly.
+        assert list(loaded.edges()) == list(social_graph.edges())
+
+    def test_header_written_as_comments(self, tmp_path, small_cycle):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_cycle, path, header="seed=1\nfamily=cycle")
+        text = path.read_text()
+        assert "# seed=1" in text
+        assert "# family=cycle" in text
+        assert read_edge_list(path).m == small_cycle.m
+
+    def test_gzip_round_trip(self, tmp_path, web_graph):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(web_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.m == web_graph.m
+
+
+class TestWeightedEdgeLists:
+    def test_basic_read(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "weighted.txt"
+        path.write_text("# weighted\n0 1 2.5\n1 2 0.5\n")
+        wgraph = read_weighted_edge_list(path)
+        assert wgraph.n == 3
+        assert wgraph.m == 2
+        assert wgraph.in_weights.sum() == pytest.approx(3.0)
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "mixed.txt"
+        path.write_text("0 1\n1 2 4.0\n")
+        wgraph = read_weighted_edge_list(path)
+        assert wgraph.in_weights.sum() == pytest.approx(5.0)
+
+    def test_undirected_mode(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "und.txt"
+        path.write_text("0 1 3.0\n")
+        wgraph = read_weighted_edge_list(path, directed=False)
+        assert wgraph.m == 2
+
+    def test_nonpositive_weight_rejected(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+        from repro.errors import GraphFormatError
+
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 -1.0\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(path)
+
+    def test_sparse_ids_relabelled(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+
+        path = tmp_path / "sparse.txt"
+        path.write_text("100 9000 2.0\n")
+        wgraph = read_weighted_edge_list(path)
+        assert wgraph.n == 2
+
+    def test_malformed_rejected(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+        from repro.errors import GraphFormatError
+
+        path = tmp_path / "bad.txt"
+        path.write_text("0 one 1.0\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_edge_list(path)
+
+    def test_weighted_simrank_from_file(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list
+        from repro.graph.weighted import weighted_exact_simrank
+
+        path = tmp_path / "g.txt"
+        path.write_text("1 0 9\n2 0 1\n0 3 1\n0 4 1\n")
+        wgraph = read_weighted_edge_list(path)
+        S = weighted_exact_simrank(wgraph, c=0.8)
+        assert S[3, 4] == pytest.approx(0.8)  # leaves share the hub citer

@@ -1,0 +1,85 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graph.stats import (
+    average_distance,
+    degree_summary,
+    effective_diameter,
+    reciprocity,
+)
+
+
+class TestDegreeSummary:
+    def test_cycle_degrees(self, small_cycle):
+        summary = degree_summary(small_cycle, direction="in")
+        assert summary.mean == 1.0
+        assert summary.median == 1.0
+        assert summary.maximum == 1
+        assert summary.zeros == 0
+
+    def test_star_in_degrees(self, directed_star):
+        summary = degree_summary(directed_star, direction="in")
+        assert summary.zeros == 1  # the hub has no in-links
+        assert summary.maximum == 1
+
+    def test_both_direction_sums(self, small_cycle):
+        summary = degree_summary(small_cycle, direction="both")
+        assert summary.mean == 2.0
+
+    def test_empty_graph(self):
+        summary = degree_summary(CSRGraph.empty(0))
+        assert summary.mean == 0.0
+
+    def test_as_dict_keys(self, small_cycle):
+        d = degree_summary(small_cycle).as_dict()
+        assert set(d) == {"mean", "median", "maximum", "zeros"}
+
+
+class TestAverageDistance:
+    def test_complete_graph_distance_one(self):
+        graph = complete_graph(6)
+        assert average_distance(graph, samples=6, seed=1) == pytest.approx(1.0)
+
+    def test_cycle_average(self):
+        # Directed cycle of 5: distances 1..4 from any vertex, mean 2.5.
+        graph = cycle_graph(5)
+        avg = average_distance(graph, samples=5, direction="out", seed=1)
+        assert avg == pytest.approx(2.5)
+
+    def test_disconnected_graph_nan(self):
+        graph = CSRGraph.empty(4)
+        assert math.isnan(average_distance(graph, samples=4, seed=1))
+
+    def test_invalid_samples(self, small_cycle):
+        with pytest.raises(ValueError):
+            average_distance(small_cycle, samples=0)
+
+    def test_web_graphs_are_small_world(self, web_graph):
+        avg = average_distance(web_graph, samples=30, seed=2)
+        assert 1.0 < avg < 10.0
+
+
+class TestEffectiveDiameterAndReciprocity:
+    def test_effective_diameter_path(self):
+        graph = path_graph(10)
+        d90 = effective_diameter(graph, samples=10, direction="out", seed=1)
+        assert 5.0 <= d90 <= 9.0
+
+    def test_effective_diameter_empty(self):
+        assert math.isnan(effective_diameter(CSRGraph.empty(3), samples=3, seed=1))
+
+    def test_reciprocity_bidirected_is_one(self, claw):
+        assert reciprocity(claw) == pytest.approx(1.0)
+
+    def test_reciprocity_one_way_is_zero(self, small_path):
+        assert reciprocity(small_path) == 0.0
+
+    def test_reciprocity_empty_graph_nan(self):
+        assert math.isnan(reciprocity(CSRGraph.empty(2)))

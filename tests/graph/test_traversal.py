@@ -1,0 +1,98 @@
+"""Unit tests for BFS traversal primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import (
+    UNREACHABLE,
+    bfs_distances,
+    distance_ball,
+    vertices_by_distance,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def diamond() -> CSRGraph:
+    # 0 -> 1 -> 3, 0 -> 2 -> 3
+    return CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestBfsDistances:
+    def test_out_direction(self, diamond):
+        dist = bfs_distances(diamond, 0, direction="out")
+        assert dist.tolist() == [0, 1, 1, 2]
+
+    def test_in_direction(self, diamond):
+        dist = bfs_distances(diamond, 3, direction="in")
+        assert dist.tolist() == [2, 1, 1, 0]
+
+    def test_in_direction_unreachable(self, diamond):
+        dist = bfs_distances(diamond, 0, direction="in")
+        assert dist[0] == 0
+        assert all(dist[v] == UNREACHABLE for v in (1, 2, 3))
+
+    def test_both_direction_ignores_orientation(self, diamond):
+        dist = bfs_distances(diamond, 1, direction="both")
+        assert dist.tolist() == [1, 0, 2, 1]
+
+    def test_max_distance_truncates(self, small_path):
+        dist = bfs_distances(small_path, 0, direction="out", max_distance=2)
+        assert dist[2] == 2
+        assert dist[3] == UNREACHABLE
+
+    def test_source_out_of_range(self, diamond):
+        with pytest.raises(VertexError):
+            bfs_distances(diamond, 10)
+
+    def test_unknown_direction(self, diamond):
+        with pytest.raises(ValueError):
+            bfs_distances(diamond, 0, direction="sideways")  # type: ignore[arg-type]
+
+    def test_isolated_source(self):
+        graph = CSRGraph.from_edges(3, [(1, 2)])
+        dist = bfs_distances(graph, 0, direction="both")
+        assert dist.tolist() == [0, UNREACHABLE, UNREACHABLE]
+
+
+class TestDistanceBall:
+    def test_ball_radius_zero(self, diamond):
+        assert distance_ball(diamond, 0, 0, direction="out") == {0: 0}
+
+    def test_ball_radius_one(self, diamond):
+        ball = distance_ball(diamond, 0, 1, direction="out")
+        assert ball == {0: 0, 1: 1, 2: 1}
+
+    def test_ball_negative_radius(self, diamond):
+        with pytest.raises(ValueError):
+            distance_ball(diamond, 0, -1)
+
+    def test_vertices_by_distance_shells(self, diamond):
+        shells = vertices_by_distance(diamond, 0, 2, direction="out")
+        assert shells == [[0], [1, 2], [3]]
+
+    def test_ball_covers_whole_small_world(self, social_graph):
+        ball = distance_ball(social_graph, 0, social_graph.n, direction="both")
+        assert len(ball) == social_graph.n  # PA graphs are connected
+
+
+class TestComponents:
+    def test_single_component(self, small_cycle):
+        components = weakly_connected_components(small_cycle)
+        assert components == [list(range(6))]
+
+    def test_two_components_largest_first(self):
+        graph = CSRGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        components = weakly_connected_components(graph)
+        assert components == [[0, 1, 2], [3, 4]]
+
+    def test_isolated_vertices_are_singletons(self):
+        graph = CSRGraph.empty(3)
+        assert weakly_connected_components(graph) == [[0], [1], [2]]
+
+    def test_direction_irrelevant_for_weak_components(self):
+        graph = CSRGraph.from_edges(4, [(0, 1), (2, 1), (3, 2)])
+        assert weakly_connected_components(graph) == [[0, 1, 2, 3]]

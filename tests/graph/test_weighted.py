@@ -1,0 +1,142 @@
+"""Tests for weighted graphs and weighted SimRank primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_simrank
+from repro.core.linear import single_source_series
+from repro.errors import GraphFormatError, VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import preferential_attachment, star_graph
+from repro.graph.weighted import (
+    WeightedGraph,
+    weighted_exact_simrank,
+    weighted_single_pair_mc,
+    weighted_single_source_series,
+)
+
+
+@pytest.fixture
+def skewed_star() -> WeightedGraph:
+    # Hub 0 is cited by 1 (weight 9) and 2 (weight 1); leaves 3, 4 share
+    # the hub as their only citer.
+    return WeightedGraph.from_weighted_edges(
+        5, [(1, 0, 9.0), (2, 0, 1.0), (0, 3, 1.0), (0, 4, 1.0)]
+    )
+
+
+class TestConstruction:
+    def test_shape_checks(self, small_cycle):
+        with pytest.raises(GraphFormatError):
+            WeightedGraph(small_cycle, np.ones(small_cycle.m + 1))
+
+    def test_positive_weights_required(self, small_cycle):
+        with pytest.raises(GraphFormatError):
+            WeightedGraph(small_cycle, np.zeros(small_cycle.m))
+
+    def test_from_weighted_edges_aligns_weights(self, skewed_star):
+        graph = skewed_star.graph
+        start, end = graph.in_indptr[0], graph.in_indptr[0 + 1]
+        neighbors = graph.in_indices[start:end].tolist()
+        weights = skewed_star.in_weights[start:end].tolist()
+        assert dict(zip(neighbors, weights)) == {1: 9.0, 2: 1.0}
+
+    def test_duplicate_weighted_edges_accumulate(self):
+        wgraph = WeightedGraph.from_weighted_edges(
+            2, [(0, 1, 1.0), (0, 1, 2.0)]
+        )
+        assert wgraph.m == 1
+        assert wgraph.in_weights.sum() == pytest.approx(3.0)
+
+    def test_uniform_factory(self, small_cycle):
+        wgraph = WeightedGraph.uniform(small_cycle)
+        np.testing.assert_allclose(wgraph.in_weights, 1.0)
+
+
+class TestTransitionMatrix:
+    def test_columns_stochastic(self, skewed_star):
+        P = skewed_star.transition_matrix().toarray()
+        assert P[1, 0] == pytest.approx(0.9)
+        assert P[2, 0] == pytest.approx(0.1)
+
+    def test_uniform_weights_match_unweighted(self, social_graph):
+        P_weighted = WeightedGraph.uniform(social_graph).transition_matrix()
+        P_plain = social_graph.transition_matrix()
+        assert abs(P_weighted - P_plain).max() < 1e-12
+
+
+class TestWeightedSampling:
+    def test_respects_weights(self, skewed_star):
+        rng = np.random.default_rng(0)
+        samples = skewed_star.sample_in_neighbors(
+            np.zeros(20_000, dtype=np.int64), rng
+        )
+        share_of_1 = float((samples == 1).mean())
+        assert share_of_1 == pytest.approx(0.9, abs=0.01)
+
+    def test_dead_end_and_dead_walker(self, skewed_star):
+        rng = np.random.default_rng(0)
+        samples = skewed_star.sample_in_neighbors(np.array([1, -1]), rng)
+        assert samples.tolist() == [-1, -1]  # vertex 1 has no in-links
+
+
+class TestWeightedSimRank:
+    def test_unit_weights_reduce_to_plain_simrank(self, social_graph):
+        wgraph = WeightedGraph.uniform(social_graph)
+        S_weighted = weighted_exact_simrank(wgraph, c=0.6, iterations=12)
+        S_plain = exact_simrank(social_graph, c=0.6, iterations=12)
+        np.testing.assert_allclose(S_weighted, S_plain, atol=1e-12)
+
+    def test_weights_shift_similarity(self):
+        # 2 and 3 are both cited by {0, 1}; in graph A vertex 2 leans on
+        # citer 0 and vertex 3 on citer 1 (weights disagree), in graph B
+        # both lean the same way.  Agreeing weight profiles => higher s.
+        disagree = WeightedGraph.from_weighted_edges(
+            4, [(0, 2, 9.0), (1, 2, 1.0), (0, 3, 1.0), (1, 3, 9.0)]
+        )
+        agree = WeightedGraph.from_weighted_edges(
+            4, [(0, 2, 9.0), (1, 2, 1.0), (0, 3, 9.0), (1, 3, 1.0)]
+        )
+        s_disagree = weighted_exact_simrank(disagree, c=0.6)[2, 3]
+        s_agree = weighted_exact_simrank(agree, c=0.6)[2, 3]
+        assert s_agree > s_disagree
+
+    def test_unit_diagonal_and_symmetry(self, skewed_star):
+        S = weighted_exact_simrank(skewed_star, c=0.8)
+        np.testing.assert_allclose(np.diag(S), 1.0)
+        np.testing.assert_allclose(S, S.T, atol=1e-12)
+
+    def test_series_matches_unweighted_on_unit_weights(self, web_graph):
+        wgraph = WeightedGraph.uniform(web_graph)
+        weighted_row = weighted_single_source_series(wgraph, 3, c=0.6, T=8)
+        plain_row = single_source_series(web_graph, 3, c=0.6, T=8)
+        np.testing.assert_allclose(weighted_row, plain_row, atol=1e-12)
+
+    def test_mc_estimator_tracks_series(self, skewed_star):
+        truth = weighted_single_source_series(skewed_star, 3, c=0.6, T=6)[4]
+        estimates = [
+            weighted_single_pair_mc(skewed_star, 3, 4, c=0.6, T=6, R=400, seed=s)
+            for s in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.02)
+
+    def test_mc_self_pair_is_one(self, skewed_star):
+        assert weighted_single_pair_mc(skewed_star, 2, 2, seed=0) == 1.0
+
+    def test_mc_vertex_validation(self, skewed_star):
+        with pytest.raises(VertexError):
+            weighted_single_pair_mc(skewed_star, 0, 99, seed=0)
+
+    def test_weighted_on_random_graph_consistent(self):
+        base = preferential_attachment(50, out_degree=3, seed=5)
+        rng = np.random.default_rng(1)
+        triples = [(u, v, float(rng.uniform(0.5, 3.0))) for u, v in base.edges()]
+        wgraph = WeightedGraph.from_weighted_edges(base.n, triples)
+        S = weighted_exact_simrank(wgraph, c=0.6)
+        assert S.min() >= 0
+        assert S.max() <= 1 + 1e-9
+        row = weighted_single_source_series(wgraph, 7, c=0.6, T=25)
+        # Series with exact-D-free approximation stays below exact scores.
+        assert (row <= S[7] + 1e-6).all()

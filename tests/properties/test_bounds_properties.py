@@ -1,0 +1,82 @@
+"""Property-based tests: the Section 6 bounds dominate the true scores."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import compute_alpha_beta, compute_gamma_all, trivial_bound
+from repro.core.config import SimRankConfig
+from repro.core.exact import exact_simrank
+from repro.core.linear import all_pairs_series
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import UNREACHABLE, bfs_distances
+
+
+@st.composite
+def graphs(draw, max_n: int = 9, max_m: int = 30):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(st.lists(st.tuples(vertex, vertex), min_size=1, max_size=max_m))
+    return CSRGraph.from_edges(n, sorted(set(edges)))
+
+
+#: Estimation slack: Props. 5/7 make the MC bounds hold only w.h.p.;
+#: with the R values below, deviations beyond 0.08 are astronomically rare.
+SLACK = 0.08
+
+
+class TestBoundDomination:
+    @given(graphs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_l1_bound_dominates_series(self, graph, seed):
+        config = SimRankConfig(T=6, r_alphabeta=1500, r_gamma=300)
+        u = seed % graph.n
+        S = all_pairs_series(graph, c=config.c, T=config.T)
+        l1 = compute_alpha_beta(graph, u, config, seed=seed)
+        dist = bfs_distances(graph, u, direction="both")
+        for v in range(graph.n):
+            if v == u or dist[v] == UNREACHABLE:
+                continue
+            assert S[u, v] <= l1.bound(int(dist[v])) + SLACK
+
+    @given(graphs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_l2_bound_dominates_series(self, graph, seed):
+        config = SimRankConfig(T=6, r_gamma=1500)
+        S = all_pairs_series(graph, c=config.c, T=config.T)
+        gamma = compute_gamma_all(graph, config, seed=seed)
+        u = seed % graph.n
+        for v in range(graph.n):
+            if v != u:
+                assert S[u, v] <= gamma.bound(u, v) + SLACK
+
+    @given(graphs(), st.sampled_from([0.4, 0.6, 0.8]))
+    @settings(max_examples=25, deadline=None)
+    def test_trivial_bound_dominates_exact_simrank(self, graph, c):
+        S = exact_simrank(graph, c=c, iterations=30)
+        for u in range(graph.n):
+            dist = bfs_distances(graph, u, direction="both")
+            for v in range(graph.n):
+                if v == u or dist[v] == UNREACHABLE:
+                    continue
+                assert S[u, v] <= trivial_bound(c, int(dist[v])) + 1e-9
+
+    @given(graphs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_beta_nonnegative_and_alpha_bounded(self, graph, seed):
+        config = SimRankConfig(T=5, r_alphabeta=300)
+        l1 = compute_alpha_beta(graph, seed % graph.n, config, seed=seed)
+        assert (l1.beta >= 0).all()
+        # alpha entries are D_ww * probabilities <= 1 - c ... times 1.
+        assert (l1.alpha <= 1.0 + 1e-9).all()
+
+    @given(graphs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_gamma_values_within_unit_ball(self, graph, seed):
+        config = SimRankConfig(T=5, r_gamma=200)
+        gamma = compute_gamma_all(graph, config, seed=seed)
+        # ||sqrt(D) x|| <= sqrt(max D) ||x||_1 = sqrt(1-c) for stochastic x.
+        assert (gamma.values <= np.sqrt(1 - config.c) + 1e-9).all()
+        assert (gamma.values >= 0).all()

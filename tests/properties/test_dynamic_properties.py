@@ -1,0 +1,115 @@
+"""Property-based tests: the dynamic engine vs rebuild-from-scratch.
+
+The contract of incremental maintenance is behavioural equivalence:
+after any edit sequence, the dynamic engine's *deterministic* answers
+(single-source series, which depend only on the graph) must equal those
+of a fresh engine built on the edited graph, and its index must satisfy
+the same structural invariants a fresh build does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimRankConfig
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.graph.csr import CSRGraph
+
+FAST = SimRankConfig(
+    T=4,
+    r_pair=10,
+    r_screen=5,
+    r_alphabeta=20,
+    r_gamma=10,
+    index_walks=3,
+    index_checks=2,
+    k=3,
+    theta=0.001,
+)
+
+
+@st.composite
+def graph_and_edits(draw, max_n: int = 9):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(st.lists(st.tuples(vertex, vertex), min_size=1, max_size=20))
+    edits = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), vertex, vertex),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return n, sorted(set(edges)), edits
+
+
+class TestDynamicEquivalence:
+    @given(graph_and_edits())
+    @settings(max_examples=30, deadline=None)
+    def test_edge_set_matches_manual_bookkeeping(self, data):
+        n, edges, edits = data
+        dynamic = DynamicSimRankEngine(CSRGraph.from_edges(n, edges), FAST, seed=1)
+        expected = set(edges)
+        for kind, u, v in edits:
+            if kind == "add":
+                dynamic.add_edge(u, v)
+                expected.add((u, v))
+            else:
+                dynamic.remove_edge(u, v)
+                expected.discard((u, v))
+        dynamic.flush()
+        assert set(map(tuple, dynamic.graph.edge_array().tolist())) == expected
+
+    @given(graph_and_edits())
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_scores_equal_fresh_build(self, data):
+        n, edges, edits = data
+        dynamic = DynamicSimRankEngine(CSRGraph.from_edges(n, edges), FAST, seed=1)
+        final = set(edges)
+        for kind, u, v in edits:
+            if kind == "add":
+                dynamic.add_edge(u, v)
+                final.add((u, v))
+            else:
+                dynamic.remove_edge(u, v)
+                final.discard((u, v))
+        dynamic.flush()
+        fresh_graph = CSRGraph.from_edges(n, sorted(final))
+        from repro.core.linear import single_source_series
+
+        for u in range(n):
+            np.testing.assert_allclose(
+                dynamic.single_source(u),
+                single_source_series(fresh_graph, u, c=FAST.c, T=FAST.T),
+                atol=1e-12,
+            )
+
+    @given(graph_and_edits())
+    @settings(max_examples=25, deadline=None)
+    def test_index_invariants_hold_after_edits(self, data):
+        n, edges, edits = data
+        dynamic = DynamicSimRankEngine(CSRGraph.from_edges(n, edges), FAST, seed=1)
+        for kind, u, v in edits:
+            (dynamic.add_edge if kind == "add" else dynamic.remove_edge)(u, v)
+        dynamic.flush()
+        index = dynamic._engine.index
+        assert index.n == dynamic.graph.n
+        assert index.gamma.values.shape[0] == dynamic.graph.n
+        for u in range(index.n):
+            for w in index.signatures[u]:
+                assert u in index.inverted[w]
+        for w, postings in index.inverted.items():
+            assert postings == sorted(postings)
+
+    @given(graph_and_edits())
+    @settings(max_examples=20, deadline=None)
+    def test_queries_never_crash_after_edits(self, data):
+        n, edges, edits = data
+        dynamic = DynamicSimRankEngine(CSRGraph.from_edges(n, edges), FAST, seed=1)
+        for kind, u, v in edits:
+            (dynamic.add_edge if kind == "add" else dynamic.remove_edge)(u, v)
+        result = dynamic.top_k(0, k=3)
+        assert 0 not in result.vertices()
+        assert len(result) <= 3

@@ -1,0 +1,121 @@
+"""Property-based tests for SimRank itself (hypothesis).
+
+These encode the invariants the paper relies on:
+
+- SimRank axioms: unit diagonal, symmetry, range [0, 1], off-diagonal
+  bounded by c;
+- Proposition 1: the linear formulation with the exact D reproduces the
+  SimRank matrix (and D is unique);
+- Proposition 2: 1 - c <= D_uu <= 1;
+- eq. (10): truncation error of the series is at most c^T/(1-c);
+- agreement of all four all-pairs implementations on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_simrank
+from repro.baselines.partial_sums import partial_sums_simrank
+from repro.baselines.yu_allpairs import YuAllPairs
+from repro.core.diagonal import diagonal_from_simrank, exact_diagonal
+from repro.core.exact import exact_simrank
+from repro.core.linear import all_pairs_series, linear_residual
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def graphs(draw, max_n: int = 9, max_m: int = 30):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(st.lists(st.tuples(vertex, vertex), max_size=max_m))
+    return CSRGraph.from_edges(n, sorted(set(edges)))
+
+
+CS = st.sampled_from([0.4, 0.6, 0.8])
+
+
+class TestSimRankAxioms:
+    @given(graphs(), CS)
+    @settings(max_examples=50, deadline=None)
+    def test_unit_diagonal(self, graph, c):
+        S = exact_simrank(graph, c=c, iterations=25)
+        assert np.allclose(np.diag(S), 1.0)
+
+    @given(graphs(), CS)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, graph, c):
+        S = exact_simrank(graph, c=c, iterations=25)
+        assert np.allclose(S, S.T)
+
+    @given(graphs(), CS)
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_off_diagonal_cap(self, graph, c):
+        S = exact_simrank(graph, c=c, iterations=25)
+        assert S.min() >= 0.0
+        off = S - np.diag(np.diag(S))
+        assert off.max() <= c + 1e-9
+
+    @given(graphs(), CS)
+    @settings(max_examples=50, deadline=None)
+    def test_dead_end_vertices_dissimilar_to_all(self, graph, c):
+        S = exact_simrank(graph, c=c, iterations=25)
+        for v in range(graph.n):
+            if graph.in_degree(v) == 0:
+                for w in range(graph.n):
+                    if w != v:
+                        assert S[v, w] == 0.0
+
+
+class TestImplementationAgreement:
+    @given(graphs(max_n=7, max_m=20), CS)
+    @settings(max_examples=25, deadline=None)
+    def test_all_pairs_implementations_agree(self, graph, c):
+        iterations = 12
+        reference = exact_simrank(graph, c=c, iterations=iterations)
+        assert np.allclose(
+            naive_simrank(graph, c=c, iterations=iterations), reference, atol=1e-10
+        )
+        assert np.allclose(
+            partial_sums_simrank(graph, c=c, iterations=iterations), reference, atol=1e-10
+        )
+        yu = YuAllPairs(graph, c=c, iterations=iterations)
+        assert np.allclose(yu.compute(), reference, atol=1e-10)
+
+
+class TestLinearFormulation:
+    @given(graphs(max_n=7, max_m=20), CS)
+    @settings(max_examples=20, deadline=None)
+    def test_proposition_1_exact_D_recovers_simrank(self, graph, c):
+        d = exact_diagonal(graph, c=c, tol=1e-12)
+        S_linear = all_pairs_series(graph, c=c, T=120, diagonal=d)
+        S_true = exact_simrank(graph, c=c, tol=1e-12)
+        assert np.allclose(S_linear, S_true, atol=1e-6)
+
+    @given(graphs(max_n=7, max_m=20), CS)
+    @settings(max_examples=20, deadline=None)
+    def test_proposition_2_diagonal_box(self, graph, c):
+        S = exact_simrank(graph, c=c, tol=1e-12)
+        d = diagonal_from_simrank(graph, S, c)
+        assert (d >= 1 - c - 1e-8).all()
+        assert (d <= 1 + 1e-8).all()
+
+    @given(graphs(max_n=8, max_m=25), CS, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_equation_10_truncation_error(self, graph, c, T):
+        d = exact_diagonal(graph, c=c, tol=1e-12)
+        S_true = exact_simrank(graph, c=c, tol=1e-13)
+        S_T = all_pairs_series(graph, c=c, T=T, diagonal=d)
+        error = np.abs(S_true - S_T).max()
+        assert error <= c**T / (1 - c) + 1e-6
+        # Truncation only underestimates (all series terms nonnegative).
+        assert (S_T <= S_true + 1e-8).all()
+
+    @given(graphs(max_n=7, max_m=20), CS)
+    @settings(max_examples=20, deadline=None)
+    def test_residual_certifies_fixed_point(self, graph, c):
+        d = exact_diagonal(graph, c=c, tol=1e-12)
+        S = all_pairs_series(graph, c=c, T=120, diagonal=d)
+        assert linear_residual(graph, S, c, diagonal=d) < 1e-6

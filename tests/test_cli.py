@@ -1,0 +1,89 @@
+"""Tests for the end-user CLI (`python -m repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    code = main(
+        ["generate", "--family", "web", "--n", "300", "--seed", "3", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_each_family(self, tmp_path, capsys):
+        for family in ("web", "social", "citation", "vote", "community", "random"):
+            out = tmp_path / f"{family}.txt"
+            assert main(["generate", "--family", family, "--n", "120",
+                         "--out", str(out)]) == 0
+            assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--family", "quantum", "--out", str(tmp_path / "x.txt")])
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, graph_file, tmp_path, capsys):
+        index = tmp_path / "index.npz"
+        assert main(["build-index", "--graph", str(graph_file),
+                     "--index", str(index)]) == 0
+        assert index.exists()
+        out = capsys.readouterr().out
+        assert "indexed" in out
+
+        assert main(["query", "--graph", str(graph_file), "--index", str(index),
+                     "--vertex", "5", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top-5 for vertex 5" in out
+        assert "candidates" in out
+
+    def test_query_without_index_preprocesses(self, graph_file, capsys):
+        assert main(["query", "--graph", str(graph_file), "--vertex", "5"]) == 0
+        assert "top-10" in capsys.readouterr().out
+
+    def test_config_overrides(self, graph_file, tmp_path, capsys):
+        index = tmp_path / "index.npz"
+        assert main(["build-index", "--graph", str(graph_file), "--index", str(index),
+                     "--c", "0.8", "--T", "6", "--theta", "0.02"]) == 0
+
+    def test_paper_profile_accepted(self, graph_file, capsys):
+        assert main(["pair", "--graph", str(graph_file), "--profile", "fast",
+                     "--vertex", "1", "--other", "2"]) == 0
+
+
+class TestPairAndInfo:
+    def test_pair_prints_both_methods(self, graph_file, capsys):
+        assert main(["pair", "--graph", str(graph_file),
+                     "--vertex", "3", "--other", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "monte-carlo" in out
+        assert "deterministic" in out
+
+    def test_info_summary(self, graph_file, capsys):
+        assert main(["info", "--graph", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "reciprocity" in out
+
+    def test_undirected_flag_doubles_edges(self, tmp_path, capsys):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n")
+        main(["info", "--graph", str(path)])
+        directed_out = capsys.readouterr().out
+        main(["info", "--graph", str(path), "--undirected"])
+        undirected_out = capsys.readouterr().out
+        assert "| 2" in directed_out
+        assert "| 4" in undirected_out
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

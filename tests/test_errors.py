@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DatasetError,
+    GraphFormatError,
+    IndexNotBuiltError,
+    ReproError,
+    SerializationError,
+    VertexError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            GraphFormatError,
+            VertexError,
+            ConfigError,
+            IndexNotBuiltError,
+            DatasetError,
+            SerializationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_vertex_error_is_index_error(self):
+        # Callers using plain `except IndexError` semantics still work.
+        assert issubclass(VertexError, IndexError)
+        err = VertexError(7, 5)
+        assert err.vertex == 7
+        assert err.n == 5
+        assert "7" in str(err)
+        assert "5" in str(err)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_index_not_built_is_runtime_error(self):
+        assert issubclass(IndexNotBuiltError, RuntimeError)
+
+    def test_dataset_error_is_key_error(self):
+        assert issubclass(DatasetError, KeyError)
+
+    def test_one_except_clause_catches_everything(self):
+        # The documented catch-all pattern.
+        for raiser in (
+            lambda: (_ for _ in ()).throw(GraphFormatError("x")),
+            lambda: (_ for _ in ()).throw(VertexError(1, 1)),
+            lambda: (_ for _ in ()).throw(SerializationError("x")),
+        ):
+            with pytest.raises(ReproError):
+                next(raiser())
+
+
+class TestMismatchedIndexGuard:
+    def test_engine_refuses_foreign_index(self, tmp_path, social_graph, test_config):
+        from repro.core.engine import SimRankEngine
+        from repro.graph.generators import cycle_graph
+
+        engine = SimRankEngine(social_graph, test_config, seed=0).preprocess()
+        path = tmp_path / "index.npz"
+        engine.save_index(path)
+
+        other = SimRankEngine(cycle_graph(5), test_config, seed=0)
+        with pytest.raises(SerializationError, match="different graph"):
+            other.load_index(path)

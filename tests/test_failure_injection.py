@@ -1,0 +1,159 @@
+"""Failure-injection tests: corrupt files, hostile graphs, edge cases.
+
+A production library's error behaviour is part of its API: corrupt
+inputs must raise the documented :class:`ReproError` subclasses, never
+silently mis-answer, and degenerate graphs must produce degenerate —
+not wrong — results.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.core.exact import exact_simrank
+from repro.core.index import CandidateIndex, build_index
+from repro.errors import ReproError, SerializationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import cycle_graph, preferential_attachment
+
+
+@pytest.fixture
+def saved_index(tmp_path):
+    graph = preferential_attachment(40, out_degree=3, seed=1)
+    config = SimRankConfig(T=4, r_pair=10, r_alphabeta=20, r_gamma=10,
+                           index_walks=3, index_checks=2)
+    index = build_index(graph, config, seed=0)
+    path = tmp_path / "index.npz"
+    index.save(path)
+    return path
+
+
+class TestCorruptIndexFiles:
+    def test_truncated_file(self, saved_index):
+        data = saved_index.read_bytes()
+        saved_index.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError):
+            CandidateIndex.load(saved_index)
+
+    def test_missing_member(self, saved_index, tmp_path):
+        # Rewrite the npz without the gamma array.
+        stripped = tmp_path / "stripped.npz"
+        with zipfile.ZipFile(saved_index) as src, zipfile.ZipFile(stripped, "w") as dst:
+            for name in src.namelist():
+                if "gamma" not in name:
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(SerializationError):
+            CandidateIndex.load(stripped)
+
+    def test_future_version_rejected(self, saved_index, tmp_path):
+        with zipfile.ZipFile(saved_index) as src:
+            members = {name: src.read(name) for name in src.namelist()}
+        meta_name = next(name for name in members if "meta" in name)
+        # npy payload: header then raw bytes; easier to rewrite via numpy.
+        payload = np.load(saved_index)
+        meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+        meta["version"] = 999
+        hacked = tmp_path / "future.npz"
+        np.savez_compressed(
+            hacked,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            signatures=payload["signatures"],
+            signature_offsets=payload["signature_offsets"],
+            gamma=payload["gamma"],
+        )
+        with pytest.raises(SerializationError):
+            CandidateIndex.load(hacked)
+
+    def test_random_bytes(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(bytes(range(256)) * 10)
+        with pytest.raises(SerializationError):
+            CandidateIndex.load(path)
+
+    def test_all_errors_are_repro_errors(self, tmp_path):
+        with pytest.raises(ReproError):
+            CandidateIndex.load(tmp_path / "does-not-exist.npz")
+
+
+class TestHostileGraphs:
+    def test_all_self_loops(self):
+        # Every vertex cites only itself: walks never move, s(u,v)=0 offdiag.
+        graph = CSRGraph.from_edges(4, [(v, v) for v in range(4)])
+        S = exact_simrank(graph, c=0.6)
+        np.testing.assert_array_equal(S, np.eye(4))
+        config = SimRankConfig(T=3, r_pair=10, r_alphabeta=10, r_gamma=10,
+                               index_walks=2, index_checks=2)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        assert engine.top_k(0, k=2).items == []
+
+    def test_two_vertex_mutual_loop(self):
+        graph = CSRGraph.from_edges(2, [(0, 1), (1, 0)])
+        S = exact_simrank(graph, c=0.6, tol=1e-10)
+        # s(0,1) = c * s(1,0) => s = 0 (alternating fixed point).
+        assert S[0, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_single_vertex_graph(self):
+        graph = CSRGraph.empty(1)
+        config = SimRankConfig(T=3, r_pair=5, r_alphabeta=10, r_gamma=5,
+                               index_walks=2, index_checks=2)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        assert engine.top_k(0, k=1).items == []
+        assert engine.single_pair(0, 0) == 1.0
+
+    def test_star_of_dead_ends(self):
+        # Every vertex except the hub is a walk dead end.
+        from repro.graph.generators import star_graph
+
+        graph = star_graph(5, bidirected=False)
+        config = SimRankConfig(T=4, r_pair=40, r_alphabeta=40, r_gamma=20,
+                               index_walks=3, index_checks=2, theta=0.01)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        result = engine.top_k(1, k=3)
+        # Fellow leaves are the only similar vertices.
+        assert set(result.vertices()) <= {2, 3, 4, 5}
+        assert len(result) >= 1
+
+    def test_huge_theta_returns_empty_everywhere(self):
+        graph = cycle_graph(10)
+        config = SimRankConfig(T=3, r_pair=10, r_alphabeta=10, r_gamma=10,
+                               index_walks=2, index_checks=2, theta=0.9)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        for u in range(10):
+            assert engine.top_k(u).items == []
+
+    def test_k_larger_than_graph(self):
+        graph = cycle_graph(5)
+        config = SimRankConfig(T=3, r_pair=10, r_alphabeta=10, r_gamma=10,
+                               index_walks=2, index_checks=2, theta=0.0)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        result = engine.top_k(0, k=100)
+        assert len(result) <= 4
+
+
+class TestNumericalEdges:
+    def test_extreme_decay_factors(self):
+        graph = preferential_attachment(30, out_degree=3, seed=2)
+        for c in (0.01, 0.99):
+            S = exact_simrank(graph, c=c, iterations=60)
+            assert np.isfinite(S).all()
+            assert S.max() <= 1.0 + 1e-9
+
+    def test_long_series_stays_finite(self, social_graph):
+        from repro.core.linear import all_pairs_series
+
+        S = all_pairs_series(social_graph, c=0.99, T=200)
+        assert np.isfinite(S).all()
+
+    def test_zero_theta_and_tiny_samples(self):
+        graph = cycle_graph(6)
+        config = SimRankConfig(T=2, r_pair=1, r_screen=1, r_alphabeta=1,
+                               r_gamma=1, index_walks=1, index_checks=1,
+                               theta=0.0)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        engine.top_k(0, k=2)  # must not crash

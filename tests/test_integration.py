@@ -1,0 +1,122 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the realistic flow a downstream user runs: build/load a
+graph, preprocess, query, persist the index, compare against ground
+truth and baselines — all through the public API only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CSRGraph, DiGraphBuilder, SimRankConfig, SimRankEngine
+from repro.baselines.fogaras_racz import FingerprintIndex
+from repro.core.exact import exact_simrank, exact_top_k
+from repro.graph.datasets import load_dataset
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One shared preprocessed engine on a registry dataset."""
+    graph = load_dataset("ca-GrQc", "tiny")
+    config = SimRankConfig(
+        T=8, r_pair=200, r_screen=20, r_alphabeta=600, r_gamma=100,
+        index_walks=8, index_checks=5, theta=0.005, k=10,
+    )
+    engine = SimRankEngine(graph, config, seed=11).preprocess()
+    S = exact_simrank(graph, c=config.c)
+    return graph, config, engine, S
+
+
+class TestFullPipeline:
+    def test_top_k_quality_against_exact(self, pipeline):
+        graph, config, engine, S = pipeline
+        recalls = []
+        for u in range(0, graph.n, 9):
+            truth = [v for v, s in exact_top_k(graph, u, 5, S=S) if s >= 0.03]
+            if len(truth) < 2:
+                continue
+            found = set(engine.top_k(u, k=10).vertices())
+            recalls.append(len(found & set(truth)) / len(truth))
+        assert recalls
+        assert np.mean(recalls) >= 0.75
+
+    def test_engine_beats_fogaras_racz_accuracy(self, pipeline):
+        graph, config, engine, S = pipeline
+        fr = FingerprintIndex(graph, num_fingerprints=30, T=config.T, c=config.c, seed=1)
+        ours, theirs = [], []
+        for u in range(0, graph.n, 9):
+            optimal = {v for v in range(graph.n) if v != u and S[u, v] >= 0.04}
+            if not optimal:
+                continue
+            engine_found = {
+                v for v, s in engine.top_k(u, k=50).items
+            }
+            fr_found = set(fr.high_score_vertices(u, 0.04))
+            ours.append(len(engine_found & optimal) / len(optimal))
+            theirs.append(len(fr_found & optimal) / len(optimal))
+        assert ours
+        # FR at a low fingerprint budget is noisy; the engine should win.
+        assert np.mean(ours) >= np.mean(theirs) - 0.05
+
+    def test_round_trip_via_files(self, pipeline, tmp_path):
+        graph, config, engine, _ = pipeline
+        graph_path = tmp_path / "graph.txt"
+        index_path = tmp_path / "index.npz"
+        write_edge_list(graph, graph_path)
+        engine.save_index(index_path)
+
+        reloaded_graph = read_edge_list(graph_path)
+        assert reloaded_graph == graph
+        restored = SimRankEngine(reloaded_graph, seed=11).load_index(index_path)
+        u = 3
+        assert restored.top_k(u).items == engine.top_k(u).items
+
+    def test_single_pair_methods_consistent(self, pipeline):
+        graph, config, engine, _ = pipeline
+        pairs = [(0, 1), (2, 9), (5, 5)]
+        for u, v in pairs:
+            det = engine.single_pair(u, v, method="deterministic")
+            mc = engine.single_pair(u, v, method="montecarlo")
+            assert mc == pytest.approx(det, abs=0.06)
+
+    def test_top_k_all_subset(self, pipeline):
+        graph, config, engine, _ = pipeline
+        results = engine.top_k_all(k=5, vertices=range(0, graph.n, 25))
+        for u, result in results.items():
+            assert result.u == u
+            assert len(result) <= 5
+
+
+class TestBuilderToEngineFlow:
+    def test_labelled_graph_flow(self):
+        builder = DiGraphBuilder.with_labels()
+        papers = [
+            ("paperA", "seminal"),
+            ("paperB", "seminal"),
+            ("paperC", "seminal"),
+            ("paperC", "paperA"),
+            ("paperD", "paperA"),
+            ("paperD", "paperB"),
+        ]
+        for src, dst in papers:
+            builder.add_edge(src, dst)
+        graph = builder.to_csr()
+        labels = builder.labels
+        assert labels is not None
+        config = SimRankConfig(T=5, r_pair=100, r_alphabeta=200, r_gamma=50,
+                               index_walks=5, index_checks=3, theta=0.0, k=3)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        # paperA and paperB are co-cited by paperD: similar.
+        a, b = labels["paperA"], labels["paperB"]
+        assert engine.single_pair(a, b, method="deterministic") > 0.0
+
+    def test_empty_ish_graph_does_not_crash(self):
+        graph = CSRGraph.from_edges(4, [(0, 1)])
+        config = SimRankConfig(T=4, r_pair=20, r_alphabeta=50, r_gamma=20,
+                               index_walks=3, index_checks=2)
+        engine = SimRankEngine(graph, config, seed=0).preprocess()
+        result = engine.top_k(2, k=3)
+        assert result.items == []

@@ -1,0 +1,211 @@
+"""Tests for the classical similarity measures package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_simrank
+from repro.errors import VertexError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import star_graph
+from repro.similarity import (
+    bibliographic_coupling,
+    co_citation,
+    cosine_in_neighbors,
+    jaccard_in_neighbors,
+    prank_matrix,
+)
+from repro.similarity.neighborhood import top_k_from_scores
+from repro.similarity.prank import prank_single_source
+
+
+@pytest.fixture
+def citation_fixture() -> CSRGraph:
+    # Papers 3 and 4 both cite 0 and 1; paper 5 cites 1 and 2.
+    return CSRGraph.from_edges(
+        6, [(3, 0), (3, 1), (4, 0), (4, 1), (5, 1), (5, 2)]
+    )
+
+
+class TestCoCitation:
+    def test_counts_shared_citers(self, citation_fixture):
+        scores = co_citation(citation_fixture, 0)
+        assert scores == {1: 2}  # papers 3 and 4 cite both 0 and 1
+
+    def test_no_citers_empty(self, citation_fixture):
+        assert co_citation(citation_fixture, 3) == {}
+
+    def test_excludes_self(self, citation_fixture):
+        assert 0 not in co_citation(citation_fixture, 0)
+
+    def test_vertex_validation(self, citation_fixture):
+        with pytest.raises(VertexError):
+            co_citation(citation_fixture, 99)
+
+
+class TestBibliographicCoupling:
+    def test_counts_shared_references(self, citation_fixture):
+        scores = bibliographic_coupling(citation_fixture, 3)
+        assert scores == {4: 2, 5: 1}
+
+    def test_symmetric_counts(self, citation_fixture):
+        assert bibliographic_coupling(citation_fixture, 3)[4] == (
+            bibliographic_coupling(citation_fixture, 4)[3]
+        )
+
+
+class TestNormalizedVariants:
+    def test_jaccard_range(self, social_graph):
+        scores = jaccard_in_neighbors(social_graph, 5)
+        assert scores
+        assert all(0.0 < s <= 1.0 for s in scores.values())
+
+    def test_jaccard_identical_neighborhoods(self):
+        graph = star_graph(3, bidirected=False)  # leaves share I = {hub}
+        assert jaccard_in_neighbors(graph, 1)[2] == 1.0
+
+    def test_cosine_range(self, social_graph):
+        scores = cosine_in_neighbors(social_graph, 5)
+        assert all(0.0 < s <= 1.0 + 1e-12 for s in scores.values())
+
+    def test_cosine_at_least_jaccard(self, social_graph):
+        jac = jaccard_in_neighbors(social_graph, 5)
+        cos = cosine_in_neighbors(social_graph, 5)
+        for v in jac:
+            assert cos[v] >= jac[v] - 1e-12
+
+    def test_top_k_from_scores(self):
+        ranked = top_k_from_scores({1: 0.5, 2: 0.9, 3: 0.5}, 2)
+        assert ranked == [(2, 0.9), (1, 0.5)]
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_from_scores({}, 0)
+
+
+class TestPRank:
+    def test_lambda_one_is_simrank(self, social_graph):
+        S_prank = prank_matrix(social_graph, c=0.6, lam=1.0, iterations=12)
+        S_simrank = exact_simrank(social_graph, c=0.6, iterations=12)
+        np.testing.assert_allclose(S_prank, S_simrank, atol=1e-10)
+
+    def test_lambda_zero_is_reverse_simrank(self, social_graph):
+        S_prank = prank_matrix(social_graph, c=0.6, lam=0.0, iterations=12)
+        S_rev = exact_simrank(social_graph.reverse(), c=0.6, iterations=12)
+        np.testing.assert_allclose(S_prank, S_rev, atol=1e-10)
+
+    def test_symmetric_and_unit_diagonal(self, web_graph):
+        S = prank_matrix(web_graph, c=0.6, lam=0.5, iterations=10)
+        np.testing.assert_allclose(S, S.T, atol=1e-10)
+        np.testing.assert_allclose(np.diag(S), 1.0)
+
+    def test_range(self, web_graph):
+        S = prank_matrix(web_graph, c=0.6, lam=0.5, iterations=10)
+        assert S.min() >= 0.0
+        assert S.max() <= 1.0 + 1e-12
+
+    def test_blends_both_directions(self, citation_fixture):
+        # Pure in-link SimRank scores (3, 4) zero (no in-links at all);
+        # P-Rank's out-link term sees their shared references.
+        s_simrank = exact_simrank(citation_fixture, c=0.6)[3, 4]
+        s_prank = prank_matrix(citation_fixture, c=0.6, lam=0.5)[3, 4]
+        assert s_simrank == 0.0
+        assert s_prank > 0.0
+
+    def test_single_source_row(self, social_graph):
+        S = prank_matrix(social_graph, c=0.6, lam=0.5, iterations=8)
+        row = prank_single_source(social_graph, 2, c=0.6, lam=0.5, iterations=8)
+        np.testing.assert_allclose(row, S[2])
+
+    def test_invalid_lambda(self, citation_fixture):
+        with pytest.raises(Exception):
+            prank_matrix(citation_fixture, lam=1.5)
+
+
+class TestSimRankBeatsOneStepMeasures:
+    """The introduction's qualitative claim: multi-step evidence matters."""
+
+    def test_simrank_scores_pairs_with_no_shared_neighbors(self):
+        # Chain of co-citations: 4 cites {0,1}, 5 cites {1,2} — vertices
+        # 0 and 2 share NO citer, yet their citers (4, 5) are similar.
+        graph = CSRGraph.from_edges(
+            8,
+            [(4, 0), (4, 1), (5, 1), (5, 2), (6, 4), (6, 5), (7, 4), (7, 5)],
+        )
+        assert co_citation(graph, 0).get(2, 0) == 0  # one-step: invisible
+        S = exact_simrank(graph, c=0.8)
+        assert S[0, 2] > 0.05  # multi-step: clearly similar
+
+
+class TestSimRankPlusPlus:
+    def test_evidence_factor_values(self):
+        from repro.similarity.simrankpp import evidence_factor
+
+        assert evidence_factor(0) == 0.0
+        assert evidence_factor(1) == 0.5
+        assert evidence_factor(2) == 0.75
+        assert evidence_factor(100) == 1.0
+
+    def test_evidence_factor_negative_rejected(self):
+        from repro.similarity.simrankpp import evidence_factor
+
+        with pytest.raises(ValueError):
+            evidence_factor(-1)
+
+    def test_evidence_matrix_symmetric(self, social_graph):
+        from repro.similarity.simrankpp import evidence_matrix
+
+        E = evidence_matrix(social_graph)
+        np.testing.assert_allclose(E, E.T)
+        assert E.min() >= 0.0
+        assert E.max() <= 1.0
+
+    def test_simrankpp_dampens_single_shared_neighbor(self):
+        from repro.similarity.simrankpp import simrankpp_matrix
+
+        # star: leaves share exactly ONE in-neighbor (the hub).
+        graph = star_graph(3, bidirected=False)
+        S = exact_simrank(graph, c=0.8)
+        Spp = simrankpp_matrix(graph, c=0.8)
+        assert Spp[1, 2] == pytest.approx(0.5 * S[1, 2])
+
+    def test_simrankpp_rewards_more_evidence(self):
+        from repro.graph.csr import CSRGraph
+        from repro.similarity.simrankpp import simrankpp_matrix
+
+        # Pair (0,1) shares 3 citers; pair (2,3) shares 1. The evidence
+        # ratio Spp/S grows with the shared-citer count: 1-2^-3 vs 1-2^-1.
+        graph = CSRGraph.from_edges(
+            9,
+            [(4, 0), (4, 1), (5, 0), (5, 1), (6, 0), (6, 1), (7, 2), (7, 3)],
+        )
+        S = exact_simrank(graph, c=0.6)
+        Spp = simrankpp_matrix(graph, c=0.6, S=S)
+        assert Spp[0, 1] / S[0, 1] == pytest.approx(0.875)
+        assert Spp[2, 3] / S[2, 3] == pytest.approx(0.5)
+
+    def test_simrankpp_diagonal_stays_one(self, social_graph):
+        from repro.similarity.simrankpp import simrankpp_matrix
+
+        Spp = simrankpp_matrix(social_graph, c=0.6)
+        np.testing.assert_allclose(np.diag(Spp), 1.0)
+
+    def test_single_source_matches_matrix(self, social_graph):
+        from repro.similarity.simrankpp import (
+            simrankpp_matrix,
+            simrankpp_single_source,
+        )
+
+        S = exact_simrank(social_graph, c=0.6)
+        Spp = simrankpp_matrix(social_graph, c=0.6, S=S)
+        row = simrankpp_single_source(social_graph, 4, S[4])
+        np.testing.assert_allclose(row, Spp[4], atol=1e-12)
+
+    def test_single_source_validations(self, social_graph):
+        from repro.similarity.simrankpp import simrankpp_single_source
+
+        with pytest.raises(VertexError):
+            simrankpp_single_source(social_graph, 999, np.zeros(social_graph.n))
+        with pytest.raises(ValueError):
+            simrankpp_single_source(social_graph, 0, np.zeros(3))

@@ -1,0 +1,131 @@
+"""Tests for query workloads and the LRU result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.errors import ConfigError
+from repro.graph.generators import preferential_attachment
+from repro.workloads import (
+    CachedSimRankEngine,
+    degree_biased_workload,
+    replay,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def served_engine():
+    graph = preferential_attachment(120, out_degree=3, seed=8)
+    config = SimRankConfig(
+        T=5, r_pair=40, r_screen=10, r_alphabeta=80, r_gamma=30,
+        index_walks=4, index_checks=3, k=5,
+    )
+    return SimRankEngine(graph, config, seed=4).preprocess()
+
+
+class TestWorkloads:
+    def test_uniform_in_range(self, served_engine):
+        workload = uniform_workload(served_engine.graph, 200, seed=1)
+        assert len(workload) == 200
+        assert all(0 <= u < served_engine.graph.n for u in workload)
+
+    def test_uniform_deterministic(self, served_engine):
+        assert uniform_workload(served_engine.graph, 50, seed=2) == uniform_workload(
+            served_engine.graph, 50, seed=2
+        )
+
+    def test_degree_bias_prefers_hubs(self, served_engine):
+        graph = served_engine.graph
+        workload = degree_biased_workload(graph, 3000, seed=3, smoothing=0.1)
+        hub = int(np.argmax(graph.in_degrees))
+        leaf = int(np.argmin(graph.in_degrees))
+        assert workload.count(hub) > workload.count(leaf)
+
+    def test_zipf_concentrates_on_hot_set(self, served_engine):
+        workload = zipf_workload(served_engine.graph, 1000, hot_set_size=10, seed=4)
+        assert len(set(workload)) <= 10
+
+    def test_zipf_head_dominates(self, served_engine):
+        # At exponent 1.5 the rank-1 mass is 1/zeta(1.5) ~ 38%.
+        workload = zipf_workload(
+            served_engine.graph, 2000, hot_set_size=50, exponent=1.5, seed=5
+        )
+        counts = sorted(
+            (workload.count(u) for u in set(workload)), reverse=True
+        )
+        assert counts[0] > sum(counts) * 0.2
+
+    def test_invalid_parameters(self, served_engine):
+        graph = served_engine.graph
+        with pytest.raises(ConfigError):
+            uniform_workload(graph, -1)
+        with pytest.raises(ConfigError):
+            zipf_workload(graph, 10, hot_set_size=0)
+        with pytest.raises(ConfigError):
+            zipf_workload(graph, 10, exponent=1.0)
+        with pytest.raises(ConfigError):
+            degree_biased_workload(graph, 10, smoothing=-1)
+
+
+class TestCache:
+    def test_hit_returns_identical_result(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=16)
+        first = cached.top_k(3)
+        second = cached.top_k(3)
+        assert first is second
+        assert cached.stats.hits == 1
+        assert cached.stats.misses == 1
+
+    def test_cached_equals_direct(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=16)
+        assert cached.top_k(7).items == served_engine.top_k(7).items
+
+    def test_distinct_k_distinct_entries(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=16)
+        cached.top_k(3, k=2)
+        cached.top_k(3, k=4)
+        assert cached.stats.misses == 2
+
+    def test_lru_eviction(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=2)
+        cached.top_k(0)
+        cached.top_k(1)
+        cached.top_k(2)  # evicts 0
+        assert cached.stats.evictions == 1
+        cached.top_k(0)
+        assert cached.stats.misses == 4
+
+    def test_invalidate(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=4)
+        cached.top_k(1)
+        cached.invalidate()
+        assert len(cached) == 0
+        cached.top_k(1)
+        assert cached.stats.misses == 2
+
+    def test_replace_engine_invalidates(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=4)
+        cached.top_k(1)
+        cached.replace_engine(served_engine)
+        assert len(cached) == 0
+
+    def test_invalid_capacity(self, served_engine):
+        with pytest.raises(ConfigError):
+            CachedSimRankEngine(served_engine, capacity=0)
+
+    def test_zipf_workload_high_hit_rate(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=64)
+        workload = zipf_workload(served_engine.graph, 300, hot_set_size=20, seed=6)
+        stats = replay(cached, workload)
+        assert stats.hit_rate > 0.8
+
+    def test_uniform_workload_low_hit_rate(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=8)
+        workload = uniform_workload(served_engine.graph, 200, seed=7)
+        stats = replay(cached, workload)
+        assert stats.hit_rate < 0.5

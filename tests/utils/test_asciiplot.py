@@ -1,0 +1,85 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils.asciiplot import line_chart, scatter
+
+
+class TestScatter:
+    def test_contains_points_and_axes(self):
+        text = scatter([1, 2, 3], [1, 4, 9], title="squares")
+        assert "squares" in text
+        assert "*" in text
+        assert "+" in text  # axis corner
+
+    def test_log_mode_drops_nonpositive(self):
+        text = scatter([0.0, 1.0, 10.0], [1.0, 1.0, 10.0], log=True)
+        assert "log-log" in text
+
+    def test_empty_input(self):
+        assert "no plottable points" in scatter([], [])
+
+    def test_nan_points_dropped(self):
+        text = scatter([1, float("nan")], [1, 2])
+        assert "*" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter([5], [5])
+        assert "*" in text
+
+    def test_overplotting_escalates(self):
+        xs = [1.0] * 50 + [2.0]
+        ys = [1.0] * 50 + [2.0]
+        text = scatter(xs, ys)
+        assert "@" in text
+
+    def test_labels_in_footer(self):
+        text = scatter([1, 2], [1, 2], xlabel="exact", ylabel="approx")
+        assert "x: exact" in text
+        assert "y: approx" in text
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([1], [1], width=3)
+
+    def test_monotone_data_renders_diagonal(self):
+        # Slope-one data should put marks near both corners.
+        text = scatter(list(range(20)), list(range(20)), width=20, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_row = rows[0].split("|", 1)[1]
+        last_row = rows[-1].split("|", 1)[1]
+        assert first_row.rstrip().endswith(("*", "o", "@"))
+        assert last_row.lstrip().startswith(("*", "o", "@"))
+
+
+class TestLineChart:
+    def test_series_and_legend(self):
+        text = line_chart([1, 2, 3], [("alpha", [1.0, 2.0, 3.0])], title="t")
+        assert "t" in text
+        assert "* alpha" in text
+
+    def test_reference_line_rendered(self):
+        text = line_chart(
+            [1, 2], [("s", [1.0, 1.5])], reference=("average", 3.0)
+        )
+        assert "-- average" in text
+        assert "-" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_chart(
+            [1, 2], [("a", [1.0, 2.0]), ("b", [2.0, 1.0])]
+        )
+        assert "* a" in text
+        assert "+ b" in text
+
+    def test_nan_values_skipped(self):
+        text = line_chart([1, 2], [("s", [1.0, float("nan")])])
+        assert "* s" in text
+
+    def test_all_nan_series(self):
+        text = line_chart([1], [("s", [float("nan")])])
+        assert "no plottable points" in text

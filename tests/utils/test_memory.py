@@ -1,0 +1,61 @@
+"""Unit tests for memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.memory import (
+    breakdown_to_str,
+    human_bytes,
+    nbytes_of_arrays,
+    nbytes_of_int_lists,
+    nbytes_of_mapping,
+)
+
+
+class TestByteCounting:
+    def test_arrays(self):
+        arrays = [np.zeros(10, dtype=np.int64), np.zeros(5, dtype=np.float64)]
+        assert nbytes_of_arrays(arrays) == 80 + 40
+
+    def test_empty_arrays(self):
+        assert nbytes_of_arrays([]) == 0
+
+    def test_int_lists_packed_size(self):
+        assert nbytes_of_int_lists([[1, 2, 3], [4]]) == 32
+
+    def test_mapping(self):
+        assert nbytes_of_mapping({1: 0.5, 2: 0.25}) == 32
+
+
+class TestHumanBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.0 KB"),
+            (5 * 1024**2, "5.0 MB"),
+            (3 * 1024**3, "3.0 GB"),
+        ],
+    )
+    def test_magnitudes(self, value, expected):
+        assert human_bytes(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+    def test_paper_scale_values(self):
+        # soc-LiveJournal1 fingerprint index at paper scale (§8.3).
+        from repro.baselines.fogaras_racz import fingerprint_memory_required
+
+        required = fingerprint_memory_required(4_847_571, 100, 11)
+        assert human_bytes(required) == "19.9 GB"  # paper measured 21.6 GB
+
+
+class TestBreakdown:
+    def test_sorted_largest_first(self):
+        text = breakdown_to_str({"small": 10, "large": 10**7})
+        assert text.startswith("large=")

@@ -1,0 +1,62 @@
+"""Unit tests for RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(10**9)
+        b = ensure_rng(42).integers(10**9)
+        assert a == b
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_spawned_streams_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.integers(10**9) != b.integers(10**9)
+
+    def test_spawn_deterministic(self):
+        a1, _ = spawn_rngs(7, 2)
+        a2, _ = spawn_rngs(7, 2)
+        assert a1.integers(10**9) == a2.integers(10**9)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, 1, 2) == derive_seed(10, 1, 2)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+    def test_base_changes_seed(self):
+        assert derive_seed(10, 1) != derive_seed(11, 1)
+
+    def test_none_stays_none(self):
+        assert derive_seed(None, 1) is None
+
+    def test_generator_input_yields_int(self):
+        seed = derive_seed(np.random.default_rng(0), 1)
+        assert isinstance(seed, int)

@@ -1,0 +1,62 @@
+"""Unit tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import Table, format_float, format_seconds
+
+
+class TestFormatters:
+    def test_format_float(self):
+        assert format_float(0.123456, 3) == "0.123"
+        assert format_float(None) == "-"
+
+    def test_format_seconds_magnitudes(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.5 s"
+        assert format_seconds(7200.0) == "2.0 h"
+        assert format_seconds(None) == "-"
+
+    def test_format_seconds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["a", "bbbb"])
+        table.add_row([1, 2])
+        table.add_row([333, 4])
+        lines = table.render().splitlines()
+        assert lines[0] == "a   | bbbb"
+        assert lines[1] == "----+-----"
+        assert lines[2] == "1   | 2"
+        assert lines[3] == "333 | 4"
+
+    def test_title_rendered_with_rule(self):
+        table = Table(["x"], title="My Table")
+        table.add_row([1])
+        lines = table.render().splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "========"
+
+    def test_none_cells_become_dash(self):
+        table = Table(["x", "y"])
+        table.add_row([None, 5])
+        assert table.render().splitlines()[-1].startswith("-")
+
+    def test_row_width_mismatch(self):
+        table = Table(["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_str_equals_render(self):
+        table = Table(["x"])
+        table.add_row([1])
+        assert str(table) == table.render()

@@ -1,0 +1,54 @@
+"""Unit tests for timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_measure_records_interval(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.005)
+        assert timer.count == 1
+        assert timer.total >= 0.004
+
+    def test_multiple_intervals_accumulate(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure():
+                pass
+        assert timer.count == 3
+        assert timer.mean >= 0.0
+        assert timer.last >= 0.0
+
+    def test_empty_timer_defaults(self):
+        timer = Timer()
+        assert timer.total == 0.0
+        assert timer.mean == 0.0
+        assert timer.last == 0.0
+
+    def test_records_even_on_exception(self):
+        timer = Timer()
+        try:
+            with timer.measure():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.count == 1
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.count == 0
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, elapsed = timed(lambda: sum(range(1000)))
+        assert result == 499500
+        assert elapsed >= 0.0

@@ -1,0 +1,53 @@
+"""Unit tests for argument validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.validation import (
+    check_fraction,
+    check_nonnegative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_and_returns(self):
+        assert check_positive_int("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            check_positive_int("x", bad)  # type: ignore[arg-type]
+
+
+class TestNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            check_nonnegative_int("x", -1)
+
+
+class TestFraction:
+    def test_accepts_interior(self):
+        assert check_fraction("c", 0.6) == 0.6
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ConfigError):
+            check_fraction("c", bad)
+
+
+class TestProbability:
+    def test_accepts_boundaries(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ConfigError):
+            check_probability("p", bad)

@@ -9,7 +9,6 @@ per candidate).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.exact import exact_simrank, exact_top_k

@@ -7,9 +7,7 @@ the structural contrast §8.1 reports (web queries cheaper than social).
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.engine import SimRankEngine
 from repro.core.index import build_index
 from repro.core.bounds import compute_alpha_beta, compute_gamma_all
 

@@ -68,6 +68,14 @@ def test_table4_ladder(benchmark, table4_rows):
     assert rows
 
 
+def test_query_tail_latency_reported(table4_rows):
+    # p95 rides along with the mean in every row: the serving-relevant
+    # tail must exist and can never undercut the fastest trial.
+    for row in table4_rows:
+        assert row.proposed_query_p95 > 0
+        assert row.proposed_query_p95 >= row.proposed_query * 0.5
+
+
 def test_proposed_never_dashes(table4_rows):
     for row in table4_rows:
         assert row.proposed_preprocess > 0

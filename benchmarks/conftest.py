@@ -2,12 +2,21 @@
 
 Heavy artefacts (graphs, preprocessed engines, exact matrices) are
 session-scoped so each benchmark times only its own phase.
+
+Pass ``--metrics-dir DIR`` to collect the observability registry per
+benchmark and dump a ``<test-name>.jsonl`` sidecar next to the timing
+numbers (see ``docs/observability.md``).  Without the flag metrics stay
+disabled, so timed numbers are unaffected.
 """
 
 from __future__ import annotations
 
+import re
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.core.config import SimRankConfig
 from repro.core.engine import SimRankEngine
 from repro.core.exact import exact_simrank
@@ -26,6 +35,29 @@ BENCH_CONFIG = SimRankConfig(
     k=20,
     theta=0.01,
 )
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--metrics-dir",
+        default=None,
+        help="directory for per-benchmark metrics JSONL sidecars",
+    )
+
+
+@pytest.fixture(autouse=True)
+def metrics_sidecar(request):
+    """Dump each bench's metrics registry when ``--metrics-dir`` is given."""
+    directory = request.config.getoption("--metrics-dir")
+    if not directory:
+        yield
+        return
+    with obs.session() as registry:
+        yield
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_name = re.sub(r"[^\w.-]+", "_", request.node.name)
+    obs.export.write_jsonl(registry.snapshot(), out_dir / f"{safe_name}.jsonl")
 
 
 @pytest.fixture(scope="session")

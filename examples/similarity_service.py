@@ -35,7 +35,7 @@ def main() -> None:
     # 1. Serve a skewed query stream through the cache.
     # ------------------------------------------------------------------
     service = DynamicSimRankEngine(graph, config, seed=11)
-    cache = CachedSimRankEngine(service._engine, capacity=128)
+    cache = CachedSimRankEngine(service.engine, capacity=128)
     workload = zipf_workload(graph, 400, hot_set_size=40, exponent=1.4, seed=2)
 
     start = time.perf_counter()
@@ -54,7 +54,7 @@ def main() -> None:
     for u, v in updates:
         service.add_edge(u, v)
     flush = service.flush()
-    cache.replace_engine(service._engine)  # cached answers now stale
+    cache.replace_engine(service.engine)  # cached answers now stale
     print(
         f"\napplied {flush.edits_applied} link updates: rebuilt "
         f"{flush.vertices_affected}/{service.graph.n} index rows in "
@@ -69,7 +69,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     join = similarity_join(
         service.graph,
-        service._engine.index,
+        service.engine.index,
         theta=0.08,
         config=config,
         seed=5,

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-import numpy as np
 
 from repro import SimRankConfig, SimRankEngine
 from repro.graph.digraph import DiGraphBuilder

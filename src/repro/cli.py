@@ -16,6 +16,10 @@ writing Python:
     python -m repro.cli pair  --graph web.txt --vertex 42 --other 99
     python -m repro.cli info  --graph web.txt
 
+    # any command takes --metrics {off,summary,json,prom} to dump the
+    # observability registry after the run (see docs/observability.md)
+    python -m repro.cli query --graph web.txt --vertex 42 --metrics prom
+
 The experiment harness has its own CLI (``python -m
 repro.experiments.runner``); this one is for the library's primary use
 case, top-k similarity search.
@@ -28,6 +32,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.config import SimRankConfig
 from repro.core.engine import SimRankEngine
 from repro.graph.csr import CSRGraph
@@ -36,6 +41,21 @@ from repro.utils.memory import human_bytes
 from repro.utils.tables import Table, format_seconds
 
 FAMILIES = ("web", "social", "citation", "vote", "community", "random")
+
+METRICS_MODES = ("off", "summary", "json", "prom")
+
+
+def _emit_metrics(mode: str, snapshot: dict) -> None:
+    """Print a registry snapshot in the requested exposition format."""
+    if mode == "summary":
+        table = Table(["metric", "kind", "value"], title="metrics")
+        for row in obs.export.summary_rows(snapshot):
+            table.add_row(row)
+        print(table.render())
+    elif mode == "json":
+        sys.stdout.write(obs.export.to_jsonl(snapshot))
+    elif mode == "prom":
+        sys.stdout.write(obs.export.to_prometheus(snapshot))
 
 
 def _load_graph(path: str, directed: bool) -> CSRGraph:
@@ -168,12 +188,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--c", type=float, default=None, help="decay factor")
         p.add_argument("--T", type=int, default=None, help="series length")
         p.add_argument("--theta", type=float, default=None, help="score threshold")
+        p.add_argument(
+            "--metrics",
+            choices=METRICS_MODES,
+            default="off",
+            help="collect pipeline metrics and print them after the command",
+        )
 
     p_gen = sub.add_parser("generate", help="write a synthetic graph")
     p_gen.add_argument("--family", choices=FAMILIES, default="web")
     p_gen.add_argument("--n", type=int, default=1000)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--out", required=True)
+    p_gen.add_argument("--metrics", choices=METRICS_MODES, default="off",
+                       help=argparse.SUPPRESS)
     p_gen.set_defaults(fn=cmd_generate)
 
     p_build = sub.add_parser("build-index", help="preprocess and save the index")
@@ -203,7 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return int(args.fn(args))
+    metrics_mode = getattr(args, "metrics", "off")
+    if metrics_mode == "off":
+        return int(args.fn(args))
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        # Collect into a private registry so repeated in-process runs
+        # (tests, notebooks) each report exactly their own command.
+        with obs.collecting() as registry:
+            code = int(args.fn(args))
+        _emit_metrics(metrics_mode, registry.snapshot())
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return code
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ parameter             default  role in the paper
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.utils.validation import check_fraction, check_positive_int

@@ -19,7 +19,7 @@ the top-k ranking.  This module supplies the whole ladder:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -24,7 +24,7 @@ callers never see a stale index.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 import numpy as np
@@ -34,7 +34,6 @@ from repro.core.config import SimRankConfig
 from repro.core.engine import SimRankEngine
 from repro.core.index import build_signatures
 from repro.core.query import TopKResult
-from repro.core.walks import WalkEngine
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import distance_ball
@@ -84,6 +83,18 @@ class DynamicSimRankEngine:
     # ------------------------------------------------------------------
     # Edit staging
     # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> SimRankEngine:
+        """The inner (flushed) :class:`SimRankEngine`, read-only.
+
+        Callers that need the static-engine surface — wrapping it in a
+        :class:`~repro.workloads.CachedSimRankEngine`, handing its index
+        to :func:`~repro.core.join.similarity_join` — should go through
+        this rather than the private attribute.  The object is replaced
+        wholesale by :meth:`flush`, so don't hold it across updates.
+        """
+        return self._engine
 
     @property
     def graph(self) -> CSRGraph:

@@ -35,6 +35,7 @@ from repro.core.linear import (
 )
 from repro.core.montecarlo import single_pair_simrank
 from repro.core.query import TopKResult, top_k_query
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed
 
 
@@ -108,7 +109,10 @@ class SimRankEngine:
     def preprocess(self) -> "SimRankEngine":
         """Run the §7.1 preprocess (Algorithm 4 + Algorithm 3); returns self."""
         start = time.perf_counter()
-        self._index = build_index(self.graph, self.config, seed=derive_seed(self._seed, 7))
+        with obs.trace("preprocess.build_index", n=self.graph.n, m=self.graph.m):
+            self._index = build_index(
+                self.graph, self.config, seed=derive_seed(self._seed, 7)
+            )
         self.preprocess_seconds = time.perf_counter() - start
         return self
 
@@ -150,6 +154,8 @@ class SimRankEngine:
         self._index = loaded
         self.config = loaded.config
         self.diagonal = resolve_diagonal(self.graph.n, self.config.c, None)
+        if obs.OBS.enabled:
+            obs.record_index(loaded)
         return self
 
     # ------------------------------------------------------------------
@@ -172,19 +178,22 @@ class SimRankEngine:
         ``extra_candidates`` lets callers merge domain knowledge (e.g. a
         co-citation candidate set) into the index's candidate list.
         """
-        return top_k_query(
-            self.graph,
-            self.index,
-            u,
-            k=k,
-            config=self.config,
-            seed=derive_seed(self._seed, 11, u),
-            diagonal=self.diagonal,
-            use_l1=use_l1,
-            use_l2=use_l2,
-            adaptive=adaptive,
-            extra_candidates=list(extra_candidates) if extra_candidates is not None else None,
-        )
+        with obs.trace("query.topk", u=u):
+            return top_k_query(
+                self.graph,
+                self.index,
+                u,
+                k=k,
+                config=self.config,
+                seed=derive_seed(self._seed, 11, u),
+                diagonal=self.diagonal,
+                use_l1=use_l1,
+                use_l2=use_l2,
+                adaptive=adaptive,
+                extra_candidates=list(extra_candidates)
+                if extra_candidates is not None
+                else None,
+            )
 
     def top_k_all(
         self,

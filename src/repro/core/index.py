@@ -21,17 +21,18 @@ is a union of short postings.  Total index space is O(nP) plus the O(nT)
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
-from repro.errors import IndexNotBuiltError, SerializationError, VertexError
+from repro.errors import SerializationError, VertexError
 from repro.graph.csr import CSRGraph
 from repro.core.bounds import GammaTable, compute_gamma_all
 from repro.core.config import SimRankConfig
 from repro.core.walks import WalkEngine
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
 INDEX_FORMAT_VERSION = 1
@@ -266,14 +267,30 @@ def build_index(
 
     config = config or SimRankConfig()
     start = time.perf_counter()
-    signatures = build_signatures(graph, config, seed=derive_seed(seed, 1))
-    gamma = compute_gamma_all(graph, config, seed=derive_seed(seed, 2))
-    elapsed = time.perf_counter() - start
-    return CandidateIndex(
+    with obs.trace("preprocess.signatures", n=graph.n):
+        signatures = build_signatures(graph, config, seed=derive_seed(seed, 1))
+    signature_mark = time.perf_counter()
+    with obs.trace("preprocess.gamma", n=graph.n):
+        gamma = compute_gamma_all(graph, config, seed=derive_seed(seed, 2))
+    gamma_mark = time.perf_counter()
+    with obs.trace("preprocess.invert"):
+        inverted = _invert(signatures)
+    end = time.perf_counter()
+    index = CandidateIndex(
         config=config,
         n=graph.n,
         signatures=signatures,
-        inverted=_invert(signatures),
+        inverted=inverted,
         gamma=gamma,
-        build_seconds=elapsed,
+        build_seconds=end - start,
     )
+    if obs.OBS.enabled:
+        obs.record_preprocess(
+            vertices=graph.n,
+            seconds=end - start,
+            signature_seconds=signature_mark - start,
+            gamma_seconds=gamma_mark - signature_mark,
+            invert_seconds=end - gamma_mark,
+        )
+        obs.record_index(index)
+    return index

@@ -32,7 +32,6 @@ import numpy as np
 from repro.core.config import SimRankConfig
 from repro.core.index import CandidateIndex
 from repro.core.linear import DiagonalLike, resolve_diagonal
-from repro.core.montecarlo import SingleSourceEstimator
 from repro.core.walks import PositionSketch, WalkEngine
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph

@@ -26,7 +26,7 @@ exactly these quantities.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 import math
 

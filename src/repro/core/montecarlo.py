@@ -28,6 +28,7 @@ from repro.graph.csr import CSRGraph
 from repro.core.config import SimRankConfig
 from repro.core.linear import resolve_diagonal, DiagonalLike
 from repro.core.walks import PositionSketch, WalkEngine
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -78,6 +79,15 @@ def single_pair_simrank(
     engine = WalkEngine(graph, seed)
     sketch_u = PositionSketch(engine.walk_matrix(u, samples, config.T))
     sketch_v = PositionSketch(engine.walk_matrix(v, samples, config.T))
+    if obs.OBS.enabled:
+        terms: List[float] = []
+        value = _series_from_sketches(sketch_u, sketch_v, config.c, d, terms_out=terms)
+        obs.record_walk_bundle(
+            walks=2 * samples,
+            steps=2 * samples * config.T,
+            meetings=sum(1 for term in terms if term > 0.0),
+        )
+        return value
     return _series_from_sketches(sketch_u, sketch_v, config.c, d)
 
 
@@ -86,11 +96,15 @@ def _series_from_sketches(
     sketch_v: PositionSketch,
     c: float,
     diagonal: np.ndarray,
+    terms_out: Optional[List[float]] = None,
 ) -> float:
     total = 0.0
     weight = 1.0
     for t in range(min(sketch_u.T, sketch_v.T)):
-        total += weight * sketch_u.collision_value(sketch_v, t, diagonal)
+        term = weight * sketch_u.collision_value(sketch_v, t, diagonal)
+        if terms_out is not None:
+            terms_out.append(term)
+        total += term
         weight *= c
     return total
 
@@ -125,6 +139,10 @@ class SingleSourceEstimator:
             self.engine.walk_matrix(self.u, self.config.r_pair, self.config.T)
         )
         self.walks_simulated = self.config.r_pair
+        if obs.OBS.enabled:
+            obs.record_walk_bundle(
+                walks=self.config.r_pair, steps=self.config.r_pair * self.config.T
+            )
 
     def estimate(self, v: int, R: Optional[int] = None) -> float:
         """Estimate s^(T)(u, v) with a fresh R-walk bundle for v."""
@@ -135,6 +153,17 @@ class SingleSourceEstimator:
         samples = R if R is not None else self.config.r_pair
         sketch_v = PositionSketch(self.engine.walk_matrix(v, samples, self.config.T))
         self.walks_simulated += samples
+        if obs.OBS.enabled:
+            terms: List[float] = []
+            value = _series_from_sketches(
+                self._sketch_u, sketch_v, self.config.c, self.diagonal, terms_out=terms
+            )
+            obs.record_walk_bundle(
+                walks=samples,
+                steps=samples * self.config.T,
+                meetings=sum(1 for term in terms if term > 0.0),
+            )
+            return value
         return _series_from_sketches(self._sketch_u, sketch_v, self.config.c, self.diagonal)
 
     def estimate_many(

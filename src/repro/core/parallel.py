@@ -24,12 +24,17 @@ import numpy as np
 
 from repro.core.config import SimRankConfig
 from repro.core.index import CandidateIndex
-from repro.core.query import TopKResult, top_k_query
+from repro.core.query import top_k_query
 from repro.graph.csr import CSRGraph
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed
 
 # Worker-process globals, installed once by _initializer.
 _WORKER_STATE: dict = {}
+
+#: One chunk's answer: the per-vertex item lists plus the chunk's private
+#: metrics-registry snapshot (None when metrics are disabled).
+ChunkResult = Tuple[List[Tuple[int, List[Tuple[int, float]]]], Optional[dict]]
 
 
 def _initializer(
@@ -39,6 +44,7 @@ def _initializer(
     diagonal: np.ndarray,
     seed: Optional[int],
     k: Optional[int],
+    metrics_enabled: bool = False,
 ) -> None:
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["index"] = index
@@ -46,9 +52,13 @@ def _initializer(
     _WORKER_STATE["diagonal"] = diagonal
     _WORKER_STATE["seed"] = seed
     _WORKER_STATE["k"] = k
+    if metrics_enabled:
+        # Spawned workers start with metrics off; mirror the parent's
+        # switch so chunk queries record into their scoped registries.
+        obs.enable()
 
 
-def _query_chunk(vertices: Sequence[int]) -> List[Tuple[int, List[Tuple[int, float]]]]:
+def _query_chunk(vertices: Sequence[int]) -> ChunkResult:
     graph = _WORKER_STATE["graph"]
     index = _WORKER_STATE["index"]
     config = _WORKER_STATE["config"]
@@ -56,18 +66,35 @@ def _query_chunk(vertices: Sequence[int]) -> List[Tuple[int, List[Tuple[int, flo
     seed = _WORKER_STATE["seed"]
     k = _WORKER_STATE["k"]
     out: List[Tuple[int, List[Tuple[int, float]]]] = []
-    for u in vertices:
-        result = top_k_query(
-            graph,
-            index,
-            int(u),
-            k=k,
-            config=config,
-            seed=derive_seed(seed, 11, int(u)),
-            diagonal=diagonal,
-        )
-        out.append((int(u), [(v, float(s)) for v, s in result.items]))
-    return out
+    if not obs.OBS.enabled:
+        for u in vertices:
+            result = top_k_query(
+                graph,
+                index,
+                int(u),
+                k=k,
+                config=config,
+                seed=derive_seed(seed, 11, int(u)),
+                diagonal=diagonal,
+            )
+            out.append((int(u), [(v, float(s)) for v, s in result.items]))
+        return out, None
+    # Metrics on: collect this chunk into a private registry so the
+    # parent can merge exactly what these queries recorded — never the
+    # worker's (possibly fork-inherited) global registry.
+    with obs.collecting() as chunk_registry:
+        for u in vertices:
+            result = top_k_query(
+                graph,
+                index,
+                int(u),
+                k=k,
+                config=config,
+                seed=derive_seed(seed, 11, int(u)),
+                diagonal=diagonal,
+            )
+            out.append((int(u), [(v, float(s)) for v, s in result.items]))
+    return out, chunk_registry.snapshot()
 
 
 def _chunked(items: List[int], chunks: int) -> List[List[int]]:
@@ -96,20 +123,26 @@ def top_k_all_parallel(
     targets = [int(u) for u in (vertices if vertices is not None else range(graph.n))]
     workers = workers or os.cpu_count() or 1
     base_seed = seed if (seed is None or isinstance(seed, int)) else None
+    metrics_enabled = obs.OBS.enabled
     if workers <= 1 or len(targets) < 2:
         _initializer(graph, index, config, diagonal, base_seed, k)
         try:
-            return dict(_query_chunk(targets))
+            answers, chunk_snapshot = _query_chunk(targets)
         finally:
             _WORKER_STATE.clear()
+        if chunk_snapshot is not None:
+            obs.merge_worker_snapshot(chunk_snapshot)
+        return dict(answers)
 
     results: Dict[int, List[Tuple[int, float]]] = {}
     chunks = _chunked(targets, workers * chunks_per_worker)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_initializer,
-        initargs=(graph, index, config, diagonal, base_seed, k),
+        initargs=(graph, index, config, diagonal, base_seed, k, metrics_enabled),
     ) as pool:
-        for chunk_result in pool.map(_query_chunk, chunks):
-            results.update(chunk_result)
+        for answers, chunk_snapshot in pool.map(_query_chunk, chunks):
+            results.update(answers)
+            if chunk_snapshot is not None and metrics_enabled:
+                obs.merge_worker_snapshot(chunk_snapshot)
     return results

@@ -30,7 +30,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
@@ -40,6 +39,7 @@ from repro.core.config import SimRankConfig
 from repro.core.index import CandidateIndex
 from repro.core.linear import DiagonalLike
 from repro.core.montecarlo import SingleSourceEstimator
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed
 
 
@@ -147,6 +147,8 @@ def top_k_query(
     result = TopKResult(u=u, k=k, stats=stats)
     if not candidates:
         stats.elapsed_seconds = time.perf_counter() - start_time
+        if obs.OBS.enabled:
+            obs.record_query(stats)
         return result
 
     d_max = config.effective_d_max
@@ -225,4 +227,6 @@ def top_k_query(
         ((vertex, score) for score, vertex in heap), key=lambda it: (-it[1], it[0])
     )
     stats.elapsed_seconds = time.perf_counter() - start_time
+    if obs.OBS.enabled:
+        obs.record_query(stats)
     return result

@@ -14,7 +14,6 @@ that statement quantitative:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

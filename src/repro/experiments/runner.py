@@ -16,7 +16,6 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.config import SimRankConfig
 from repro.experiments.accuracy import render_accuracy, run_accuracy
 from repro.experiments.concentration import (
     render_concentration,

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.baselines.fogaras_racz import FingerprintIndex, fingerprint_memory_required
 from repro.baselines.yu_allpairs import YuAllPairs, yu_memory_required
@@ -67,6 +66,7 @@ class ScalabilityRow:
     paper_m: int
     proposed_preprocess: float
     proposed_query: float
+    proposed_query_p95: float
     proposed_allpairs: Optional[float]
     proposed_index_bytes: int
     fr_preprocess: Optional[float]
@@ -152,6 +152,7 @@ def run_scalability(
                 paper_m=spec.paper_m,
                 proposed_preprocess=preprocess_time,
                 proposed_query=query_timer.mean,
+                proposed_query_p95=query_timer.p95,
                 proposed_allpairs=allpairs_time,
                 proposed_index_bytes=engine.index_nbytes(),
                 fr_preprocess=fr_preprocess,
@@ -173,6 +174,7 @@ def render_scalability(rows: Sequence[ScalabilityRow]) -> str:
             "m",
             "Prop.Preproc",
             "Prop.Query",
+            "Prop.Q.p95",
             "Prop.AllPairs",
             "Prop.Index",
             "FR.Preproc",
@@ -191,6 +193,7 @@ def render_scalability(rows: Sequence[ScalabilityRow]) -> str:
                 row.m,
                 format_seconds(row.proposed_preprocess),
                 format_seconds(row.proposed_query),
+                format_seconds(row.proposed_query_p95),
                 format_seconds(row.proposed_allpairs) if row.proposed_allpairs is not None else None,
                 human_bytes(row.proposed_index_bytes),
                 format_seconds(row.fr_preprocess) if row.fr_preprocess is not None else None,

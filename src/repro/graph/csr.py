@@ -24,7 +24,7 @@ are zero; the corresponding walk terminates, see
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -18,7 +18,7 @@ experiments are reproducible bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import DatasetError
 from repro.graph.csr import CSRGraph

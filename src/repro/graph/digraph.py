@@ -14,7 +14,7 @@ edge ``(u, v)`` means "u links to v", i.e. ``u`` is an *in-neighbor* of
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.errors import VertexError
 

@@ -16,7 +16,7 @@ All generators are deterministic given a seed and return
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

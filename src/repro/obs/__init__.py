@@ -1,0 +1,63 @@
+"""repro.obs — unified observability: metrics, traces, exporters.
+
+The subsystem is **disabled by default** and costs one attribute check
+per hook site when off.  Typical use::
+
+    from repro import obs
+
+    obs.enable()                      # or: with obs.session() as registry: ...
+    engine = SimRankEngine(graph).preprocess()
+    engine.top_k(42)
+    print(obs.export.to_prometheus(obs.snapshot()))
+
+Layout:
+
+- :mod:`repro.obs.metrics` — ``MetricsRegistry`` with ``Counter`` /
+  ``Gauge`` / fixed-bucket ``Histogram``, thread-safe and mergeable
+  across processes;
+- :mod:`repro.obs.tracing` — nested wall-clock spans in a ring buffer;
+- :mod:`repro.obs.export` — JSON-lines and Prometheus text exposition;
+- :mod:`repro.obs.instrument` — the pipeline hooks and the global
+  on/off switch;
+- :mod:`repro.obs.catalog` — the catalogue of every emitted metric.
+
+See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from repro.obs import catalog, export
+from repro.obs.instrument import (
+    OBS,
+    collecting,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    reset,
+    session,
+    snapshot,
+    trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer, render_spans
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "catalog",
+    "collecting",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "get_registry",
+    "render_spans",
+    "reset",
+    "session",
+    "snapshot",
+    "trace",
+]

@@ -1,0 +1,93 @@
+"""The metric catalogue: every metric the pipeline emits, in one place.
+
+Instrumentation code registers metrics through these constants rather
+than string literals, so the exported names, the docs table
+(``docs/observability.md``), and the tests can never drift apart.
+
+Prometheus flat name = ``{subsystem}_{name}`` (e.g. the
+``("query", "candidates_total")`` counter exports as
+``query_candidates_total``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# (subsystem, name) keys
+# ---------------------------------------------------------------------------
+
+# Query phase (Algorithm 5) — one bump per top-k query.
+QUERY_CANDIDATES = ("query", "candidates_total")
+QUERY_PRUNED_BY_BOUND = ("query", "pruned_by_bound_total")
+QUERY_SKIPPED_BY_TERMINATION = ("query", "skipped_by_termination_total")
+QUERY_SCREENED = ("query", "screened_total")
+QUERY_REFINED = ("query", "refined_total")
+QUERY_SAMPLES = ("query", "samples_total")
+QUERY_FALLBACK = ("query", "fallback_total")
+QUERY_COUNT = ("query", "queries_total")
+QUERY_LATENCY = ("query", "latency_seconds")  # histogram
+
+# Preprocess phase (Algorithms 3 + 4).
+PREPROCESS_SECONDS = ("preprocess", "seconds")  # gauge: last build wall clock
+PREPROCESS_SIGNATURE_SECONDS = ("preprocess", "signature_seconds")
+PREPROCESS_GAMMA_SECONDS = ("preprocess", "gamma_seconds")
+PREPROCESS_INVERT_SECONDS = ("preprocess", "invert_seconds")
+PREPROCESS_BUILDS = ("preprocess", "builds_total")
+PREPROCESS_VERTICES = ("preprocess", "vertices_total")
+
+# Index artefact shape.
+INDEX_BYTES = ("index", "bytes")  # gauge
+INDEX_POSTINGS_LENGTH = ("index", "postings_length")  # histogram
+INDEX_SIGNATURE_MEAN = ("index", "signature_mean")  # gauge
+
+# Monte-Carlo walk engine (Algorithm 1 bundles).
+WALKS_BUNDLES = ("walks", "bundles_total")
+WALKS_WALKS = ("walks", "walks_total")
+WALKS_STEPS = ("walks", "steps_total")
+WALKS_MEETINGS = ("walks", "meeting_events_total")
+
+# Serving-layer result cache.
+CACHE_HITS = ("cache", "hits_total")
+CACHE_MISSES = ("cache", "misses_total")
+CACHE_EVICTIONS = ("cache", "evictions_total")
+CACHE_INVALIDATIONS = ("cache", "invalidations_total")
+
+# Parallel all-vertices sweep.
+PARALLEL_CHUNKS = ("parallel", "chunks_total")
+
+#: key -> (metric kind, one-line meaning); drives docs and sanity tests.
+CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
+    QUERY_CANDIDATES: ("counter", "candidates enumerated across all queries"),
+    QUERY_PRUNED_BY_BOUND: ("counter", "candidates dropped by the L1/L2/trivial bounds"),
+    QUERY_SKIPPED_BY_TERMINATION: ("counter", "candidates skipped by theta-termination"),
+    QUERY_SCREENED: ("counter", "candidates given the cheap R=r_screen estimate"),
+    QUERY_REFINED: ("counter", "candidates re-estimated with the full R=r_pair bundle"),
+    QUERY_SAMPLES: ("counter", "Monte-Carlo walks simulated by queries"),
+    QUERY_FALLBACK: ("counter", "queries that unioned in the distance-ball fallback"),
+    QUERY_COUNT: ("counter", "top-k queries answered"),
+    QUERY_LATENCY: ("histogram", "end-to-end top-k query latency (seconds)"),
+    PREPROCESS_SECONDS: ("gauge", "wall clock of the last full preprocess"),
+    PREPROCESS_SIGNATURE_SECONDS: ("gauge", "Algorithm 4 signature-walk phase of the last build"),
+    PREPROCESS_GAMMA_SECONDS: ("gauge", "Algorithm 3 gamma-table phase of the last build"),
+    PREPROCESS_INVERT_SECONDS: ("gauge", "inverted-list construction phase of the last build"),
+    PREPROCESS_BUILDS: ("counter", "full index builds performed"),
+    PREPROCESS_VERTICES: ("counter", "vertices whose signatures were (re)built"),
+    INDEX_BYTES: ("gauge", "packed payload bytes of the candidate index"),
+    INDEX_POSTINGS_LENGTH: ("histogram", "inverted-list posting lengths"),
+    INDEX_SIGNATURE_MEAN: ("gauge", "mean signature-set size"),
+    WALKS_BUNDLES: ("counter", "reverse-walk bundles simulated"),
+    WALKS_WALKS: ("counter", "individual reverse walks simulated"),
+    WALKS_STEPS: ("counter", "walk steps requested (walks x T)"),
+    WALKS_MEETINGS: ("counter", "series terms with a nonzero collision value"),
+    CACHE_HITS: ("counter", "result-cache hits"),
+    CACHE_MISSES: ("counter", "result-cache misses"),
+    CACHE_EVICTIONS: ("counter", "LRU evictions"),
+    CACHE_INVALIDATIONS: ("counter", "full-cache invalidations"),
+    PARALLEL_CHUNKS: ("counter", "worker chunk registries merged back"),
+}
+
+
+def flat_name(key: Tuple[str, str]) -> str:
+    """Prometheus name for a catalogue key: ``{subsystem}_{name}``."""
+    return f"{key[0]}_{key[1]}"

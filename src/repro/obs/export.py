@@ -1,0 +1,178 @@
+"""Exporters: registry snapshots as JSON lines or Prometheus text.
+
+Both formats work from the picklable plain-dict
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so anything that
+can ship a snapshot (a worker process, a benchmark sidecar, the CLI)
+can export without holding live metric objects.
+
+The JSONL form is loss-less (``parse_jsonl`` round-trips it exactly);
+the Prometheus form follows the text exposition format 0.0.4 —
+``# TYPE`` comments, cumulative ``_bucket`` lines with an ``le`` label,
+``_sum``/``_count`` companions — and is what ``--metrics prom`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = [
+    "to_jsonl",
+    "parse_jsonl",
+    "write_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+    "summary_rows",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+def to_jsonl(snapshot: dict) -> str:
+    """One JSON object per metric, sorted by key — diff-friendly."""
+    lines: List[str] = []
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(json.dumps(
+            {"kind": "counter", "key": key, "value": value}, sort_keys=True
+        ))
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(json.dumps(
+            {"kind": "gauge", "key": key, "value": value}, sort_keys=True
+        ))
+    for key, payload in sorted(snapshot.get("histograms", {}).items()):
+        lines.append(json.dumps(
+            {
+                "kind": "histogram",
+                "key": key,
+                "buckets": payload["buckets"],
+                "counts": payload["counts"],
+                "sum": payload["sum"],
+                "count": payload["count"],
+            },
+            sort_keys=True,
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> dict:
+    """Inverse of :func:`to_jsonl`; returns a snapshot dict."""
+    snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"metrics JSONL line {lineno} is not JSON: {exc}") from exc
+        kind = record.get("kind")
+        key = record.get("key")
+        if not isinstance(key, str):
+            raise ValueError(f"metrics JSONL line {lineno} is missing 'key'")
+        if kind == "counter":
+            snapshot["counters"][key] = float(record["value"])
+        elif kind == "gauge":
+            snapshot["gauges"][key] = float(record["value"])
+        elif kind == "histogram":
+            snapshot["histograms"][key] = {
+                "buckets": [float(b) for b in record["buckets"]],
+                "counts": [int(c) for c in record["counts"]],
+                "sum": float(record["sum"]),
+                "count": int(record["count"]),
+            }
+        else:
+            raise ValueError(f"metrics JSONL line {lineno} has unknown kind {kind!r}")
+    return snapshot
+
+
+def write_jsonl(snapshot: dict, path: Union[str, Path]) -> Path:
+    """Write the JSONL export to ``path`` (benchmark sidecars)."""
+    path = Path(path)
+    path.write_text(to_jsonl(snapshot))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(key: str) -> str:
+    """``subsystem.name`` -> ``subsystem_name`` with invalid chars mapped."""
+    flat = key.replace(".", "_")
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in flat)
+
+
+def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Prometheus text-format 0.0.4 rendering of a snapshot."""
+    lines: List[str] = []
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        name = _prom_name(key)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_prom_number(value)}")
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        name = _prom_name(key)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_prom_number(value)}")
+    for key, payload in sorted(snapshot.get("histograms", {}).items()):
+        name = _prom_name(key)
+        lines.append(f"# TYPE {name} histogram")
+        running = 0
+        for bound, count in zip(payload["buckets"], payload["counts"]):
+            running += int(count)
+            lines.append(f'{name}_bucket{{le="{_prom_number(float(bound))}"}} {running}')
+        running += int(payload["counts"][-1])
+        lines.append(f'{name}_bucket{{le="+Inf"}} {running}')
+        lines.append(f"{name}_sum {_prom_number(payload['sum'])}")
+        lines.append(f"{name}_count {int(payload['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Samples of a Prometheus text page as ``{sample_name: value}``.
+
+    Labelled samples (histogram ``_bucket`` lines) key as
+    ``name{le="..."}`` verbatim.  Used by the round-trip tests and handy
+    for asserting on CLI output; not a full openmetrics parser.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"prometheus line {lineno} is malformed: {line!r}")
+        samples[name] = float(value)
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Human summary (the ``--metrics summary`` CLI mode)
+# ---------------------------------------------------------------------------
+
+def summary_rows(snapshot: dict) -> List[List[str]]:
+    """``[metric, kind, value]`` rows for a text table."""
+    rows: List[List[str]] = []
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        rows.append([_prom_name(key), "counter", _prom_number(value)])
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        rows.append([_prom_name(key), "gauge", f"{value:.6g}"])
+    for key, payload in sorted(snapshot.get("histograms", {}).items()):
+        count = int(payload["count"])
+        mean = payload["sum"] / count if count else 0.0
+        rows.append(
+            [_prom_name(key), "histogram", f"count={count} mean={mean:.6g}"]
+        )
+    return rows

@@ -1,0 +1,205 @@
+"""Instrumentation glue between the pipeline and the metrics registry.
+
+The whole subsystem hangs off one module-level switch, ``OBS.enabled``
+(default ``False``).  Every hook site in the hot paths is written as::
+
+    from repro.obs import instrument as obs
+    ...
+    if obs.OBS.enabled:
+        obs.record_query(stats)
+
+so the *disabled* cost is a single attribute check — no function call,
+no allocation — which is what keeps the tier-1 benchmark numbers
+untouched when metrics are off.
+
+**Scoped registries** (:func:`collecting`) exist for the parallel
+sweep: each worker chunk collects into a private registry, ships its
+snapshot back, and the parent merges — giving one registry whose
+counter totals are identical to a sequential run's, regardless of how
+vertices were chunked.  The same mechanism isolates per-benchmark
+sidecars without disturbing a surrounding session registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs import catalog
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Tracer
+
+
+class Observability:
+    """Process-wide observability state (one instance: :data:`OBS`)."""
+
+    __slots__ = ("enabled", "registry", "tracer", "_stack")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self._stack: List[MetricsRegistry] = []
+
+
+OBS = Observability()
+
+
+# ---------------------------------------------------------------------------
+# Switches
+# ---------------------------------------------------------------------------
+
+def enable(tracing: bool = False) -> None:
+    """Turn metric collection on (and optionally span tracing)."""
+    OBS.enabled = True
+    if tracing:
+        OBS.tracer.enable()
+
+
+def disable() -> None:
+    """Turn collection off; recorded metrics are kept until :func:`reset`."""
+    OBS.enabled = False
+    OBS.tracer.disable()
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+def reset() -> None:
+    """Drop all recorded metrics and spans (the on/off switches are kept)."""
+    OBS.registry.reset()
+    OBS.tracer.clear()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry currently collecting (scoped one if inside :func:`collecting`)."""
+    return OBS._stack[-1] if OBS._stack else OBS.registry
+
+
+def snapshot() -> dict:
+    """Snapshot of the active registry."""
+    return get_registry().snapshot()
+
+
+def trace(name: str, **attrs: object):
+    """Span context manager on the global tracer (no-op when disabled)."""
+    return OBS.tracer.trace(name, **attrs)
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Route all recording to a private registry inside the block.
+
+    Used by parallel worker chunks and benchmark sidecars.  Nestable;
+    the previous target is restored on exit.
+    """
+    target = registry if registry is not None else MetricsRegistry()
+    OBS._stack.append(target)
+    try:
+        yield target
+    finally:
+        OBS._stack.pop()
+
+
+@contextmanager
+def session(tracing: bool = False) -> Iterator[MetricsRegistry]:
+    """Enable collection for the block, restoring the prior switch after.
+
+    Convenience for tests and notebooks::
+
+        with obs.session() as registry:
+            engine.top_k(5)
+        print(registry.counter_value("query", "queries_total"))
+    """
+    was_enabled = OBS.enabled
+    enable(tracing=tracing)
+    try:
+        with collecting() as registry:
+            yield registry
+    finally:
+        if not was_enabled:
+            disable()
+
+
+# ---------------------------------------------------------------------------
+# Recording hooks (callers gate on OBS.enabled first)
+# ---------------------------------------------------------------------------
+
+def record_query(stats) -> None:
+    """Fold one query's :class:`~repro.core.query.QueryStats` into the registry."""
+    registry = get_registry()
+    registry.counter(*catalog.QUERY_COUNT).inc()
+    registry.counter(*catalog.QUERY_CANDIDATES).inc(stats.candidates)
+    registry.counter(*catalog.QUERY_PRUNED_BY_BOUND).inc(stats.pruned_by_bound)
+    registry.counter(*catalog.QUERY_SKIPPED_BY_TERMINATION).inc(
+        stats.skipped_by_termination
+    )
+    registry.counter(*catalog.QUERY_SCREENED).inc(stats.screened)
+    registry.counter(*catalog.QUERY_REFINED).inc(stats.refined)
+    registry.counter(*catalog.QUERY_SAMPLES).inc(stats.walks_simulated)
+    if stats.fallback_used:
+        registry.counter(*catalog.QUERY_FALLBACK).inc()
+    registry.histogram(*catalog.QUERY_LATENCY).observe(stats.elapsed_seconds)
+
+
+def record_preprocess(
+    vertices: int,
+    seconds: float,
+    signature_seconds: float = 0.0,
+    gamma_seconds: float = 0.0,
+    invert_seconds: float = 0.0,
+) -> None:
+    """One full index build (Algorithm 4 + Algorithm 3 + inverted lists)."""
+    registry = get_registry()
+    registry.counter(*catalog.PREPROCESS_BUILDS).inc()
+    registry.counter(*catalog.PREPROCESS_VERTICES).inc(vertices)
+    registry.gauge(*catalog.PREPROCESS_SECONDS).set(seconds)
+    registry.gauge(*catalog.PREPROCESS_SIGNATURE_SECONDS).set(signature_seconds)
+    registry.gauge(*catalog.PREPROCESS_GAMMA_SECONDS).set(gamma_seconds)
+    registry.gauge(*catalog.PREPROCESS_INVERT_SECONDS).set(invert_seconds)
+
+
+def record_index(index) -> None:
+    """Shape of a freshly built/loaded :class:`~repro.core.index.CandidateIndex`."""
+    registry = get_registry()
+    registry.gauge(*catalog.INDEX_BYTES).set(index.nbytes())
+    registry.gauge(*catalog.INDEX_SIGNATURE_MEAN).set(
+        index.signature_size_stats()["mean"]
+    )
+    postings = registry.histogram(
+        *catalog.INDEX_POSTINGS_LENGTH, buckets=DEFAULT_SIZE_BUCKETS
+    )
+    for posting in index.inverted.values():
+        postings.observe(len(posting))
+
+
+def record_walk_bundle(walks: int, steps: int, meetings: int = 0) -> None:
+    """One Monte-Carlo bundle: ``walks`` reverse walks of ``steps`` total steps."""
+    registry = get_registry()
+    registry.counter(*catalog.WALKS_BUNDLES).inc()
+    registry.counter(*catalog.WALKS_WALKS).inc(walks)
+    registry.counter(*catalog.WALKS_STEPS).inc(steps)
+    if meetings:
+        registry.counter(*catalog.WALKS_MEETINGS).inc(meetings)
+
+
+def record_cache(event: str, amount: int = 1) -> None:
+    """Cache event: ``"hit"``, ``"miss"``, ``"eviction"``, or ``"invalidation"``."""
+    key = {
+        "hit": catalog.CACHE_HITS,
+        "miss": catalog.CACHE_MISSES,
+        "eviction": catalog.CACHE_EVICTIONS,
+        "invalidation": catalog.CACHE_INVALIDATIONS,
+    }[event]
+    get_registry().counter(*key).inc(amount)
+
+
+def merge_worker_snapshot(worker_snapshot: dict) -> None:
+    """Fold a worker chunk's registry snapshot into the active registry."""
+    registry = get_registry()
+    registry.counter(*catalog.PARALLEL_CHUNKS).inc()
+    registry.merge(worker_snapshot)

@@ -1,0 +1,304 @@
+"""Process-local metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns every metric of one process, keyed by
+``(subsystem, name)`` — e.g. ``("query", "candidates_total")`` — so the
+exporters can render Prometheus-style flat names
+(``query_candidates_total``) without a separate naming layer.
+
+Design constraints, in order:
+
+1. **Cheap when hot.**  The query pipeline records a handful of counter
+   increments per query; each increment is one lock-free-in-practice
+   ``+=`` under a per-metric :class:`threading.Lock` (uncontended locks
+   are ~100ns in CPython — negligible against a multi-ms query).
+2. **Mergeable.**  ``top_k_all_parallel`` workers each fill a private
+   registry and ship a picklable :meth:`MetricsRegistry.snapshot` back;
+   the parent folds them in with :meth:`MetricsRegistry.merge`.  Merge
+   semantics: counters and histograms **add**, gauges take the **max**
+   of values that were actually set (deterministic regardless of chunk
+   arrival order).
+3. **Exact.**  Histograms keep per-bucket (non-cumulative) counts plus
+   the running sum/count, so merged histograms are bit-identical to a
+   sequential run's.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Latency buckets (seconds): sub-ms to tens of seconds, Prometheus style.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Generic size/count buckets (postings lengths, candidate counts, ...).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 10000,
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, walks, cache hits)."""
+
+    __slots__ = ("subsystem", "name", "value", "_lock")
+
+    def __init__(self, subsystem: str, name: str) -> None:
+        self.subsystem = subsystem
+        self.name = name
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (index bytes, last preprocess seconds)."""
+
+    __slots__ = ("subsystem", "name", "value", "updated", "_lock")
+
+    def __init__(self, subsystem: str, name: str) -> None:
+        self.subsystem = subsystem
+        self.name = name
+        self.value: float = 0.0
+        self.updated: bool = False
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+            self.updated = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+            self.updated = True
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum/count.
+
+    ``buckets`` are the *upper bounds* of the finite buckets, strictly
+    increasing; an implicit +Inf bucket catches the overflow.  Internal
+    counts are per-bucket (non-cumulative); the Prometheus exporter
+    cumulates at render time.
+    """
+
+    __slots__ = ("subsystem", "name", "buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(
+        self,
+        subsystem: str,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.subsystem = subsystem
+        self.name = name
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (bucket upper bounds are inclusive)."""
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (last entry == count)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; the last finite bound for +Inf)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, c in zip(self.buckets, self.counts):
+            running += c
+            if running >= target:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """All metrics of one process, keyed by ``(subsystem, name)``.
+
+    Get-or-create accessors are idempotent: asking twice for the same
+    counter returns the same object; asking for an existing name with a
+    different *kind* raises, catching subsystem/name collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+
+    def _get_or_create(self, kind: type, subsystem: str, name: str, *args):
+        key = (str(subsystem), str(name))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {subsystem}.{name} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = kind(subsystem, name, *args)
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, subsystem: str, name: str) -> Counter:
+        return self._get_or_create(Counter, subsystem, name)
+
+    def gauge(self, subsystem: str, name: str) -> Gauge:
+        return self._get_or_create(Gauge, subsystem, name)
+
+    def histogram(
+        self,
+        subsystem: str,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, subsystem, name, buckets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable:
+        return iter(sorted(self._metrics.items()))
+
+    def get(self, subsystem: str, name: str) -> Optional[object]:
+        """The metric at ``(subsystem, name)``, or None."""
+        return self._metrics.get((subsystem, name))
+
+    def counter_value(self, subsystem: str, name: str) -> float:
+        """Value of a counter, 0.0 if it was never created."""
+        metric = self._metrics.get((subsystem, name))
+        return metric.value if isinstance(metric, Counter) else 0.0
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (the ProcessPoolExecutor hand-off)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable plain-dict state, stable across processes.
+
+        Shape::
+
+            {"counters":   {"query.candidates_total": 12.0, ...},
+             "gauges":     {"index.bytes": 8192.0, ...},
+             "histograms": {"query.latency_seconds":
+                            {"buckets": [...], "counts": [...],
+                             "sum": 0.12, "count": 9}, ...}}
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for (subsystem, name), metric in sorted(items):
+            key = f"{subsystem}.{name}"
+            if isinstance(metric, Counter):
+                counters[key] = metric.value
+            elif isinstance(metric, Gauge):
+                if metric.updated:
+                    gauges[key] = metric.value
+            elif isinstance(metric, Histogram):
+                histograms[key] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or a :meth:`snapshot`) into this one.
+
+        Counters and histograms add; gauges take the max of set values.
+        Histograms merged into an existing metric must share its bucket
+        bounds — silently mixing resolutions would corrupt quantiles.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for key, value in snap.get("counters", {}).items():
+            subsystem, name = _split_key(key)
+            self.counter(subsystem, name).inc(value)
+        for key, value in snap.get("gauges", {}).items():
+            subsystem, name = _split_key(key)
+            gauge = self.gauge(subsystem, name)
+            if not gauge.updated or value > gauge.value:
+                gauge.set(value)
+        for key, payload in snap.get("histograms", {}).items():
+            subsystem, name = _split_key(key)
+            hist = self.histogram(subsystem, name, payload["buckets"])
+            if list(hist.buckets) != [float(b) for b in payload["buckets"]]:
+                raise ValueError(
+                    f"histogram {key} bucket mismatch: "
+                    f"{hist.buckets} vs {payload['buckets']}"
+                )
+            with hist._lock:
+                for i, c in enumerate(payload["counts"]):
+                    hist.counts[i] += int(c)
+                hist.sum += float(payload["sum"])
+                hist.count += int(payload["count"])
+
+    def reset(self) -> None:
+        """Drop every metric (tests and per-bench sidecars)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    subsystem, _, name = key.partition(".")
+    if not name:
+        raise ValueError(f"metric key {key!r} is not 'subsystem.name'")
+    return subsystem, name

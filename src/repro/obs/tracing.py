@@ -1,0 +1,137 @@
+"""Lightweight span tracing with a ring buffer and a no-op fast path.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace("query.topk", u=42):
+        with trace("query.candidates"):
+            ...
+
+When tracing is disabled (the default), :func:`trace` returns a shared
+no-op context manager — the cost is one attribute check plus an empty
+``with`` block, no allocation.  When enabled, each exit appends a
+:class:`Span` (name, start, duration, nesting depth, attributes) to a
+bounded ring buffer, so a long-running service never grows its trace
+memory — the newest ``capacity`` spans win.
+
+Nesting depth is tracked per-thread, so spans recorded from a thread
+pool interleave without corrupting each other's depth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One completed traced region."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class _NoopContext:
+    """Reusable, re-entrant do-nothing context manager (the fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP = _NoopContext()
+
+
+class Tracer:
+    """Bounded recorder of nested wall-clock spans."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled: bool = False
+        self.capacity = capacity
+        self._buffer: List[Optional[Span]] = [None] * capacity
+        self._next = 0  # total spans ever written; write slot = _next % capacity
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def trace(self, name: str, **attrs: object):
+        """Context manager timing its body as a span named ``name``."""
+        if not self.enabled:
+            return _NOOP
+        return self._record(name, attrs)
+
+    @contextmanager
+    def _record(self, name: str, attrs: Dict[str, object]) -> Iterator[None]:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._local.depth = depth
+            span = Span(name=name, start=start, duration=duration, depth=depth, attrs=attrs)
+            with self._lock:
+                self._buffer[self._next % self.capacity] = span
+                self._next += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring buffer since the last clear."""
+        return max(0, self._next - self.capacity)
+
+    def spans(self) -> List[Span]:
+        """Recorded spans, oldest first (at most ``capacity`` of them)."""
+        with self._lock:
+            if self._next <= self.capacity:
+                recorded = self._buffer[: self._next]
+            else:
+                head = self._next % self.capacity
+                recorded = self._buffer[head:] + self._buffer[:head]
+        return [span for span in recorded if span is not None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer = [None] * self.capacity
+            self._next = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+
+def render_spans(spans: List[Span]) -> str:
+    """Indented text rendering of a span list (debug/CLI output)."""
+    lines = []
+    for span in spans:
+        indent = "  " * span.depth
+        attrs = (
+            " " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            if span.attrs
+            else ""
+        )
+        lines.append(f"{indent}{span.name}: {span.duration * 1e3:.3f} ms{attrs}")
+    return "\n".join(lines)

@@ -21,7 +21,6 @@ from __future__ import annotations
 import math
 from typing import Dict
 
-import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph

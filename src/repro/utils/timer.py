@@ -63,6 +63,41 @@ class Timer:
             return ordered[mid]
         return 0.5 * (ordered[mid - 1] + ordered[mid])
 
+    def percentile(self, p: float) -> float:
+        """The p-th percentile interval, linearly interpolated.
+
+        ``p`` is in [0, 100].  Tail percentiles are *the* serving
+        metric: a mean hides the slow queries users actually feel.
+
+        >>> t = Timer(intervals=[0.1, 0.2, 0.3, 0.4])
+        >>> round(t.percentile(50), 3)
+        0.25
+        >>> t.percentile(100)
+        0.4
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.intervals:
+            return 0.0
+        ordered = sorted(self.intervals)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile interval in seconds."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile interval in seconds."""
+        return self.percentile(99.0)
+
     @property
     def last(self) -> float:
         """Most recent interval in seconds (0.0 when nothing was measured)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.core.engine import SimRankEngine
 from repro.core.query import TopKResult
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
+from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -82,11 +83,17 @@ def zipf_workload(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of a :class:`CachedSimRankEngine`."""
+    """Hit/miss counters of a :class:`CachedSimRankEngine`.
+
+    Kept as the per-instance view; when ``repro.obs`` is enabled the
+    same events also flow into the global registry (``cache_hits_total``
+    etc.), where counts from every cache instance aggregate.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -123,18 +130,27 @@ class CachedSimRankEngine:
         if cached is not None:
             self._store.move_to_end(key)
             self.stats.hits += 1
+            if obs.OBS.enabled:
+                obs.record_cache("hit")
             return cached
         self.stats.misses += 1
+        if obs.OBS.enabled:
+            obs.record_cache("miss")
         result = self._engine.top_k(int(u), k=k)
         self._store[key] = result
         if len(self._store) > self._capacity:
             self._store.popitem(last=False)
             self.stats.evictions += 1
+            if obs.OBS.enabled:
+                obs.record_cache("eviction")
         return result
 
     def invalidate(self) -> None:
         """Drop every cached result (call after graph/index changes)."""
         self._store.clear()
+        self.stats.invalidations += 1
+        if obs.OBS.enabled:
+            obs.record_cache("invalidation")
 
     def replace_engine(self, engine: SimRankEngine) -> None:
         """Swap the wrapped engine and invalidate the cache."""

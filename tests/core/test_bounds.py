@@ -5,15 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.bounds import (
-    GammaTable,
-    combined_upper_bound,
-    compute_alpha_beta,
-    compute_gamma,
-    compute_gamma_all,
-    paper_trivial_bound,
-    trivial_bound,
-)
+from repro.core.bounds import combined_upper_bound, compute_alpha_beta, compute_gamma, compute_gamma_all, paper_trivial_bound, trivial_bound
 from repro.core.config import SimRankConfig
 from repro.core.linear import single_pair_series
 from repro.errors import ConfigError, VertexError

@@ -123,7 +123,6 @@ class TestEstimatedDiagonal:
     """Remark 1: a better D sharpens scores without changing the machinery."""
 
     def test_scores_closer_to_exact_simrank(self, claw):
-        from repro.core.linear import single_pair_series
 
         config = SimRankConfig(c=0.8, T=25, r_pair=50, r_alphabeta=50,
                                r_gamma=30, index_walks=3, index_checks=2)

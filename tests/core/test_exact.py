@@ -14,7 +14,7 @@ from repro.core.exact import (
 )
 from repro.errors import ConfigError, VertexError
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph.generators import cycle_graph, path_graph, star_graph
 
 
 class TestIterationCount:

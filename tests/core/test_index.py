@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import SimRankConfig
 from repro.core.exact import exact_simrank
 from repro.core.index import CandidateIndex, build_index, build_signatures
 from repro.errors import SerializationError, VertexError

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import SimRankConfig
 from repro.core.exact import exact_simrank, exact_top_k
 from repro.core.index import build_index
-from repro.core.query import TopKResult, top_k_query
+from repro.core.query import top_k_query
 from repro.errors import VertexError
 
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.walks import DEAD, PositionSketch, WalkEngine, sketch_from_walks
+from repro.core.walks import DEAD, WalkEngine, sketch_from_walks
 from repro.errors import VertexError
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import cycle_graph, path_graph, star_graph
 
 

@@ -2,16 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import SimRankConfig
-from repro.experiments.ablation import (
-    VARIANTS,
-    AblationRow,
-    render_ablation,
-    run_ablation,
-)
+from repro.experiments.ablation import VARIANTS, render_ablation, run_ablation
 from repro.graph.generators import copying_web_graph
 
 

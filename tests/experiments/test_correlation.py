@@ -5,12 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.correlation import (
-    CorrelationResult,
-    render_correlation,
-    run_correlation,
-    topk_overlap,
-)
+from repro.experiments.correlation import render_correlation, run_correlation, topk_overlap
 
 
 class TestTopkOverlap:

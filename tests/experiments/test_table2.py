@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.table2 import Table2Row, render_table2, run_table2
+from repro.experiments.table2 import render_table2, run_table2
 from repro.graph.datasets import dataset_names
 
 

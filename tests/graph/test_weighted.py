@@ -8,8 +8,7 @@ import pytest
 from repro.core.exact import exact_simrank
 from repro.core.linear import single_source_series
 from repro.errors import GraphFormatError, VertexError
-from repro.graph.csr import CSRGraph
-from repro.graph.generators import preferential_attachment, star_graph
+from repro.graph.generators import preferential_attachment
 from repro.graph.weighted import (
     WeightedGraph,
     weighted_exact_simrank,

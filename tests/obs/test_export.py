@@ -1,0 +1,114 @@
+"""Tests for the JSONL / Prometheus exporters and their round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import (
+    parse_jsonl,
+    parse_prometheus,
+    summary_rows,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("query", "candidates_total").inc(12)
+    registry.counter("query", "samples_total").inc(3400)
+    registry.gauge("preprocess", "seconds").set(1.5)
+    hist = registry.histogram("query", "latency_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, registry):
+        snap = registry.snapshot()
+        assert parse_jsonl(to_jsonl(snap)) == snap
+
+    def test_one_json_object_per_line(self, registry):
+        import json
+
+        lines = to_jsonl(registry.snapshot()).strip().splitlines()
+        assert len(lines) == 4  # 2 counters + 1 gauge + 1 histogram
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in ("counter", "gauge", "histogram")
+
+    def test_empty_snapshot_round_trips(self):
+        snap = MetricsRegistry().snapshot()
+        assert to_jsonl(snap) == ""
+        assert parse_jsonl("") == snap
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ValueError):
+            parse_jsonl("not json")
+        with pytest.raises(ValueError):
+            parse_jsonl('{"kind": "counter", "value": 1}')  # no key
+        with pytest.raises(ValueError):
+            parse_jsonl('{"kind": "nope", "key": "a.b"}')
+
+    def test_write_jsonl(self, registry, tmp_path):
+        path = write_jsonl(registry.snapshot(), tmp_path / "metrics.jsonl")
+        assert parse_jsonl(path.read_text()) == registry.snapshot()
+
+    def test_registry_merge_of_parsed_snapshot(self, registry):
+        # The sidecar file can be folded back into a live registry.
+        parsed = parse_jsonl(to_jsonl(registry.snapshot()))
+        other = MetricsRegistry()
+        other.merge(parsed)
+        assert other.snapshot() == registry.snapshot()
+
+
+class TestPrometheus:
+    def test_samples_and_types(self, registry):
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE query_candidates_total counter" in text
+        assert "# TYPE preprocess_seconds gauge" in text
+        assert "# TYPE query_latency_seconds histogram" in text
+        samples = parse_prometheus(text)
+        assert samples["query_candidates_total"] == 12
+        assert samples["preprocess_seconds"] == 1.5
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        samples = parse_prometheus(to_prometheus(registry.snapshot()))
+        assert samples['query_latency_seconds_bucket{le="0.01"}'] == 1
+        assert samples['query_latency_seconds_bucket{le="0.1"}'] == 2
+        assert samples['query_latency_seconds_bucket{le="1"}'] == 3
+        assert samples['query_latency_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["query_latency_seconds_count"] == 4
+        assert samples["query_latency_seconds_sum"] == pytest.approx(5.555)
+
+    def test_inf_bucket_equals_count(self, registry):
+        samples = parse_prometheus(to_prometheus(registry.snapshot()))
+        assert (
+            samples['query_latency_seconds_bucket{le="+Inf"}']
+            == samples["query_latency_seconds_count"]
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("justonetoken")
+
+
+class TestSummary:
+    def test_rows_cover_every_metric(self, registry):
+        rows = summary_rows(registry.snapshot())
+        names = {row[0] for row in rows}
+        assert names == {
+            "query_candidates_total",
+            "query_samples_total",
+            "preprocess_seconds",
+            "query_latency_seconds",
+        }
+        kinds = {row[0]: row[1] for row in rows}
+        assert kinds["query_latency_seconds"] == "histogram"

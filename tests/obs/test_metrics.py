@@ -1,0 +1,206 @@
+"""Tests for the metrics primitives: registry, merge semantics, buckets."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("query", "candidates_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x", "y").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("index", "bytes")
+        assert not gauge.updated
+        gauge.set(100)
+        gauge.inc(10)
+        gauge.dec(60)
+        assert gauge.value == 50.0
+        assert gauge.updated
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive(self):
+        hist = Histogram("q", "lat", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # lands in the le=1.0 bucket, not le=2.0
+        hist.observe(1.5)
+        hist.observe(2.0)
+        hist.observe(2.5)  # overflow -> +Inf
+        assert hist.counts == [1, 2, 1]
+        assert hist.cumulative_counts() == [1, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(7.0)
+
+    def test_below_first_bucket(self):
+        hist = Histogram("q", "lat", buckets=(1.0,))
+        hist.observe(0.0)
+        hist.observe(-5.0)  # pathological but must not crash or misfile
+        assert hist.counts == [2, 0]
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("q", "lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("q", "lat", buckets=())
+
+    def test_mean_and_quantile(self):
+        hist = Histogram("q", "lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(5.6 / 4)
+        assert hist.quantile(0.5) == 1.0  # 2 of 4 observations at le=1.0
+        assert hist.quantile(1.0) == 4.0
+        assert Histogram("q", "x", buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_overflow_returns_last_bound(self):
+        hist = Histogram("q", "lat", buckets=(1.0, 2.0))
+        hist.observe(99.0)
+        assert hist.quantile(0.9) == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("query", "candidates_total")
+        b = registry.counter("query", "candidates_total")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("query", "x")
+        with pytest.raises(TypeError):
+            registry.gauge("query", "x")
+
+    def test_counter_value_for_missing_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("no", "such") == 0.0
+
+    def test_snapshot_only_reports_set_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("a", "unset")
+        registry.gauge("a", "set").set(3)
+        snap = registry.snapshot()
+        assert "a.set" in snap["gauges"]
+        assert "a.unset" not in snap["gauges"]
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("a", "b").inc()
+        registry.histogram("c", "d").observe(0.1)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a", "b").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_threaded_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("q", "n")
+        hist = registry.histogram("q", "h", buckets=(0.5,))
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+        assert hist.count == 4000
+
+
+class TestMerge:
+    def make(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("query", "candidates_total").inc(7)
+        registry.gauge("index", "bytes").set(100)
+        hist = registry.histogram("query", "latency_seconds", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        return registry
+
+    def test_counters_add(self):
+        left, right = self.make(), self.make()
+        left.merge(right)
+        assert left.counter_value("query", "candidates_total") == 14
+
+    def test_gauges_take_max(self):
+        left, right = self.make(), self.make()
+        right.gauge("index", "bytes").set(50)
+        left.merge(right)
+        assert left.gauge("index", "bytes").value == 100
+        right.gauge("index", "bytes").set(500)
+        left.merge(right)
+        assert left.gauge("index", "bytes").value == 500
+
+    def test_histograms_add_bucketwise(self):
+        left, right = self.make(), self.make()
+        left.merge(right)
+        hist = left.histogram("query", "latency_seconds", buckets=(1.0, 2.0))
+        assert hist.counts == [2, 2, 0]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(4.0)
+
+    def test_merge_accepts_snapshot_dict(self):
+        left, right = self.make(), self.make()
+        left.merge(right.snapshot())
+        assert left.counter_value("query", "candidates_total") == 14
+
+    def test_merge_into_empty_equals_source(self):
+        source = self.make()
+        empty = MetricsRegistry()
+        empty.merge(source)
+        assert empty.snapshot() == source.snapshot()
+
+    def test_bucket_mismatch_raises(self):
+        left = MetricsRegistry()
+        left.histogram("q", "h", buckets=(1.0,)).observe(0.5)
+        right = MetricsRegistry()
+        right.histogram("q", "h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_is_associative_for_counters(self):
+        a, b, c = self.make(), self.make(), self.make()
+        ab_c = MetricsRegistry()
+        ab_c.merge(a)
+        ab_c.merge(b)
+        ab_c.merge(c)
+        a_bc = MetricsRegistry()
+        bc = MetricsRegistry()
+        bc.merge(b)
+        bc.merge(c)
+        a_bc.merge(a)
+        a_bc.merge(bc)
+        assert ab_c.snapshot() == a_bc.snapshot()
+
+    def test_default_latency_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)

@@ -1,0 +1,104 @@
+"""Tests for the span tracer: nesting, ring buffer, no-op fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import Tracer, _NOOP, render_spans
+
+
+class TestFastPath:
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.trace("a") is tracer.trace("b") is _NOOP
+
+    def test_noop_records_nothing(self):
+        tracer = Tracer()
+        with tracer.trace("a"):
+            pass
+        assert tracer.spans() == []
+
+
+class TestRecording:
+    def test_span_fields(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.trace("query.topk", u=42):
+            pass
+        (span,) = tracer.spans()
+        assert span.name == "query.topk"
+        assert span.attrs == {"u": 42}
+        assert span.depth == 0
+        assert span.duration >= 0
+
+    def test_nesting_depths(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+            with tracer.trace("sibling"):
+                pass
+        spans = {span.name: span for span in tracer.spans()}
+        assert spans["outer"].depth == 0
+        assert spans["inner"].depth == 1
+        assert spans["sibling"].depth == 1
+
+    def test_depth_restored_after_exception(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("boom"):
+                raise RuntimeError("x")
+        with tracer.trace("after"):
+            pass
+        assert {span.depth for span in tracer.spans()} == {0}
+
+    def test_spans_record_in_completion_order(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["inner", "outer"]
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        for i in range(10):
+            with tracer.trace(f"s{i}"):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [span.name for span in spans] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped == 6
+
+    def test_clear(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        with tracer.trace("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestRender:
+    def test_render_indents_by_depth(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.trace("outer", u=1):
+            with tracer.trace("inner"):
+                pass
+        text = render_spans(tracer.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("  inner:")
+        assert lines[1].startswith("outer:")
+        assert "u=1" in lines[1]

@@ -87,3 +87,53 @@ class TestPairAndInfo:
     def test_missing_subcommand_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMetricsFlag:
+    def test_query_metrics_prom_is_valid_exposition(self, graph_file, capsys):
+        from repro.obs.export import parse_prometheus
+
+        assert main(["query", "--graph", str(graph_file), "--vertex", "5",
+                     "-k", "5", "--metrics", "prom"]) == 0
+        out = capsys.readouterr().out
+        prom_text = out[out.index("# TYPE"):]
+        samples = parse_prometheus(prom_text)
+        assert samples["query_candidates_total"] > 0
+        assert "query_pruned_by_bound_total" in samples
+        assert samples["query_samples_total"] > 0
+        assert samples["preprocess_seconds"] > 0
+        assert samples['query_latency_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["query_latency_seconds_count"] == 1
+
+    def test_query_metrics_json_round_trips(self, graph_file, capsys):
+        from repro.obs.export import parse_jsonl
+
+        assert main(["query", "--graph", str(graph_file), "--vertex", "5",
+                     "--metrics", "json"]) == 0
+        out = capsys.readouterr().out
+        jsonl = "\n".join(
+            line for line in out.splitlines() if line.startswith("{")
+        )
+        snapshot = parse_jsonl(jsonl)
+        assert snapshot["counters"]["query.queries_total"] == 1
+
+    def test_build_index_metrics_summary(self, graph_file, tmp_path, capsys):
+        index = tmp_path / "index.npz"
+        assert main(["build-index", "--graph", str(graph_file),
+                     "--index", str(index), "--metrics", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "preprocess_seconds" in out
+        assert "index_bytes" in out
+
+    def test_metrics_off_prints_no_exposition(self, graph_file, capsys):
+        assert main(["query", "--graph", str(graph_file), "--vertex", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" not in out
+
+    def test_metrics_flag_leaves_obs_disabled(self, graph_file, capsys):
+        from repro import obs
+
+        assert main(["query", "--graph", str(graph_file), "--vertex", "5",
+                     "--metrics", "prom"]) == 0
+        assert not obs.enabled()
+        obs.reset()

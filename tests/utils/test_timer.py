@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.utils.timer import Timer, timed
 
 
@@ -52,3 +54,31 @@ class TestTimed:
         result, elapsed = timed(lambda: sum(range(1000)))
         assert result == 499500
         assert elapsed >= 0.0
+
+
+class TestPercentiles:
+    def test_percentile_interpolates(self):
+        timer = Timer(intervals=[0.1, 0.2, 0.3, 0.4])
+        assert timer.percentile(0) == pytest.approx(0.1)
+        assert timer.percentile(50) == pytest.approx(0.25)
+        assert timer.percentile(100) == pytest.approx(0.4)
+
+    def test_p95_p99_order(self):
+        timer = Timer(intervals=[float(i) for i in range(100)])
+        assert timer.percentile(50) <= timer.p95 <= timer.p99 <= timer.percentile(100)
+        assert timer.p95 == pytest.approx(94.05)
+        assert timer.p99 == pytest.approx(98.01)
+
+    def test_unsorted_intervals_are_handled(self):
+        timer = Timer(intervals=[0.4, 0.1, 0.3, 0.2])
+        assert timer.percentile(100) == pytest.approx(0.4)
+
+    def test_empty_and_singleton(self):
+        assert Timer().p95 == 0.0
+        assert Timer(intervals=[0.7]).p99 == pytest.approx(0.7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Timer().percentile(101)
+        with pytest.raises(ValueError):
+            Timer().percentile(-1)

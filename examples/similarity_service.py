@@ -1,29 +1,42 @@
 #!/usr/bin/env python
-"""A live similarity service: dynamic updates, caching, duplicate join.
+"""A live similarity service on the ``repro.serve`` stack.
 
-Gluing the library's extension features into the shape of a real
-deployment:
+Boots a real :class:`~repro.serve.server.SimRankServer` on a background
+thread, then exercises it the way a deployment would:
 
-1. serve top-k queries from an LRU-cached engine under a skewed
-   (Zipfian) query stream;
-2. absorb a batch of edge updates with *incremental* index maintenance
-   (only the affected reverse-walk balls are rebuilt) and show the
-   cache invalidation hand-off;
-3. run a threshold similarity join to sweep the graph for
-   near-duplicate pages (the Zheng et al. [39] operation).
+1. fan a skewed (Zipfian) query stream across several client threads —
+   each request passes the admission queue, rides a micro-batch, and is
+   answered against one engine snapshot;
+2. stage crawler edge updates and ``flush`` them *while queries keep
+   flowing*: the rebuilt index is published as an atomic snapshot swap
+   (watch the ``epoch`` field on responses flip, with no errors and no
+   torn answers);
+3. read the ``/healthz`` summary and the Prometheus ``/metrics`` text
+   the server exposes over plain HTTP on the same port.
 
 Run:  python examples/similarity_service.py
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import Counter
 
 from repro import SimRankConfig
 from repro.core.dynamic import DynamicSimRankEngine
-from repro.core.join import similarity_join
 from repro.graph.generators import host_block_web_graph
-from repro.workloads import CachedSimRankEngine, replay, zipf_workload
+from repro.serve import ServeClient, ServeConfig, ServerThread, SimRankServer, http_get
+from repro.workloads import zipf_workload
+
+
+def query_worker(port: int, workload: list, epochs: Counter, lock: threading.Lock) -> None:
+    """One client connection replaying its share of the stream."""
+    with ServeClient("127.0.0.1", port) as client:
+        for vertex in workload:
+            result = client.top_k(vertex)
+            with lock:
+                epochs[result.epoch] += 1
 
 
 def main() -> None:
@@ -31,57 +44,77 @@ def main() -> None:
     config = SimRankConfig.fast().with_(k=10, theta=0.01)
     print(f"serving graph: {graph.n} pages, {graph.m} links")
 
-    # ------------------------------------------------------------------
-    # 1. Serve a skewed query stream through the cache.
-    # ------------------------------------------------------------------
     service = DynamicSimRankEngine(graph, config, seed=11)
-    cache = CachedSimRankEngine(service.engine, capacity=128)
+    server = SimRankServer(
+        service,
+        ServeConfig(port=0, queue_capacity=512, max_batch=8, workers=4),
+    )
+    thread = ServerThread(server)
+    port = thread.start()
+    print(f"server listening on 127.0.0.1:{port}")
+
+    # ------------------------------------------------------------------
+    # 1. Skewed query stream across concurrent client connections.
+    # ------------------------------------------------------------------
     workload = zipf_workload(graph, 400, hot_set_size=40, exponent=1.4, seed=2)
+    n_clients = 4
+    shares = [workload[i::n_clients] for i in range(n_clients)]
+    epochs: Counter = Counter()
+    lock = threading.Lock()
 
     start = time.perf_counter()
-    stats = replay(cache, workload)
+    workers = [
+        threading.Thread(target=query_worker, args=(port, share, epochs, lock))
+        for share in shares
+    ]
+    for worker in workers:
+        worker.start()
+
+    # ------------------------------------------------------------------
+    # 2. Absorb crawler updates mid-stream; flush swaps the snapshot.
+    # ------------------------------------------------------------------
+    with ServeClient("127.0.0.1", port) as admin:
+        staged = admin.update(
+            add=[(10, 500), (11, 500), (12, 501), (600, 13), (601, 13)]
+        )
+        flush = admin.flush()
+    for worker in workers:
+        worker.join()
     elapsed = time.perf_counter() - start
+
     print(
-        f"\nserved {len(workload)} queries in {elapsed:.2f}s "
-        f"(cache hit rate {stats.hit_rate:.0%}, "
-        f"{stats.misses} cold queries, {stats.evictions} evictions)"
+        f"\nserved {len(workload)} queries from {n_clients} client threads "
+        f"in {elapsed:.2f}s"
     )
+    print(
+        f"applied {flush['edits_applied']} link updates "
+        f"({staged['pending']} staged): rebuilt "
+        f"{flush['vertices_affected']}/{graph.n} index rows in "
+        f"{flush['elapsed_seconds'] * 1e3:.0f} ms "
+        f"-> snapshot epoch {flush['epoch']}"
+    )
+    answered = ", ".join(
+        f"epoch {epoch}: {count}" for epoch, count in sorted(epochs.items())
+    )
+    print(f"answers by snapshot ({answered}) — every answer from exactly one epoch")
 
     # ------------------------------------------------------------------
-    # 2. Absorb crawler updates incrementally.
+    # 3. Operational endpoints: /healthz and /metrics over HTTP.
     # ------------------------------------------------------------------
-    updates = [(10, 500), (11, 500), (12, 501), (600, 13), (601, 13)]
-    for u, v in updates:
-        service.add_edge(u, v)
-    flush = service.flush()
-    cache.replace_engine(service.engine)  # cached answers now stale
-    print(
-        f"\napplied {flush.edits_applied} link updates: rebuilt "
-        f"{flush.vertices_affected}/{service.graph.n} index rows in "
-        f"{flush.elapsed_seconds * 1e3:.0f} ms "
-        f"(full rebuild: {flush.full_rebuild})"
-    )
-    result = cache.top_k(10)
-    print(f"post-update top-3 for page 10: {result.items[:3]}")
+    status, body = http_get("127.0.0.1", port, "/healthz")
+    print(f"\nGET /healthz -> {status}: {body.strip()}")
+    status, metrics = http_get("127.0.0.1", port, "/metrics")
+    serve_lines = [
+        line
+        for line in metrics.splitlines()
+        if line.startswith(("serve_", "cache_", "query_prune_rate"))
+    ]
+    print(f"GET /metrics -> {status}, serve-layer series:")
+    for line in serve_lines:
+        print(f"  {line}")
 
-    # ------------------------------------------------------------------
-    # 3. Near-duplicate sweep with the similarity join.
-    # ------------------------------------------------------------------
-    join = similarity_join(
-        service.graph,
-        service.engine.index,
-        theta=0.08,
-        config=config,
-        seed=5,
-    )
-    print(
-        f"\nnear-duplicate join (s >= 0.08): {len(join)} pairs from "
-        f"{join.stats.candidate_pairs} candidates "
-        f"({join.stats.pruned_by_l2} pruned by the L2 bound) "
-        f"in {join.stats.elapsed_seconds:.2f}s"
-    )
-    for u, v, score in join.pairs[:5]:
-        print(f"  pages {u:5d} ~ {v:5d}   s = {score:.3f}")
+    thread.stop()
+    print("\nserver stopped cleanly")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,10 @@ writing Python:
     python -m repro.cli pair  --graph web.txt --vertex 42 --other 99
     python -m repro.cli info  --graph web.txt
 
+    # or run the query server and point clients at it (docs/serving.md)
+    python -m repro.cli serve --graph web.txt --port 7531
+    python -m repro.cli query --remote 127.0.0.1:7531 --vertex 42 -k 10
+
     # any command takes --metrics {off,summary,json,prom} to dump the
     # observability registry after the run (see docs/observability.md)
     python -m repro.cli query --graph web.txt --vertex 42 --metrics prom
@@ -112,8 +116,42 @@ def cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_top_k(vertex: int, k: int, items, footer: str) -> None:
+    table = Table(["rank", "vertex", "simrank"], title=f"top-{k} for vertex {vertex}")
+    for rank, (v, score) in enumerate(items, start=1):
+        table.add_row([rank, v, f"{score:.5f}"])
+    print(table.render())
+    print(footer)
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> int:
+    """Answer the query through a running ``repro serve`` instance."""
+    from repro.serve.client import ServeClient
+
+    host, _, port = args.remote.rpartition(":")
+    host = host or "127.0.0.1"
+    if not port.isdigit():
+        print(f"error: --remote must be HOST:PORT, got {args.remote!r}", file=sys.stderr)
+        return 2
+    with ServeClient(host, int(port)) as client:
+        result = client.top_k(args.vertex, k=args.k)
+    _print_top_k(
+        result.vertex,
+        result.k,
+        result.items,
+        f"(remote {host}:{port}, snapshot epoch {result.epoch})",
+    )
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """Top-k similarity search against a saved (or freshly built) index."""
+    if args.remote:
+        return _cmd_query_remote(args)
+    if not args.graph:
+        print("error: query needs --graph (local) or --remote HOST:PORT",
+              file=sys.stderr)
+        return 2
     graph = _load_graph(args.graph, args.directed)
     engine = SimRankEngine(graph, _config_from_args(args), seed=args.seed)
     if args.index and Path(args.index).exists():
@@ -121,15 +159,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         engine.preprocess()
     result = engine.top_k(args.vertex, k=args.k)
-    table = Table(["rank", "vertex", "simrank"], title=f"top-{args.k} for vertex {args.vertex}")
-    for rank, (vertex, score) in enumerate(result.items, start=1):
-        table.add_row([rank, vertex, f"{score:.5f}"])
-    print(table.render())
-    print(
+    _print_top_k(
+        args.vertex,
+        args.k,
+        result.items,
         f"({result.stats.candidates} candidates, "
         f"{result.stats.pruned_by_bound} pruned, "
         f"{result.stats.refined} refined, "
-        f"{format_seconds(result.stats.elapsed_seconds)})"
+        f"{format_seconds(result.stats.elapsed_seconds)})",
     )
     return 0
 
@@ -142,6 +179,45 @@ def cmd_pair(args: argparse.Namespace) -> int:
     det = engine.single_pair(args.vertex, args.other, method="deterministic")
     print(f"s({args.vertex}, {args.other}) monte-carlo:    {mc:.6f}")
     print(f"s({args.vertex}, {args.other}) deterministic:  {det:.6f}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the batching, load-shedding query server (docs/serving.md)."""
+    import asyncio
+
+    from repro.core.dynamic import DynamicSimRankEngine
+    from repro.serve import ServeConfig, SimRankServer
+
+    graph = _load_graph(args.graph, args.directed)
+    config = _config_from_args(args)
+    print(f"preprocessing {graph.n} vertices / {graph.m} edges ...", flush=True)
+    dynamic = DynamicSimRankEngine(graph, config, seed=args.seed)
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.capacity,
+        shed_policy=args.shed_policy,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window_ms / 1000.0,
+        workers=args.serve_workers,
+        cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
+    )
+    server = SimRankServer(dynamic, serve_config)
+
+    async def _run() -> None:
+        port = await server.start()
+        print(
+            f"serving on {serve_config.host}:{port} "
+            "(NDJSON protocol; HTTP GET /healthz /metrics)",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
     return 0
 
 
@@ -174,9 +250,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser, needs_graph: bool = True) -> None:
+    def common(
+        p: argparse.ArgumentParser,
+        needs_graph: bool = True,
+        graph_required: bool = True,
+    ) -> None:
         if needs_graph:
-            p.add_argument("--graph", required=True, help="edge-list file (.txt/.gz)")
+            p.add_argument(
+                "--graph",
+                required=graph_required,
+                default=None,
+                help="edge-list file (.txt/.gz)",
+            )
             p.add_argument(
                 "--undirected",
                 dest="directed",
@@ -210,11 +295,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.set_defaults(fn=cmd_build_index)
 
     p_query = sub.add_parser("query", help="top-k similarity search")
-    common(p_query)
+    common(p_query, graph_required=False)
     p_query.add_argument("--index", default=None, help="saved index (.npz)")
     p_query.add_argument("--vertex", type=int, required=True)
     p_query.add_argument("-k", type=int, default=10)
+    p_query.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="answer through a running `repro serve` instead of a local engine",
+    )
     p_query.set_defaults(fn=cmd_query)
+
+    p_serve = sub.add_parser("serve", help="run the batching query server")
+    common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7531,
+                         help="listening port (0 = kernel-assigned)")
+    p_serve.add_argument("--capacity", type=int, default=256,
+                         help="admission queue bound before shedding")
+    p_serve.add_argument("--shed-policy", choices=("reject-new", "drop-oldest"),
+                         default="reject-new")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="top-k requests grouped per micro-batch")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="how long the batcher lingers to fill a batch")
+    p_serve.add_argument("--serve-workers", type=int, default=4,
+                         help="executor threads answering queries")
+    p_serve.add_argument("--cache-capacity", type=int, default=1024,
+                         help="per-snapshot LRU result cache size (0 disables)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_pair = sub.add_parser("pair", help="single-pair SimRank score")
     common(p_pair)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -78,6 +78,7 @@ class DynamicSimRankEngine:
         self._pending: List[Tuple[str, int, int]] = []
         self._rebuild_fraction = rebuild_fraction
         self._flush_epoch = 0
+        self._flush_listeners: List[Callable[[SimRankEngine, FlushStats], None]] = []
         self.last_flush = FlushStats()
 
     # ------------------------------------------------------------------
@@ -131,6 +132,37 @@ class DynamicSimRankEngine:
         return True
 
     # ------------------------------------------------------------------
+    # Flush listeners
+    # ------------------------------------------------------------------
+
+    def add_flush_listener(
+        self, listener: Callable[[SimRankEngine, FlushStats], None]
+    ) -> Callable[[SimRankEngine, FlushStats], None]:
+        """Call ``listener(new_engine, stats)`` after every applied flush.
+
+        The fix for the stale-cache footgun: instead of every caller
+        remembering ``cache.replace_engine(dynamic.engine)`` after a
+        flush, a :class:`~repro.workloads.CachedSimRankEngine` (via
+        :meth:`~repro.workloads.CachedSimRankEngine.follow`) or a
+        serve-layer :class:`~repro.serve.lifecycle.EngineHandle`
+        registers once and is re-pointed automatically.  Listeners fire
+        only when edits were actually applied — a no-op :meth:`flush`
+        never invalidates anything.  Returns the listener for symmetry
+        with :meth:`remove_flush_listener`.
+        """
+        self._flush_listeners.append(listener)
+        return listener
+
+    def remove_flush_listener(
+        self, listener: Callable[[SimRankEngine, FlushStats], None]
+    ) -> None:
+        """Unregister a listener added by :meth:`add_flush_listener`."""
+        try:
+            self._flush_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     # Flush
     # ------------------------------------------------------------------
 
@@ -154,7 +186,15 @@ class DynamicSimRankEngine:
         return affected
 
     def flush(self) -> FlushStats:
-        """Apply staged edits; rebuild only the affected index rows."""
+        """Apply staged edits; rebuild only the affected index rows.
+
+        Publishes a **new** :class:`SimRankEngine` (the previous one and
+        its index are never mutated — the incremental path patches a
+        :meth:`~repro.core.index.CandidateIndex.clone`), so readers
+        holding the old ``engine`` keep a consistent snapshot.  After an
+        applied flush every registered flush listener is invoked with
+        ``(new_engine, stats)``.
+        """
         stats = FlushStats()
         if not self._pending:
             self.last_flush = stats
@@ -176,8 +216,9 @@ class DynamicSimRankEngine:
                 new_graph, self.config, seed=self._seed
             ).preprocess()
         else:
-            index = self._engine.index
-            # Re-point the engine at the new graph, then patch rows.
+            # Patch a clone so the outgoing engine's index stays intact
+            # for snapshot readers, then point a fresh engine at it.
+            index = self._engine.index.clone()
             self._engine = SimRankEngine(new_graph, self.config, seed=self._seed)
             self._engine._index = index  # noqa: SLF001 - deliberate surgery
             index.n = new_graph.n
@@ -201,6 +242,8 @@ class DynamicSimRankEngine:
         self._pending.clear()
         stats.elapsed_seconds = time.perf_counter() - start
         self.last_flush = stats
+        for listener in list(self._flush_listeners):
+            listener(self._engine, stats)
         return stats
 
     # ------------------------------------------------------------------

@@ -90,6 +90,25 @@ class CandidateIndex:
 
             bisect.insort(postings, u)
 
+    def clone(self) -> "CandidateIndex":
+        """An independent deep copy (config shared — it is frozen).
+
+        Incremental maintenance patches index rows in place; cloning
+        first is what lets :class:`~repro.core.dynamic.DynamicSimRankEngine`
+        publish the patched index as a *new* engine while readers of the
+        old one (in-flight queries on a serve snapshot) keep a
+        consistent view.  Cost is O(index size) — far below the walk
+        recomputation a flush performs anyway.
+        """
+        return CandidateIndex(
+            config=self.config,
+            n=self.n,
+            signatures=[list(s) for s in self.signatures],
+            inverted={k: list(v) for k, v in self.inverted.items()},
+            gamma=GammaTable(c=self.gamma.c, values=self.gamma.values.copy()),
+            build_seconds=self.build_seconds,
+        )
+
     def signature_size_stats(self) -> Dict[str, float]:
         """Mean/max signature-set sizes — diagnostic for index quality."""
         sizes = np.array([len(s) for s in self.signatures], dtype=np.float64)
@@ -155,7 +174,14 @@ class CandidateIndex:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CandidateIndex":
-        """Load an index written by :meth:`save`; the inverted lists are rebuilt."""
+        """Load an index written by :meth:`save`; the inverted lists are rebuilt.
+
+        Every failure mode — unreadable file, truncated archive, wrong
+        format version, missing arrays, internally inconsistent
+        offsets — raises :class:`~repro.errors.SerializationError` with
+        a message naming the problem, never a raw numpy/zip/struct
+        error.
+        """
         import zipfile
 
         path = Path(path)
@@ -165,21 +191,28 @@ class CandidateIndex:
             raise SerializationError(f"cannot read index file {path}: {exc}") from exc
         try:
             meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
-            if meta["version"] != INDEX_FORMAT_VERSION:
+            if not isinstance(meta, dict):
                 raise SerializationError(
-                    f"unsupported index version {meta['version']}"
+                    f"index file {path} header is not a JSON object"
+                )
+            if meta.get("version") != INDEX_FORMAT_VERSION:
+                raise SerializationError(
+                    f"index file {path} has unsupported format version "
+                    f"{meta.get('version')!r} (this build reads version "
+                    f"{INDEX_FORMAT_VERSION})"
                 )
             config = SimRankConfig(**meta["config"])
             offsets = payload["signature_offsets"]
             flat = payload["signatures"]
             n = int(meta["n"])
+            _validate_index_arrays(path, n, offsets, flat, payload["gamma"])
             signatures = [
                 [int(v) for v in flat[offsets[u] : offsets[u + 1]]] for u in range(n)
             ]
             gamma = GammaTable(c=config.c, values=payload["gamma"])
         except KeyError as exc:
             raise SerializationError(f"index file {path} is missing field {exc}") from exc
-        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        except (TypeError, ValueError, OSError, zipfile.BadZipFile) as exc:
             raise SerializationError(f"index file {path} is corrupt: {exc}") from exc
         index = cls(
             config=config,
@@ -190,6 +223,49 @@ class CandidateIndex:
             build_seconds=float(meta.get("build_seconds", 0.0)),
         )
         return index
+
+
+def _validate_index_arrays(
+    path: Path,
+    n: int,
+    offsets: np.ndarray,
+    flat: np.ndarray,
+    gamma_values: np.ndarray,
+) -> None:
+    """Structural consistency checks on a loaded index payload.
+
+    A partially written or hand-truncated .npz can decompress fine yet
+    hold arrays that disagree with the header; catching that here turns
+    a would-be silent mis-answer (or an IndexError deep in a query) into
+    a :class:`SerializationError` at load time.
+    """
+    if n < 0:
+        raise SerializationError(f"index file {path} declares negative n={n}")
+    if offsets.ndim != 1 or offsets.shape[0] != n + 1:
+        raise SerializationError(
+            f"index file {path} is truncated: expected {n + 1} signature "
+            f"offsets for n={n}, found {offsets.shape[0] if offsets.ndim == 1 else offsets.shape}"
+        )
+    if n >= 0 and offsets.shape[0] and int(offsets[0]) != 0:
+        raise SerializationError(
+            f"index file {path} is corrupt: signature offsets start at "
+            f"{int(offsets[0])}, not 0"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise SerializationError(
+            f"index file {path} is corrupt: signature offsets are not monotone"
+        )
+    if int(offsets[-1]) != flat.shape[0]:
+        raise SerializationError(
+            f"index file {path} is truncated: offsets expect "
+            f"{int(offsets[-1])} signature entries, payload holds {flat.shape[0]}"
+        )
+    if gamma_values.ndim != 2 or gamma_values.shape[0] != n:
+        raise SerializationError(
+            f"index file {path} is corrupt: gamma table covers "
+            f"{gamma_values.shape[0] if gamma_values.ndim == 2 else gamma_values.shape} "
+            f"vertices, header declares {n}"
+        )
 
 
 def _invert(signatures: Sequence[Sequence[int]]) -> Dict[int, List[int]]:

@@ -39,3 +39,19 @@ class DatasetError(ReproError, KeyError):
 
 class SerializationError(ReproError):
     """A saved index or graph file is corrupt or of an unsupported version."""
+
+
+class ServeError(ReproError):
+    """A request to a :mod:`repro.serve` server failed server-side."""
+
+
+class ProtocolError(ServeError):
+    """A line on the wire was not a valid newline-delimited-JSON message."""
+
+
+class ServerOverloadedError(ServeError):
+    """The admission queue was full and the request was shed (HTTP 503 moral)."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before the server could execute it."""

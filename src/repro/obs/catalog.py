@@ -56,6 +56,21 @@ CACHE_INVALIDATIONS = ("cache", "invalidations_total")
 # Parallel all-vertices sweep.
 PARALLEL_CHUNKS = ("parallel", "chunks_total")
 
+# Derived ratio (computed at export time, not recorded by hooks): the
+# fraction of enumerated candidates the L1/L2/trivial bounds discarded —
+# the signal a future adaptive P/Q tuner reads.
+QUERY_PRUNE_RATE = ("query", "prune_rate")
+
+# Query server (repro.serve).
+SERVE_REQUESTS = ("serve", "requests_total")
+SERVE_SHED = ("serve", "requests_shed_total")
+SERVE_DEADLINE_EXPIRED = ("serve", "deadline_expired_total")
+SERVE_ERRORS = ("serve", "errors_total")
+SERVE_QUEUE_DEPTH = ("serve", "queue_depth")  # gauge
+SERVE_BATCH_SIZE = ("serve", "batch_size")  # histogram
+SERVE_SWAPS = ("serve", "engine_swaps_total")
+SERVE_REQUEST_LATENCY = ("serve", "request_latency_seconds")  # histogram
+
 #: key -> (metric kind, one-line meaning); drives docs and sanity tests.
 CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     QUERY_CANDIDATES: ("counter", "candidates enumerated across all queries"),
@@ -85,6 +100,15 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     CACHE_EVICTIONS: ("counter", "LRU evictions"),
     CACHE_INVALIDATIONS: ("counter", "full-cache invalidations"),
     PARALLEL_CHUNKS: ("counter", "worker chunk registries merged back"),
+    QUERY_PRUNE_RATE: ("gauge", "pruned_by_bound / candidates, derived at export time"),
+    SERVE_REQUESTS: ("counter", "requests the server finished answering"),
+    SERVE_SHED: ("counter", "requests rejected because the admission queue was full"),
+    SERVE_DEADLINE_EXPIRED: ("counter", "requests whose deadline passed while queued"),
+    SERVE_ERRORS: ("counter", "requests that failed with a server-side error"),
+    SERVE_QUEUE_DEPTH: ("gauge", "current admission-queue occupancy"),
+    SERVE_BATCH_SIZE: ("histogram", "top-k requests grouped per micro-batch"),
+    SERVE_SWAPS: ("counter", "zero-downtime engine snapshot swaps published"),
+    SERVE_REQUEST_LATENCY: ("histogram", "queue + execution latency per served request"),
 }
 
 

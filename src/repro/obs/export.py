@@ -25,6 +25,7 @@ __all__ = [
     "to_prometheus",
     "parse_prometheus",
     "summary_rows",
+    "with_derived",
 ]
 
 
@@ -159,11 +160,38 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# Derived gauges
+# ---------------------------------------------------------------------------
+
+def with_derived(snapshot: dict) -> dict:
+    """A copy of ``snapshot`` with ratio gauges computed from its counters.
+
+    Currently one ratio: ``query.prune_rate`` =
+    ``query.pruned_by_bound_total / query.candidates_total`` — the
+    ROADMAP signal for an adaptive P/Q tuner, surfaced in the
+    ``--metrics summary`` table and on the serve ``/metrics`` endpoint
+    so consumers never recompute it from raw counters.  Emitted only
+    once at least one candidate was enumerated.
+    """
+    counters = snapshot.get("counters", {})
+    candidates = counters.get("query.candidates_total", 0.0)
+    if candidates <= 0:
+        return snapshot
+    derived = dict(snapshot)
+    derived["gauges"] = dict(snapshot.get("gauges", {}))
+    derived["gauges"]["query.prune_rate"] = (
+        counters.get("query.pruned_by_bound_total", 0.0) / candidates
+    )
+    return derived
+
+
+# ---------------------------------------------------------------------------
 # Human summary (the ``--metrics summary`` CLI mode)
 # ---------------------------------------------------------------------------
 
 def summary_rows(snapshot: dict) -> List[List[str]]:
-    """``[metric, kind, value]`` rows for a text table."""
+    """``[metric, kind, value]`` rows for a text table (derived gauges included)."""
+    snapshot = with_derived(snapshot)
     rows: List[List[str]] = []
     for key, value in sorted(snapshot.get("counters", {}).items()):
         rows.append([_prom_name(key), "counter", _prom_number(value)])

@@ -203,3 +203,65 @@ def merge_worker_snapshot(worker_snapshot: dict) -> None:
     registry = get_registry()
     registry.counter(*catalog.PARALLEL_CHUNKS).inc()
     registry.merge(worker_snapshot)
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer hooks (repro.serve)
+# ---------------------------------------------------------------------------
+
+def push_registry(registry: MetricsRegistry) -> None:
+    """Route all subsequent recording into ``registry`` until popped.
+
+    The long-lived counterpart of :func:`collecting` for components that
+    cannot hold a ``with`` block open across their lifetime — the query
+    server installs its own registry on startup so ``/metrics`` exposes
+    exactly what happened while it was serving.
+    """
+    OBS._stack.append(registry)
+
+
+def pop_registry(registry: MetricsRegistry) -> None:
+    """Undo :func:`push_registry`; tolerates an already-removed registry."""
+    try:
+        OBS._stack.remove(registry)
+    except ValueError:
+        pass
+
+
+def record_serve_request(seconds: float) -> None:
+    """One request answered (queue wait + execution), any outcome but shed."""
+    registry = get_registry()
+    registry.counter(*catalog.SERVE_REQUESTS).inc()
+    registry.histogram(*catalog.SERVE_REQUEST_LATENCY).observe(seconds)
+
+
+def record_serve_shed(amount: int = 1) -> None:
+    """Requests rejected by the bounded admission queue."""
+    get_registry().counter(*catalog.SERVE_SHED).inc(amount)
+
+
+def record_serve_deadline_expired() -> None:
+    """A queued request's deadline passed before execution."""
+    get_registry().counter(*catalog.SERVE_DEADLINE_EXPIRED).inc()
+
+
+def record_serve_error() -> None:
+    """A request failed with a server-side error."""
+    get_registry().counter(*catalog.SERVE_ERRORS).inc()
+
+
+def record_serve_batch(size: int) -> None:
+    """One micro-batch dispatched to the thread pool."""
+    get_registry().histogram(
+        *catalog.SERVE_BATCH_SIZE, buckets=DEFAULT_SIZE_BUCKETS
+    ).observe(size)
+
+
+def record_serve_swap() -> None:
+    """One zero-downtime engine snapshot swap published."""
+    get_registry().counter(*catalog.SERVE_SWAPS).inc()
+
+
+def set_serve_queue_depth(depth: int) -> None:
+    """Current admission-queue occupancy."""
+    get_registry().gauge(*catalog.SERVE_QUEUE_DEPTH).set(depth)

@@ -1,0 +1,41 @@
+"""repro.serve — a batching, load-shedding query server.
+
+The deployment shape the ROADMAP's north star asks for: an asyncio TCP
+server speaking newline-delimited JSON (plus minimal HTTP ``GET
+/healthz`` and ``GET /metrics`` on the same port), a bounded admission
+queue with configurable load shedding and per-request deadlines, a
+micro-batcher that fans same-snapshot top-k requests across a thread
+pool, and an :class:`~repro.serve.lifecycle.EngineHandle` that swaps
+engine snapshots with zero downtime when a dynamic-graph flush
+publishes a new index.
+
+Layout:
+
+- :mod:`repro.serve.protocol` — the NDJSON wire format and error codes;
+- :mod:`repro.serve.admission` — bounded queue, shedding, deadlines;
+- :mod:`repro.serve.batching` — micro-batch grouping and execution;
+- :mod:`repro.serve.lifecycle` — atomic engine snapshot swaps;
+- :mod:`repro.serve.server` — the asyncio server and thread harness;
+- :mod:`repro.serve.client` — a blocking client for the protocol.
+
+See ``docs/serving.md`` for the protocol and the knobs.
+"""
+
+from repro.serve.admission import AdmissionQueue, Ticket
+from repro.serve.batching import MicroBatcher
+from repro.serve.client import ServeClient, http_get
+from repro.serve.lifecycle import EngineHandle, EngineSnapshot
+from repro.serve.server import ServeConfig, ServerThread, SimRankServer
+
+__all__ = [
+    "AdmissionQueue",
+    "EngineHandle",
+    "EngineSnapshot",
+    "MicroBatcher",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "SimRankServer",
+    "Ticket",
+    "http_get",
+]

@@ -1,0 +1,148 @@
+"""The micro-batcher: group admitted top-k requests, fan across threads.
+
+Batching buys two things a per-request loop cannot:
+
+1. **one snapshot per batch** — the handle is dereferenced once, so
+   every request in the batch is answered against the same engine
+   generation (the consistency unit of the swap guarantee), and a swap
+   costs at most one batch of staleness, never a torn answer;
+2. **thread-pool fan-out** — the batch's requests execute concurrently
+   on the executor, the single-machine analogue of the paper's
+   "M machines" remark for the all-vertices sweep; the per-vertex
+   queries are the same :func:`~repro.core.query.top_k_query` the
+   parallel sweep runs, reached through the snapshot's engine/cache.
+
+The batcher is also where deadlines are enforced (a ticket that expired
+while queued is answered with a ``deadline`` error instead of occupying
+a thread) and where per-request latency/batch-size metrics are emitted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+
+from repro.errors import ReproError
+from repro.obs import instrument as obs
+from repro.serve import protocol
+from repro.serve.admission import AdmissionQueue, Ticket
+from repro.serve.lifecycle import EngineHandle, EngineSnapshot
+
+
+class MicroBatcher:
+    """Consume an :class:`AdmissionQueue`, execute batches on an executor.
+
+    ``run()`` is the long-lived consumer task; it exits when the queue
+    is closed and drained.  Batches are dispatched without waiting for
+    the previous batch to finish — completion is per-ticket, so one
+    slow query never convoys the queue behind it.
+    """
+
+    def __init__(
+        self,
+        handle: EngineHandle,
+        queue: AdmissionQueue,
+        executor: Executor,
+        max_batch: int = 16,
+        window: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.handle = handle
+        self.queue = queue
+        self.executor = executor
+        self.max_batch = max_batch
+        self.window = window
+        self.batches_dispatched = 0
+
+    async def run(self) -> None:
+        """Consume until the queue closes; returns after the final batch."""
+        loop = asyncio.get_running_loop()
+        pending = set()
+        while True:
+            batch = await self.queue.take(self.max_batch, self.window)
+            if not batch:
+                if self.queue.closed:
+                    break
+                continue
+            self.batches_dispatched += 1
+            if obs.OBS.enabled:
+                obs.record_serve_batch(len(batch))
+            snapshot = self.handle.current()
+            now = loop.time()
+            for ticket in batch:
+                if ticket.expired(now):
+                    self._expire(ticket)
+                    continue
+                task = asyncio.ensure_future(
+                    self._finish(loop, snapshot, ticket)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Per-ticket paths
+    # ------------------------------------------------------------------
+
+    def _expire(self, ticket: Ticket) -> None:
+        if obs.OBS.enabled:
+            obs.record_serve_deadline_expired()
+        if ticket.future is not None and not ticket.future.done():
+            ticket.future.set_result(
+                protocol.error(
+                    ticket.op,
+                    protocol.CODE_DEADLINE,
+                    "deadline passed while the request was queued",
+                )
+            )
+
+    async def _finish(
+        self, loop: asyncio.AbstractEventLoop, snapshot: EngineSnapshot, ticket: Ticket
+    ) -> None:
+        # Latency is measured from admission, so queue wait is included.
+        start = ticket.enqueued_at or loop.time()
+        try:
+            response = await loop.run_in_executor(
+                self.executor, self._execute, snapshot, ticket
+            )
+        except ReproError as exc:
+            if obs.OBS.enabled:
+                obs.record_serve_error()
+            response = protocol.error(ticket.op, protocol.CODE_BAD_REQUEST, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            if obs.OBS.enabled:
+                obs.record_serve_error()
+            response = protocol.error(ticket.op, protocol.CODE_INTERNAL, str(exc))
+        if obs.OBS.enabled:
+            obs.record_serve_request(loop.time() - start)
+        if ticket.future is not None and not ticket.future.done():
+            ticket.future.set_result(response)
+
+    def _execute(self, snapshot: EngineSnapshot, ticket: Ticket) -> dict:
+        """Runs on an executor thread; must only touch the snapshot."""
+        payload = ticket.payload
+        if ticket.op == "top_k":
+            vertex = int(payload["vertex"])
+            k = payload.get("k")
+            k = int(k) if k is not None else None
+            result = snapshot.top_k(vertex, k=k)
+            return protocol.ok(
+                "top_k",
+                vertex=vertex,
+                k=result.k,
+                epoch=snapshot.epoch,
+                items=[[int(v), float(s)] for v, s in result.items],
+            )
+        if ticket.op == "pair":
+            u, v = int(payload["vertex"]), int(payload["other"])
+            score = snapshot.engine.single_pair(u, v)
+            return protocol.ok(
+                "pair", vertex=u, other=v, epoch=snapshot.epoch, score=float(score)
+            )
+        return protocol.error(
+            ticket.op, protocol.CODE_UNSUPPORTED, f"unknown batched op {ticket.op!r}"
+        )

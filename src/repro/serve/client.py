@@ -1,0 +1,191 @@
+"""A blocking client for the :mod:`repro.serve` NDJSON protocol.
+
+Deliberately synchronous — the consumers are CLI commands, tests, and
+worker threads in load generators, none of which want an event loop.
+One :class:`ServeClient` holds one TCP connection; requests on it are
+answered in order.  Error replies raise the matching
+:mod:`repro.errors` exception (:class:`ServerOverloadedError` for a
+shed request, :class:`DeadlineExceededError` for a missed deadline,
+...), so remote failures look like local ones.
+
+For the HTTP side of the server there is :func:`http_get`, a tiny
+dependency-free GET helper used by health checks and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, ServeError
+from repro.serve import protocol
+
+
+class RemoteTopK:
+    """A remote top-k answer: items plus the snapshot epoch that scored it."""
+
+    __slots__ = ("vertex", "k", "items", "epoch")
+
+    def __init__(
+        self, vertex: int, k: int, items: List[Tuple[int, float]], epoch: int
+    ) -> None:
+        self.vertex = vertex
+        self.k = k
+        self.items = items
+        self.epoch = epoch
+
+    def vertices(self) -> List[int]:
+        """Result vertices, best first (mirrors :class:`TopKResult`)."""
+        return [v for v, _ in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"RemoteTopK(vertex={self.vertex}, k={self.k}, epoch={self.epoch})"
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.SimRankServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7531,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7531,
+        retries: int = 25,
+        delay: float = 0.2,
+        timeout: float = 30.0,
+    ) -> "ServeClient":
+        """Poll until the server accepts connections (startup races)."""
+        last: Optional[Exception] = None
+        for _ in range(max(1, retries)):
+            try:
+                return cls(host, port, timeout=timeout)
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+        raise ServeError(f"cannot connect to {host}:{port}: {last}")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **fields: object) -> dict:
+        """Send one request, block for its response, raise on error reply."""
+        message: dict = {"op": op}
+        message.update({k: v for k, v in fields.items() if v is not None})
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError(f"server at {self.host}:{self.port} closed the connection")
+        return protocol.raise_for_response(protocol.decode(line))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    def top_k(
+        self,
+        vertex: int,
+        k: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> RemoteTopK:
+        """Remote top-k; sheds raise :class:`ServerOverloadedError`."""
+        response = self.request("top_k", vertex=int(vertex), k=k, timeout_ms=timeout_ms)
+        return RemoteTopK(
+            vertex=int(response["vertex"]),
+            k=int(response["k"]),
+            items=[(int(v), float(s)) for v, s in response["items"]],
+            epoch=int(response["epoch"]),
+        )
+
+    def single_pair(self, vertex: int, other: int) -> float:
+        """Remote single-pair SimRank score."""
+        return float(
+            self.request("pair", vertex=int(vertex), other=int(other))["score"]
+        )
+
+    def update(
+        self,
+        add: Sequence[Tuple[int, int]] = (),
+        remove: Sequence[Tuple[int, int]] = (),
+    ) -> dict:
+        """Stage edge edits; returns ``{added, removed, pending}``."""
+        return self.request(
+            "update",
+            add=[[int(u), int(v)] for u, v in add],
+            remove=[[int(u), int(v)] for u, v in remove],
+        )
+
+    def flush(self) -> dict:
+        """Apply staged edits; blocks until the new snapshot is live."""
+        return self.request("flush")
+
+    def healthz(self) -> dict:
+        """Server health summary (same payload as HTTP ``/healthz``)."""
+        response = dict(self.request("healthz"))
+        response.pop("ok", None)
+        response.pop("op", None)
+        return response
+
+    def metrics_text(self) -> str:
+        """Prometheus text (same payload as HTTP ``/metrics``)."""
+        return str(self.request("metrics")["text"])
+
+    def shutdown(self) -> None:
+        """Ask the server to stop; the acknowledgement is awaited."""
+        self.request("shutdown")
+
+
+def http_get(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> Tuple[int, str]:
+    """Minimal HTTP/1.1 GET: returns ``(status_code, body_text)``.
+
+    Enough for ``/healthz`` and ``/metrics``; not a general HTTP client.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks).decode("utf-8", errors="replace")
+    head, _, body = raw.partition("\r\n\r\n")
+    status_line = head.splitlines()[0] if head else ""
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ProtocolError(f"malformed HTTP response: {status_line!r}")
+    return int(parts[1]), body
+
+
+def parse_healthz(body: str) -> dict:
+    """Decode an HTTP ``/healthz`` body."""
+    return json.loads(body)

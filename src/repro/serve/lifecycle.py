@@ -1,0 +1,146 @@
+"""Zero-downtime engine snapshot swaps.
+
+A serving process must keep answering while the index changes under it.
+The contract here is *snapshot isolation*: every request is scored
+against exactly one ``(engine, cache, epoch)`` triple, captured once at
+dispatch.  :meth:`EngineHandle.swap` publishes a new triple atomically —
+in-flight work keeps the snapshot it captured, new work sees the new
+one, and the result cache is *part of the snapshot*, so "invalidate the
+LRU on swap" is not a separate step anyone can forget: a fresh snapshot
+simply starts with a fresh (empty) cache, and the old cache retires
+with its engine.
+
+Wired to :class:`~repro.core.dynamic.DynamicSimRankEngine` through the
+flush-listener hook: ``EngineHandle.from_dynamic(dynamic)`` registers a
+listener so every applied ``flush()`` publishes the rebuilt engine.
+This relies on ``flush`` never mutating the outgoing engine's index
+(it patches a clone — see :meth:`CandidateIndex.clone`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.dynamic import DynamicSimRankEngine, FlushStats
+from repro.core.engine import SimRankEngine
+from repro.core.query import TopKResult
+from repro.obs import instrument as obs
+from repro.workloads import CachedSimRankEngine
+
+
+class EngineSnapshot:
+    """One immutable serving generation: engine + its result cache + epoch."""
+
+    __slots__ = ("engine", "cache", "epoch")
+
+    def __init__(
+        self, engine: SimRankEngine, cache: Optional[CachedSimRankEngine], epoch: int
+    ) -> None:
+        self.engine = engine
+        self.cache = cache
+        self.epoch = epoch
+
+    def top_k(self, u: int, k: Optional[int] = None) -> TopKResult:
+        """Top-k against this snapshot (through its cache when present)."""
+        if self.cache is not None:
+            return self.cache.top_k(u, k=k)
+        return self.engine.top_k(u, k=k)
+
+    def __repr__(self) -> str:
+        return f"EngineSnapshot(epoch={self.epoch}, n={self.engine.graph.n})"
+
+
+class EngineHandle:
+    """The atomically-swappable pointer to the current :class:`EngineSnapshot`.
+
+    ``current()`` is what every query path calls once per request (or
+    once per micro-batch); ``swap(new_engine)`` is what index
+    maintenance calls.  Both are thread-safe — queries run on a thread
+    pool while flushes run wherever the control plane put them.
+    """
+
+    def __init__(
+        self,
+        engine: SimRankEngine,
+        cache_capacity: Optional[int] = 1024,
+    ) -> None:
+        if not engine.is_preprocessed:
+            engine.preprocess()
+        self._cache_capacity = cache_capacity
+        self._lock = threading.Lock()
+        self._snapshot = self._make_snapshot(engine, epoch=0)
+        self._dynamic: Optional[DynamicSimRankEngine] = None
+        self._listener = None
+
+    @classmethod
+    def from_dynamic(
+        cls,
+        dynamic: DynamicSimRankEngine,
+        cache_capacity: Optional[int] = 1024,
+    ) -> "EngineHandle":
+        """A handle that auto-swaps on every applied ``dynamic.flush()``."""
+        handle = cls(dynamic.engine, cache_capacity=cache_capacity)
+        handle.attach(dynamic)
+        return handle
+
+    def _make_snapshot(self, engine: SimRankEngine, epoch: int) -> EngineSnapshot:
+        cache = (
+            CachedSimRankEngine(engine, capacity=self._cache_capacity)
+            if self._cache_capacity
+            else None
+        )
+        return EngineSnapshot(engine, cache, epoch)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the currently published snapshot."""
+        return self._snapshot.epoch
+
+    @property
+    def dynamic(self) -> Optional[DynamicSimRankEngine]:
+        """The attached dynamic engine, if any."""
+        return self._dynamic
+
+    def current(self) -> EngineSnapshot:
+        """The published snapshot; hold it for the whole request/batch."""
+        with self._lock:
+            return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def swap(self, engine: SimRankEngine) -> EngineSnapshot:
+        """Publish ``engine`` as a new snapshot (fresh cache, epoch + 1)."""
+        with self._lock:
+            snapshot = self._make_snapshot(engine, epoch=self._snapshot.epoch + 1)
+            self._snapshot = snapshot
+        if obs.OBS.enabled:
+            obs.record_serve_swap()
+        return snapshot
+
+    def attach(self, dynamic: DynamicSimRankEngine) -> None:
+        """Swap automatically after every applied flush of ``dynamic``."""
+        if self._dynamic is not None:
+            raise ValueError("handle is already attached to a dynamic engine")
+
+        def _on_flush(engine: SimRankEngine, _stats: FlushStats) -> None:
+            self.swap(engine)
+
+        self._dynamic = dynamic
+        self._listener = dynamic.add_flush_listener(_on_flush)
+
+    def detach(self) -> None:
+        """Stop following the attached dynamic engine (no more auto-swaps)."""
+        if self._dynamic is not None and self._listener is not None:
+            self._dynamic.remove_flush_listener(self._listener)
+        self._dynamic = None
+        self._listener = None
+
+    def __repr__(self) -> str:
+        return f"EngineHandle(epoch={self.epoch}, dynamic={self._dynamic is not None})"

@@ -1,0 +1,99 @@
+"""The wire format of :mod:`repro.serve`: newline-delimited JSON.
+
+One request per line, one response line per request, in order.  A
+request is a JSON object with an ``op`` field; a response echoes the
+``op`` (and ``id`` when the client sent one) and carries either
+``"ok": true`` plus op-specific fields, or ``"ok": false`` plus a
+machine-readable ``code`` and human-readable ``error``.
+
+Codes map onto the :mod:`repro.errors` serve hierarchy so a client can
+re-raise the failure it would have seen in-process:
+
+==================  ===========================================  =====
+code                meaning                                      raises
+==================  ===========================================  =====
+``overloaded``      admission queue full, request shed           :class:`ServerOverloadedError`
+``deadline``        deadline passed before execution             :class:`DeadlineExceededError`
+``bad_request``     malformed line / missing or invalid fields   :class:`ProtocolError`
+``unsupported``     op not available (e.g. updates on a static   :class:`ServeError`
+                    engine)
+``shutting_down``   server is draining, no new work accepted     :class:`ServeError`
+``internal``        unexpected server-side exception             :class:`ServeError`
+==================  ===========================================  =====
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Type, Union
+
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    ServerOverloadedError,
+)
+
+#: Longest accepted request/response line; beyond this the peer is
+#: misbehaving (a top-k answer for k=1000 is ~20 KB).
+MAX_LINE_BYTES = 1_048_576
+
+CODE_OVERLOADED = "overloaded"
+CODE_DEADLINE = "deadline"
+CODE_BAD_REQUEST = "bad_request"
+CODE_UNSUPPORTED = "unsupported"
+CODE_SHUTTING_DOWN = "shutting_down"
+CODE_INTERNAL = "internal"
+
+#: Error code -> the exception a client raises for it.
+CODE_TO_ERROR: Dict[str, Type[ServeError]] = {
+    CODE_OVERLOADED: ServerOverloadedError,
+    CODE_DEADLINE: DeadlineExceededError,
+    CODE_BAD_REQUEST: ProtocolError,
+}
+
+
+def encode(message: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: Union[bytes, str]) -> dict:
+    """Parse one line into a message dict, or raise :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"line is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok(op: str, **fields: object) -> dict:
+    """A success response for ``op``."""
+    response: dict = {"ok": True, "op": op}
+    response.update(fields)
+    return response
+
+
+def error(op: str, code: str, message: str, **fields: object) -> dict:
+    """A failure response for ``op`` with a machine-readable ``code``."""
+    response: dict = {"ok": False, "op": op, "code": code, "error": message}
+    response.update(fields)
+    return response
+
+
+def raise_for_response(response: dict) -> dict:
+    """Return ``response`` if it is a success, else raise the mapped error."""
+    if response.get("ok"):
+        return response
+    code = str(response.get("code", CODE_INTERNAL))
+    message = str(response.get("error", "server error"))
+    raise CODE_TO_ERROR.get(code, ServeError)(f"[{code}] {message}")

@@ -1,0 +1,475 @@
+"""The asyncio query server: NDJSON over TCP, plus HTTP health/metrics.
+
+One listening port speaks both protocols: a connection whose first line
+starts with an HTTP method is answered as a one-shot HTTP request
+(``GET /healthz``, ``GET /metrics``); anything else is treated as a
+persistent newline-delimited-JSON session (see
+:mod:`repro.serve.protocol`).
+
+Data plane: ``top_k`` / ``pair`` requests pass the bounded
+:class:`~repro.serve.admission.AdmissionQueue` (shedding with an
+``overloaded`` reply when full) and execute through the
+:class:`~repro.serve.batching.MicroBatcher` against one
+:class:`~repro.serve.lifecycle.EngineSnapshot` per batch.
+
+Control plane: ``update`` stages edge edits on the attached
+:class:`~repro.core.dynamic.DynamicSimRankEngine`, ``flush`` applies
+them on the executor (queries keep flowing on the old snapshot) and the
+flush listener publishes the rebuilt engine atomically — the
+zero-downtime index swap.  ``healthz`` / ``metrics`` / ``shutdown``
+round out operations.
+
+The server installs its own metrics registry
+(:func:`repro.obs.instrument.push_registry`) for its lifetime, so
+``/metrics`` exposes exactly the traffic it served, including the
+engine-level ``query_*`` / ``cache_*`` series recorded by worker
+threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.engine import SimRankEngine
+from repro.errors import ConfigError, ProtocolError
+from repro.obs import export as obs_export
+from repro.obs import instrument as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.admission import SHED_POLICIES, AdmissionQueue, Ticket
+from repro.serve.batching import MicroBatcher
+from repro.serve.lifecycle import EngineHandle
+
+#: Ops the admission queue + batcher execute (the data plane).
+BATCHED_OPS = ("top_k", "pair")
+
+
+@dataclass
+class ServeConfig:
+    """Operational knobs of one :class:`SimRankServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the kernel pick (tests, examples)
+    queue_capacity: int = 256
+    shed_policy: str = "reject-new"
+    max_batch: int = 16
+    batch_window: float = 0.002  # seconds the batcher lingers to fill a batch
+    workers: int = 4  # executor threads answering queries
+    cache_capacity: Optional[int] = 1024  # per-snapshot LRU; None/0 = no cache
+    default_timeout: Optional[float] = None  # per-request deadline (seconds)
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"unknown shed_policy {self.shed_policy!r}; use one of {SHED_POLICIES}"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.batch_window < 0:
+            raise ConfigError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+
+
+class SimRankServer:
+    """Serve top-k SimRank queries over one engine with live index swaps.
+
+    ``engine`` may be a :class:`DynamicSimRankEngine` (updates + flush
+    swaps available) or a plain preprocessed :class:`SimRankEngine`
+    (read-only serving; ``update``/``flush`` answer ``unsupported``).
+    """
+
+    def __init__(
+        self,
+        engine: Union[DynamicSimRankEngine, SimRankEngine],
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        if isinstance(engine, DynamicSimRankEngine):
+            self.dynamic: Optional[DynamicSimRankEngine] = engine
+            self.handle = EngineHandle.from_dynamic(
+                engine, cache_capacity=self.config.cache_capacity
+            )
+        else:
+            self.dynamic = None
+            self.handle = EngineHandle(
+                engine, cache_capacity=self.config.cache_capacity
+            )
+        self.registry = MetricsRegistry()
+        self.port: Optional[int] = None
+        self.queue: Optional[AdmissionQueue] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._mutate_lock: Optional[asyncio.Lock] = None
+        self._obs_was_enabled = False
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind, start the batcher, return the actual listening port."""
+        self._obs_was_enabled = obs.enabled()
+        obs.enable()
+        obs.push_registry(self.registry)
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity, policy=self.config.shed_policy
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self.batcher = MicroBatcher(
+            self.handle,
+            self.queue,
+            self._executor,
+            max_batch=self.config.max_batch,
+            window=self.config.batch_window,
+        )
+        self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        self._stopped = asyncio.Event()
+        self._mutate_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes."""
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def run(self) -> None:
+        """``start()`` then serve until something calls :meth:`stop`."""
+        await self.start()
+        await self.wait_stopped()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, fail leftovers, release everything."""
+        if self._stopping or self._stopped is None:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        leftovers = self.queue.close() if self.queue is not None else []
+        for ticket in leftovers:
+            if ticket.future is not None and not ticket.future.done():
+                ticket.future.set_result(
+                    protocol.error(
+                        ticket.op,
+                        protocol.CODE_SHUTTING_DOWN,
+                        "server is shutting down",
+                    )
+                )
+        if self._batcher_task is not None:
+            await self._batcher_task
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        # Nudge idle keep-alive sessions off the loop: closing the
+        # transport EOFs their pending readline, so the handlers exit
+        # normally instead of being cancelled by loop teardown.
+        for writer in list(self._writers):
+            writer.close()
+        current = asyncio.current_task()
+        waiting = {t for t in self._conn_tasks if t is not current}
+        if waiting:
+            await asyncio.wait(waiting, timeout=5.0)
+        self.handle.detach()
+        obs.pop_registry(self.registry)
+        if not self._obs_was_enabled:
+            obs.disable()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD", b"POST"):
+                await self._handle_http(first, reader, writer)
+                return
+            line: Optional[bytes] = first
+            while line:
+                response = await self._dispatch_line(line)
+                if response is not None:
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                if self._stopping:
+                    break
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Optional[dict]:
+        if not line.strip():
+            return None
+        try:
+            message = protocol.decode(line)
+        except ProtocolError as exc:
+            return protocol.error("?", protocol.CODE_BAD_REQUEST, str(exc))
+        op = message.get("op")
+        request_id = message.get("id")
+        try:
+            response = await self._dispatch(op, message)
+        except ProtocolError as exc:
+            response = protocol.error(str(op), protocol.CODE_BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 - one request must not kill the session
+            if obs.OBS.enabled:
+                obs.record_serve_error()
+            response = protocol.error(str(op), protocol.CODE_INTERNAL, str(exc))
+        if request_id is not None and response is not None:
+            response["id"] = request_id
+        return response
+
+    async def _dispatch(self, op: object, message: dict) -> dict:
+        if self._stopping:
+            return protocol.error(
+                str(op), protocol.CODE_SHUTTING_DOWN, "server is shutting down"
+            )
+        if op in BATCHED_OPS:
+            return await self._admit(str(op), message)
+        if op == "update":
+            return await self._op_update(message)
+        if op == "flush":
+            return await self._op_flush()
+        if op == "healthz":
+            return protocol.ok("healthz", **self.health())
+        if op == "metrics":
+            return protocol.ok("metrics", text=self.metrics_text())
+        if op == "shutdown":
+            asyncio.ensure_future(self.stop())
+            return protocol.ok("shutdown")
+        return protocol.error(
+            str(op), protocol.CODE_UNSUPPORTED, f"unknown op {op!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    async def _admit(self, op: str, message: dict) -> dict:
+        if "vertex" not in message:
+            raise ProtocolError(f"{op} requires a 'vertex' field")
+        if op == "pair" and "other" not in message:
+            raise ProtocolError("pair requires an 'other' field")
+        loop = asyncio.get_running_loop()
+        timeout = message.get("timeout_ms")
+        if timeout is None and self.config.default_timeout is not None:
+            timeout = self.config.default_timeout * 1000.0
+        deadline = loop.time() + float(timeout) / 1000.0 if timeout else None
+        ticket = Ticket(
+            op=op, payload=message, future=loop.create_future(), deadline=deadline
+        )
+        assert self.queue is not None
+        # Shed/closed tickets have their future resolved synchronously
+        # by the queue, so awaiting is correct on every path.
+        self.queue.offer(ticket)
+        return await ticket.future
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    async def _op_update(self, message: dict) -> dict:
+        if self.dynamic is None:
+            return protocol.error(
+                "update",
+                protocol.CODE_UNSUPPORTED,
+                "server wraps a static engine; updates need a DynamicSimRankEngine",
+            )
+        add = message.get("add", [])
+        remove = message.get("remove", [])
+        if not isinstance(add, list) or not isinstance(remove, list):
+            raise ProtocolError("update 'add'/'remove' must be lists of [u, v] pairs")
+        assert self._mutate_lock is not None
+        async with self._mutate_lock:
+            added = sum(bool(self.dynamic.add_edge(int(u), int(v))) for u, v in add)
+            removed = sum(
+                bool(self.dynamic.remove_edge(int(u), int(v))) for u, v in remove
+            )
+            pending = self.dynamic.pending_edits
+        return protocol.ok("update", added=added, removed=removed, pending=pending)
+
+    async def _op_flush(self) -> dict:
+        if self.dynamic is None:
+            return protocol.error(
+                "flush",
+                protocol.CODE_UNSUPPORTED,
+                "server wraps a static engine; nothing to flush",
+            )
+        loop = asyncio.get_running_loop()
+        assert self._mutate_lock is not None and self._executor is not None
+        async with self._mutate_lock:
+            # The rebuild runs on the executor so queries keep being
+            # answered (on the outgoing snapshot) while it happens; the
+            # flush listener publishes the new snapshot atomically.
+            stats = await loop.run_in_executor(self._executor, self.dynamic.flush)
+        return protocol.ok(
+            "flush",
+            edits_applied=stats.edits_applied,
+            vertices_affected=stats.vertices_affected,
+            full_rebuild=stats.full_rebuild,
+            elapsed_seconds=stats.elapsed_seconds,
+            epoch=self.handle.epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        latency = self.registry.get("serve", "request_latency_seconds")
+        snapshot = self.handle.current()
+        return {
+            "status": "ok" if not self._stopping else "stopping",
+            "epoch": snapshot.epoch,
+            "vertices": snapshot.engine.graph.n,
+            "edges": snapshot.engine.graph.m,
+            "queue_depth": len(self.queue) if self.queue is not None else 0,
+            "queue_capacity": self.config.queue_capacity,
+            "pending_edits": self.dynamic.pending_edits if self.dynamic else 0,
+            "shed_total": self.queue.shed_count if self.queue is not None else 0,
+            "p95_latency_ms": (
+                latency.quantile(0.95) * 1000.0 if latency is not None else 0.0
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the server's registry (+ derived gauges)."""
+        return obs_export.to_prometheus(
+            obs_export.with_derived(self.registry.snapshot())
+        )
+
+    # ------------------------------------------------------------------
+    # Minimal HTTP endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # Drain headers (we need none of them).
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        parts = request_line.decode("latin-1").split()
+        method = parts[0] if parts else ""
+        path = parts[1] if len(parts) > 1 else "/"
+        if method not in ("GET", "HEAD"):
+            body, status, ctype = "method not allowed\n", "405 Method Not Allowed", "text/plain"
+        elif path == "/healthz":
+            body = json.dumps(self.health(), sort_keys=True) + "\n"
+            status, ctype = "200 OK", "application/json"
+        elif path == "/metrics":
+            body = self.metrics_text()
+            status, ctype = "200 OK", "text/plain; version=0.0.4"
+        else:
+            body, status, ctype = "not found\n", "404 Not Found", "text/plain"
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head if method == "HEAD" else head + payload)
+        await writer.drain()
+
+
+class ServerThread:
+    """Run a :class:`SimRankServer` on a background thread's event loop.
+
+    The blocking-world harness used by tests, the example service, and
+    anyone embedding the server next to synchronous code::
+
+        server = SimRankServer(engine, ServeConfig(port=0))
+        thread = ServerThread(server)
+        port = thread.start()
+        ... ServeClient("127.0.0.1", port) ...
+        thread.stop()
+    """
+
+    def __init__(self, server: SimRankServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 30.0) -> int:
+        """Boot the loop + server; block until bound; return the port."""
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.server.port is not None
+        return self.server.port
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # startup failed; report to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self.server.wait_stopped()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server thread did not stop in time")
+        self._thread = None

@@ -15,6 +15,7 @@ result cache absorbs.  This module provides:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
@@ -108,6 +109,13 @@ class CachedSimRankEngine:
     Keyed by ``(vertex, k)``.  Because engine queries are deterministic
     given the engine seed, a cached result is *identical* to a recomputed
     one — the cache changes latency only, never answers.
+
+    Thread-safe: lookups and insertions hold an internal lock, while the
+    miss-path engine query runs outside it, so concurrent misses never
+    serialize on each other (two threads missing the same key may both
+    compute — the results are identical by determinism, so only the
+    accounting differs).  This is what lets the serve-layer micro-batcher
+    fan one batch across a thread pool against one shared cache.
     """
 
     def __init__(self, engine: SimRankEngine, capacity: int = 1024) -> None:
@@ -116,6 +124,7 @@ class CachedSimRankEngine:
         self._engine = engine
         self._capacity = capacity
         self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     @property
@@ -126,39 +135,69 @@ class CachedSimRankEngine:
     def top_k(self, u: int, k: Optional[int] = None) -> TopKResult:
         """Cached top-k query."""
         key = (int(u), k)
-        cached = self._store.get(key)
-        if cached is not None:
-            self._store.move_to_end(key)
-            self.stats.hits += 1
-            if obs.OBS.enabled:
-                obs.record_cache("hit")
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._store.move_to_end(key)
+                self.stats.hits += 1
+                if obs.OBS.enabled:
+                    obs.record_cache("hit")
+                return cached
+            self.stats.misses += 1
+            engine = self._engine
         if obs.OBS.enabled:
             obs.record_cache("miss")
-        result = self._engine.top_k(int(u), k=k)
-        self._store[key] = result
-        if len(self._store) > self._capacity:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
-            if obs.OBS.enabled:
-                obs.record_cache("eviction")
+        result = engine.top_k(int(u), k=k)
+        evicted = False
+        with self._lock:
+            # Only publish results computed against the current engine;
+            # a swap that raced this miss already invalidated the store.
+            if engine is self._engine:
+                self._store[key] = result
+                if len(self._store) > self._capacity:
+                    self._store.popitem(last=False)
+                    self.stats.evictions += 1
+                    evicted = True
+        if evicted and obs.OBS.enabled:
+            obs.record_cache("eviction")
         return result
 
     def invalidate(self) -> None:
         """Drop every cached result (call after graph/index changes)."""
-        self._store.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            self._store.clear()
+            self.stats.invalidations += 1
         if obs.OBS.enabled:
             obs.record_cache("invalidation")
 
     def replace_engine(self, engine: SimRankEngine) -> None:
         """Swap the wrapped engine and invalidate the cache."""
-        self._engine = engine
-        self.invalidate()
+        with self._lock:
+            self._engine = engine
+            self._store.clear()
+            self.stats.invalidations += 1
+        if obs.OBS.enabled:
+            obs.record_cache("invalidation")
+
+    def follow(self, dynamic) -> "CachedSimRankEngine":
+        """Auto-invalidate whenever ``dynamic`` applies a flush.
+
+        Registers a flush listener on a
+        :class:`~repro.core.dynamic.DynamicSimRankEngine`, so the old
+        ``flush(); cache.replace_engine(dynamic.engine)`` hand-off — and
+        the stale-answer bug when the second call is forgotten — goes
+        away::
+
+            cache = CachedSimRankEngine(dynamic.engine).follow(dynamic)
+
+        Returns ``self`` for chaining.
+        """
+        dynamic.add_flush_listener(lambda engine, _stats: self.replace_engine(engine))
+        return self
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
 
 def replay(

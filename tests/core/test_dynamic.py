@@ -91,6 +91,59 @@ class TestFlushSemantics:
             DynamicSimRankEngine(cycle_graph(5), dyn_config, rebuild_fraction=0.0)
 
 
+class TestFlushListeners:
+    def test_listener_fires_with_engine_and_stats(self, dynamic):
+        calls = []
+        dynamic.add_flush_listener(lambda engine, stats: calls.append((engine, stats)))
+        dynamic.add_edge(0, 150)
+        stats = dynamic.flush()
+        assert len(calls) == 1
+        engine, seen_stats = calls[0]
+        assert engine is dynamic.engine
+        assert seen_stats is stats
+
+    def test_listener_not_fired_on_noop_flush(self, dynamic):
+        calls = []
+        dynamic.add_flush_listener(lambda engine, stats: calls.append(stats))
+        dynamic.flush()  # nothing staged
+        assert calls == []
+
+    def test_listener_fires_per_applied_flush(self, dynamic):
+        calls = []
+        dynamic.add_flush_listener(lambda engine, stats: calls.append(stats))
+        dynamic.add_edge(0, 150)
+        dynamic.flush()
+        dynamic.add_edge(1, 151)
+        dynamic.flush()
+        assert len(calls) == 2
+
+    def test_remove_listener(self, dynamic):
+        calls = []
+        listener = dynamic.add_flush_listener(
+            lambda engine, stats: calls.append(stats)
+        )
+        dynamic.remove_flush_listener(listener)
+        dynamic.add_edge(0, 150)
+        dynamic.flush()
+        assert calls == []
+
+    def test_add_returns_listener_for_chaining(self, dynamic):
+        def listener(engine, stats):
+            pass
+
+        assert dynamic.add_flush_listener(listener) is listener
+
+    def test_flush_publishes_new_engine_not_mutation(self, dynamic):
+        """The outgoing engine keeps answering pre-flush results."""
+        old_engine = dynamic.engine
+        before = old_engine.top_k(3).items
+        dynamic.add_edge(0, 150)
+        dynamic.add_edge(150, 0)
+        dynamic.flush()
+        assert dynamic.engine is not old_engine
+        assert old_engine.top_k(3).items == before
+
+
 class TestEquivalenceWithStaticRebuild:
     """The incremental path must answer like an engine built from scratch."""
 

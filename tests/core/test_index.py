@@ -132,3 +132,86 @@ class TestSerialization:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(SerializationError):
             CandidateIndex.load(tmp_path / "missing.npz")
+
+
+class TestLoadValidation:
+    """A bad index file must fail loudly at load time, never mis-answer."""
+
+    @pytest.fixture
+    def saved(self, social_graph, test_config, tmp_path):
+        index = build_index(social_graph, test_config, seed=0)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        return index, path
+
+    @staticmethod
+    def _rewrite(path, **overrides):
+        """Round-trip the archive with some arrays replaced/dropped."""
+        import json
+
+        payload = dict(np.load(path).items())
+        for key, value in overrides.items():
+            if value is None:
+                payload.pop(key, None)
+            elif key == "meta":
+                payload["meta"] = np.frombuffer(
+                    json.dumps(value).encode("utf-8"), dtype=np.uint8
+                )
+            else:
+                payload[key] = value
+        np.savez_compressed(path, **payload)
+
+    @staticmethod
+    def _meta(path) -> dict:
+        import json
+
+        return json.loads(bytes(np.load(path)["meta"]).decode("utf-8"))
+
+    def test_version_mismatch_names_versions(self, saved):
+        _, path = saved
+        meta = self._meta(path)
+        meta["version"] = 999
+        self._rewrite(path, meta=meta)
+        with pytest.raises(SerializationError, match="version"):
+            CandidateIndex.load(path)
+
+    def test_missing_array_raises(self, saved):
+        _, path = saved
+        self._rewrite(path, gamma=None)
+        with pytest.raises(SerializationError, match="missing"):
+            CandidateIndex.load(path)
+
+    def test_truncated_signatures_detected(self, saved):
+        index, path = saved
+        flat = np.load(path)["signatures"]
+        self._rewrite(path, signatures=flat[: len(flat) // 2])
+        with pytest.raises(SerializationError, match="truncated"):
+            CandidateIndex.load(path)
+
+    def test_truncated_offsets_detected(self, saved):
+        _, path = saved
+        offsets = np.load(path)["signature_offsets"]
+        self._rewrite(path, signature_offsets=offsets[:-2])
+        with pytest.raises(SerializationError, match="truncated"):
+            CandidateIndex.load(path)
+
+    def test_non_monotone_offsets_detected(self, saved):
+        _, path = saved
+        offsets = np.load(path)["signature_offsets"].copy()
+        offsets[1], offsets[2] = offsets[2] + 1, offsets[1]
+        self._rewrite(path, signature_offsets=offsets)
+        with pytest.raises(SerializationError, match="corrupt"):
+            CandidateIndex.load(path)
+
+    def test_gamma_shape_mismatch_detected(self, saved):
+        _, path = saved
+        gamma = np.load(path)["gamma"]
+        self._rewrite(path, gamma=gamma[:-3])
+        with pytest.raises(SerializationError, match="gamma"):
+            CandidateIndex.load(path)
+
+    def test_non_object_header_detected(self, saved):
+        _, path = saved
+        self._rewrite(path, meta=[1, 2, 3])
+        with pytest.raises(SerializationError):
+            CandidateIndex.load(path)

@@ -10,6 +10,7 @@ from repro.obs.export import (
     summary_rows,
     to_jsonl,
     to_prometheus,
+    with_derived,
     write_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -109,6 +110,36 @@ class TestSummary:
             "query_samples_total",
             "preprocess_seconds",
             "query_latency_seconds",
+            "query_prune_rate",  # derived from the counters at export time
         }
         kinds = {row[0]: row[1] for row in rows}
         assert kinds["query_latency_seconds"] == "histogram"
+        assert kinds["query_prune_rate"] == "gauge"
+
+
+class TestDerived:
+    def test_prune_rate_ratio(self, registry):
+        registry.counter("query", "pruned_by_bound_total").inc(3)
+        derived = with_derived(registry.snapshot())
+        assert derived["gauges"]["query.prune_rate"] == pytest.approx(3 / 12)
+
+    def test_zero_pruned_gives_zero_rate(self, registry):
+        derived = with_derived(registry.snapshot())
+        assert derived["gauges"]["query.prune_rate"] == 0.0
+
+    def test_no_candidates_no_gauge(self):
+        snapshot = MetricsRegistry().snapshot()
+        derived = with_derived(snapshot)
+        assert "query.prune_rate" not in derived.get("gauges", {})
+        assert derived is snapshot  # untouched, not copied
+
+    def test_original_snapshot_not_mutated(self, registry):
+        snapshot = registry.snapshot()
+        with_derived(snapshot)
+        assert "query.prune_rate" not in snapshot.get("gauges", {})
+
+    def test_prometheus_text_carries_prune_rate(self, registry):
+        registry.counter("query", "pruned_by_bound_total").inc(6)
+        text = to_prometheus(with_derived(registry.snapshot()))
+        samples = parse_prometheus(text)
+        assert samples["query_prune_rate"] == pytest.approx(0.5)

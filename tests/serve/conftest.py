@@ -1,0 +1,55 @@
+"""Shared fixtures for the serve-layer tests: small graphs, live servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimRankConfig
+from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.engine import SimRankEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import preferential_attachment
+from repro.serve import ServeConfig, ServerThread, SimRankServer
+
+
+@pytest.fixture(scope="module")
+def serve_graph() -> CSRGraph:
+    return preferential_attachment(120, out_degree=3, seed=8)
+
+
+@pytest.fixture(scope="module")
+def serve_simrank_config() -> SimRankConfig:
+    return SimRankConfig(
+        T=5, r_pair=40, r_screen=10, r_alphabeta=80, r_gamma=30,
+        index_walks=4, index_checks=3, k=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def static_engine(serve_graph, serve_simrank_config) -> SimRankEngine:
+    """A preprocessed read-only engine shared across a test module."""
+    return SimRankEngine(serve_graph, serve_simrank_config, seed=4).preprocess()
+
+
+@pytest.fixture
+def dynamic_engine(serve_graph, serve_simrank_config) -> DynamicSimRankEngine:
+    """A fresh dynamic engine per test (flushes mutate state)."""
+    return DynamicSimRankEngine(serve_graph, serve_simrank_config, seed=4)
+
+
+@pytest.fixture
+def run_server():
+    """Factory: boot a server on a background thread, stop it at teardown."""
+    threads = []
+
+    def _run(engine, **config_kwargs):
+        config_kwargs.setdefault("port", 0)
+        server = SimRankServer(engine, ServeConfig(**config_kwargs))
+        thread = ServerThread(server)
+        port = thread.start()
+        threads.append(thread)
+        return server, port
+
+    yield _run
+    for thread in threads:
+        thread.stop()

@@ -1,0 +1,175 @@
+"""Tests for the bounded admission queue and its shedding policies."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.admission import AdmissionQueue, Ticket
+
+
+def make_ticket(loop, op: str = "top_k", deadline=None) -> Ticket:
+    return Ticket(op=op, payload={"vertex": 0}, future=loop.create_future(),
+                  deadline=deadline)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(capacity=0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(policy="lifo")
+
+
+class TestRejectNew:
+    def test_admits_until_full(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=2, policy="reject-new")
+            assert queue.offer(make_ticket(loop)) is True
+            assert queue.offer(make_ticket(loop)) is True
+            assert len(queue) == 2
+
+        run(scenario())
+
+    def test_full_queue_sheds_arrival(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=1, policy="reject-new")
+            first = make_ticket(loop)
+            second = make_ticket(loop)
+            queue.offer(first)
+            assert queue.offer(second) is False
+            assert queue.shed_count == 1
+            response = await second.future
+            assert response["ok"] is False
+            assert response["code"] == "overloaded"
+            assert not first.future.done()  # queued work untouched
+
+        run(scenario())
+
+
+class TestDropOldest:
+    def test_full_queue_evicts_head(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=2, policy="drop-oldest")
+            oldest = make_ticket(loop)
+            middle = make_ticket(loop)
+            newest = make_ticket(loop)
+            queue.offer(oldest)
+            queue.offer(middle)
+            assert queue.offer(newest) is True  # admitted, head shed
+            assert len(queue) == 2
+            response = await oldest.future
+            assert response["code"] == "overloaded"
+            batch = await queue.take(max_items=4)
+            assert [t is middle for t in batch[:1]] == [True]
+            assert batch[-1] is newest
+
+        run(scenario())
+
+
+class TestTake:
+    def test_take_respects_max_items(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=8)
+            for _ in range(5):
+                queue.offer(make_ticket(loop))
+            batch = await queue.take(max_items=3)
+            assert len(batch) == 3
+            assert len(queue) == 2
+
+        run(scenario())
+
+    def test_take_blocks_until_offer(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=4)
+            ticket = make_ticket(loop)
+
+            async def late_offer():
+                await asyncio.sleep(0.01)
+                queue.offer(ticket)
+
+            offer_task = asyncio.ensure_future(late_offer())
+            batch = await queue.take(max_items=4)
+            await offer_task
+            assert batch == [ticket]
+
+        run(scenario())
+
+    def test_window_lets_late_arrival_join_batch(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=4)
+            queue.offer(make_ticket(loop))
+
+            async def late_offer():
+                await asyncio.sleep(0.01)
+                queue.offer(make_ticket(loop))
+
+            offer_task = asyncio.ensure_future(late_offer())
+            batch = await queue.take(max_items=4, window=0.2)
+            await offer_task
+            assert len(batch) == 2
+
+        run(scenario())
+
+    def test_zero_window_takes_immediately(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=4)
+            queue.offer(make_ticket(loop))
+            batch = await queue.take(max_items=4, window=0.0)
+            assert len(batch) == 1
+
+        run(scenario())
+
+
+class TestClose:
+    def test_offer_after_close_resolves_shutting_down(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=2)
+            queue.close()
+            ticket = make_ticket(loop)
+            assert queue.offer(ticket) is False
+            response = await ticket.future
+            assert response["code"] == "shutting_down"
+
+        run(scenario())
+
+    def test_close_returns_leftovers_and_wakes_take(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            queue = AdmissionQueue(capacity=4)
+            tickets = [make_ticket(loop) for _ in range(3)]
+            for ticket in tickets:
+                queue.offer(ticket)
+            leftovers = queue.close()
+            assert leftovers == tickets
+            assert await queue.take() == []  # closed queue never blocks
+
+        run(scenario())
+
+
+class TestTicketDeadline:
+    def test_expired(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            assert make_ticket(loop, deadline=now - 1).expired(now)
+            assert not make_ticket(loop, deadline=now + 10).expired(now)
+            assert not make_ticket(loop, deadline=None).expired(now)
+
+        run(scenario())

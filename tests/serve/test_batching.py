@@ -1,0 +1,110 @@
+"""Tests for the micro-batcher: grouping, deadlines, error mapping."""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.admission import AdmissionQueue, Ticket
+from repro.serve.batching import MicroBatcher
+from repro.serve.lifecycle import EngineHandle
+
+
+def run_tickets(handle, specs, max_batch=16, window=0.0, capacity=64):
+    """Drive a batcher over tickets described by (op, payload, deadline_delta)."""
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = AdmissionQueue(capacity=capacity)
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            batcher = MicroBatcher(
+                handle, queue, executor, max_batch=max_batch, window=window
+            )
+            task = asyncio.ensure_future(batcher.run())
+            tickets = []
+            now = loop.time()
+            for op, payload, delta in specs:
+                deadline = now + delta if delta is not None else None
+                ticket = Ticket(
+                    op=op, payload=payload, future=loop.create_future(),
+                    deadline=deadline,
+                )
+                tickets.append(ticket)
+                queue.offer(ticket)
+            responses = [await ticket.future for ticket in tickets]
+            queue.close()
+            await task
+        return batcher, responses
+
+    return asyncio.run(scenario())
+
+
+class TestExecution:
+    def test_top_k_response_matches_engine(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=None)
+        _, (response,) = run_tickets(handle, [("top_k", {"vertex": 3}, None)])
+        assert response["ok"] is True
+        assert response["epoch"] == 0
+        expected = [[int(v), float(s)] for v, s in static_engine.top_k(3).items]
+        assert response["items"] == expected
+
+    def test_explicit_k_honored(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=None)
+        _, (response,) = run_tickets(handle, [("top_k", {"vertex": 3, "k": 2}, None)])
+        assert response["k"] == 2
+        assert len(response["items"]) <= 2
+
+    def test_pair_op(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=None)
+        _, (response,) = run_tickets(
+            handle, [("pair", {"vertex": 1, "other": 2}, None)]
+        )
+        assert response["ok"] is True
+        assert 0.0 <= response["score"] <= 1.0
+
+    def test_whole_batch_shares_one_epoch(self, static_engine):
+        handle = EngineHandle(static_engine)
+        specs = [("top_k", {"vertex": u}, None) for u in range(6)]
+        batcher, responses = run_tickets(handle, specs, max_batch=8, window=0.05)
+        assert all(r["ok"] for r in responses)
+        assert {r["epoch"] for r in responses} == {0}
+
+    def test_batches_dispatched_counted(self, static_engine):
+        handle = EngineHandle(static_engine)
+        specs = [("top_k", {"vertex": u}, None) for u in range(4)]
+        batcher, _ = run_tickets(handle, specs, max_batch=2)
+        assert batcher.batches_dispatched >= 2
+
+
+class TestFailureModes:
+    def test_expired_ticket_gets_deadline_error(self, static_engine):
+        handle = EngineHandle(static_engine)
+        _, (response,) = run_tickets(
+            handle, [("top_k", {"vertex": 3}, -1.0)]  # deadline already passed
+        )
+        assert response["ok"] is False
+        assert response["code"] == "deadline"
+
+    def test_engine_error_maps_to_bad_request(self, static_engine):
+        handle = EngineHandle(static_engine)
+        _, (response,) = run_tickets(
+            handle, [("top_k", {"vertex": 10_000}, None)]  # out of range
+        )
+        assert response["ok"] is False
+        assert response["code"] == "bad_request"
+
+    def test_unknown_op_maps_to_unsupported(self, static_engine):
+        handle = EngineHandle(static_engine)
+        _, (response,) = run_tickets(handle, [("nope", {"vertex": 0}, None)])
+        assert response["ok"] is False
+        assert response["code"] == "unsupported"
+
+    def test_failure_does_not_poison_batchmates(self, static_engine):
+        handle = EngineHandle(static_engine)
+        specs = [
+            ("top_k", {"vertex": 10_000}, None),
+            ("top_k", {"vertex": 3}, None),
+        ]
+        _, responses = run_tickets(handle, specs, max_batch=4, window=0.05)
+        codes = sorted(str(r.get("code", "ok")) for r in responses)
+        assert codes == ["bad_request", "ok"]

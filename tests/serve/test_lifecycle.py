@@ -1,0 +1,95 @@
+"""Tests for EngineHandle / EngineSnapshot: the atomic swap contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.lifecycle import EngineHandle, EngineSnapshot
+
+
+class TestSnapshots:
+    def test_initial_epoch_is_zero(self, static_engine):
+        handle = EngineHandle(static_engine)
+        assert handle.epoch == 0
+        assert handle.current().epoch == 0
+
+    def test_snapshot_answers_through_cache(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=8)
+        snapshot = handle.current()
+        first = snapshot.top_k(3)
+        second = snapshot.top_k(3)
+        assert first is second  # cache hit returns the stored object
+        assert snapshot.cache.stats.hits == 1
+
+    def test_cacheless_snapshot(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=None)
+        snapshot = handle.current()
+        assert snapshot.cache is None
+        assert snapshot.top_k(3).items == static_engine.top_k(3).items
+
+    def test_snapshot_matches_engine(self, static_engine):
+        snapshot = EngineHandle(static_engine).current()
+        assert snapshot.top_k(7).items == static_engine.top_k(7).items
+
+
+class TestSwap:
+    def test_swap_bumps_epoch_and_freshens_cache(self, static_engine):
+        handle = EngineHandle(static_engine, cache_capacity=8)
+        old = handle.current()
+        old.top_k(3)  # warm the old cache
+        new = handle.swap(static_engine)
+        assert new.epoch == old.epoch + 1
+        assert handle.current() is new
+        assert new.cache is not old.cache
+        assert len(new.cache) == 0
+        assert len(old.cache) == 1  # the retired snapshot keeps its state
+
+    def test_in_flight_snapshot_survives_swap(self, static_engine):
+        handle = EngineHandle(static_engine)
+        held = handle.current()
+        before = held.top_k(5).items
+        handle.swap(static_engine)
+        assert held.top_k(5).items == before  # old triple still consistent
+
+
+class TestDynamicAttachment:
+    def test_from_dynamic_swaps_on_flush(self, dynamic_engine):
+        handle = EngineHandle.from_dynamic(dynamic_engine)
+        assert handle.epoch == 0
+        dynamic_engine.add_edge(0, 100)
+        dynamic_engine.flush()
+        assert handle.epoch == 1
+        assert handle.current().engine is dynamic_engine.engine
+
+    def test_noop_flush_does_not_swap(self, dynamic_engine):
+        handle = EngineHandle.from_dynamic(dynamic_engine)
+        dynamic_engine.flush()  # nothing staged
+        assert handle.epoch == 0
+
+    def test_old_snapshot_unaffected_by_flush(self, dynamic_engine):
+        """The clone guarantee: a flush never mutates the outgoing engine."""
+        handle = EngineHandle.from_dynamic(dynamic_engine)
+        held = handle.current()
+        before = held.engine.top_k(3).items
+        dynamic_engine.add_edge(0, 100)
+        dynamic_engine.add_edge(100, 0)
+        dynamic_engine.flush()
+        assert held.epoch == 0
+        assert held.engine.top_k(3).items == before
+
+    def test_double_attach_rejected(self, dynamic_engine):
+        handle = EngineHandle.from_dynamic(dynamic_engine)
+        with pytest.raises(ValueError):
+            handle.attach(dynamic_engine)
+
+    def test_detach_stops_auto_swaps(self, dynamic_engine):
+        handle = EngineHandle.from_dynamic(dynamic_engine)
+        handle.detach()
+        dynamic_engine.add_edge(0, 100)
+        dynamic_engine.flush()
+        assert handle.epoch == 0
+
+    def test_repr_mentions_epoch(self, static_engine):
+        handle = EngineHandle(static_engine)
+        assert "epoch=0" in repr(handle)
+        assert isinstance(handle.current(), EngineSnapshot)

@@ -1,0 +1,91 @@
+"""Tests for the NDJSON wire format and its error-code mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve import protocol
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "top_k", "vertex": 3, "k": 5}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_encode_is_one_compact_line(self):
+        line = protocol.encode({"op": "x", "a": [1, 2]})
+        assert line.endswith(b"\n")
+        assert b" " not in line
+        assert line.count(b"\n") == 1
+
+    def test_decode_accepts_str(self):
+        assert protocol.decode('{"op": "ping"}') == {"op": "ping"}
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"\xff\xfe{}\n")
+
+    def test_decode_rejects_oversized_line(self):
+        line = b'{"op": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError):
+            protocol.decode(line)
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        response = protocol.ok("top_k", vertex=1, items=[])
+        assert response["ok"] is True
+        assert response["op"] == "top_k"
+        assert response["vertex"] == 1
+
+    def test_error_shape(self):
+        response = protocol.error("top_k", protocol.CODE_OVERLOADED, "full")
+        assert response["ok"] is False
+        assert response["code"] == "overloaded"
+        assert "full" in response["error"]
+
+    def test_raise_for_response_passes_success(self):
+        response = protocol.ok("pair", score=0.5)
+        assert protocol.raise_for_response(response) is response
+
+    @pytest.mark.parametrize(
+        "code,exception",
+        [
+            (protocol.CODE_OVERLOADED, ServerOverloadedError),
+            (protocol.CODE_DEADLINE, DeadlineExceededError),
+            (protocol.CODE_BAD_REQUEST, ProtocolError),
+            (protocol.CODE_UNSUPPORTED, ServeError),
+            (protocol.CODE_SHUTTING_DOWN, ServeError),
+            (protocol.CODE_INTERNAL, ServeError),
+        ],
+    )
+    def test_raise_for_response_maps_codes(self, code, exception):
+        with pytest.raises(exception) as excinfo:
+            protocol.raise_for_response(protocol.error("op", code, "boom"))
+        assert code in str(excinfo.value)
+
+    def test_unknown_code_still_raises_serve_error(self):
+        with pytest.raises(ServeError):
+            protocol.raise_for_response(
+                {"ok": False, "code": "???", "error": "weird"}
+            )
+
+    def test_encoded_error_survives_json(self):
+        line = protocol.encode(protocol.error("x", protocol.CODE_DEADLINE, "late"))
+        assert json.loads(line)["code"] == "deadline"

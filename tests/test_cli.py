@@ -89,6 +89,46 @@ class TestPairAndInfo:
             main([])
 
 
+class TestRemoteQuery:
+    @pytest.fixture
+    def live_server(self):
+        from repro.core.config import SimRankConfig
+        from repro.core.engine import SimRankEngine
+        from repro.graph.generators import preferential_attachment
+        from repro.serve import ServeConfig, ServerThread, SimRankServer
+
+        graph = preferential_attachment(120, out_degree=3, seed=8)
+        config = SimRankConfig(
+            T=5, r_pair=40, r_screen=10, r_alphabeta=80, r_gamma=30,
+            index_walks=4, index_checks=3, k=5,
+        )
+        engine = SimRankEngine(graph, config, seed=4).preprocess()
+        thread = ServerThread(SimRankServer(engine, ServeConfig(port=0)))
+        port = thread.start()
+        yield port
+        thread.stop()
+
+    def test_query_remote_round_trip(self, live_server, capsys):
+        assert main(["query", "--remote", f"127.0.0.1:{live_server}",
+                     "--vertex", "5", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 for vertex 5" in out
+        assert "epoch 0" in out
+
+    def test_query_remote_bare_port(self, live_server, capsys):
+        assert main(["query", "--remote", str(live_server),
+                     "--vertex", "5"]) == 0
+        assert "vertex 5" in capsys.readouterr().out
+
+    def test_query_remote_malformed_address(self, capsys):
+        assert main(["query", "--remote", "nonsense:port",
+                     "--vertex", "5"]) == 2
+
+    def test_query_needs_graph_or_remote(self, capsys):
+        assert main(["query", "--vertex", "5"]) == 2
+        assert "--graph" in capsys.readouterr().err
+
+
 class TestMetricsFlag:
     def test_query_metrics_prom_is_valid_exposition(self, graph_file, capsys):
         from repro.obs.export import parse_prometheus

@@ -53,8 +53,9 @@ class TestReadme:
         parser = build_parser()
         documented = set(re.findall(r"python -m repro\.cli (\w[\w-]*)", readme))
         assert documented  # README advertises the CLI
-        available = {"generate", "build-index", "query", "pair", "info"}
+        available = {"generate", "build-index", "query", "pair", "info", "serve"}
         assert documented <= available
+        assert "serve" in documented  # the serving mode is advertised
 
     def test_documented_runner_targets_exist(self, readme):
         from repro.experiments.runner import EXPERIMENTS
@@ -68,6 +69,27 @@ class TestReadme:
     def test_examples_listed_in_readme_exist(self, readme):
         for script in re.findall(r"python (examples/\w+\.py)", readme):
             assert (REPO_ROOT / script).exists(), f"README references missing {script}"
+
+
+class TestServingDoc:
+    def test_serving_doc_exists_and_covers_the_protocol(self):
+        text = (REPO_ROOT / "docs" / "serving.md").read_text()
+        for op in ("top_k", "pair", "update", "flush", "healthz", "metrics",
+                   "shutdown"):
+            assert op in text, f"docs/serving.md lost the {op} op"
+        for code in ("overloaded", "deadline", "bad_request"):
+            assert code in text, f"docs/serving.md lost error code {code}"
+
+    def test_observability_doc_links_serving(self):
+        text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        assert "serving.md" in text
+        assert "serve_requests_shed_total" in text
+        assert "query_prune_rate" in text
+
+    def test_api_doc_mentions_serve_layer(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for name in ("SimRankServer", "ServeClient", "EngineHandle"):
+            assert name in text, f"docs/api.md lost {name}"
 
 
 class TestDesignDoc:

@@ -60,6 +60,24 @@ class TestWorkloads:
         )
         assert counts[0] > sum(counts) * 0.2
 
+    def test_zipf_deterministic_given_seed(self, served_engine):
+        graph = served_engine.graph
+        first = zipf_workload(graph, 500, hot_set_size=25, exponent=1.3, seed=11)
+        second = zipf_workload(graph, 500, hot_set_size=25, exponent=1.3, seed=11)
+        assert first == second
+
+    def test_zipf_seed_changes_stream(self, served_engine):
+        graph = served_engine.graph
+        assert zipf_workload(graph, 500, seed=11) != zipf_workload(
+            graph, 500, seed=12
+        )
+
+    def test_zipf_hot_set_clamped_to_graph(self, served_engine):
+        workload = zipf_workload(
+            served_engine.graph, 100, hot_set_size=10_000, seed=1
+        )
+        assert all(0 <= u < served_engine.graph.n for u in workload)
+
     def test_invalid_parameters(self, served_engine):
         graph = served_engine.graph
         with pytest.raises(ConfigError):
@@ -129,3 +147,80 @@ class TestCache:
         workload = uniform_workload(served_engine.graph, 200, seed=7)
         stats = replay(cached, workload)
         assert stats.hit_rate < 0.5
+
+
+class TestReplayAccounting:
+    def test_every_query_is_hit_or_miss(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=32)
+        workload = zipf_workload(served_engine.graph, 250, hot_set_size=20, seed=9)
+        stats = replay(cached, workload)
+        assert stats.hits + stats.misses == len(workload)
+
+    def test_evictions_balance_store_size(self, served_engine):
+        # Whatever was missed either still sits in the store or was evicted.
+        cached = CachedSimRankEngine(served_engine, capacity=16)
+        workload = uniform_workload(served_engine.graph, 120, seed=10)
+        stats = replay(cached, workload)
+        assert stats.evictions == stats.misses - len(cached)
+        assert len(cached) <= 16
+
+    def test_no_evictions_under_capacity(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=1024)
+        workload = uniform_workload(served_engine.graph, 100, seed=11)
+        stats = replay(cached, workload)
+        assert stats.evictions == 0
+        assert len(cached) == stats.misses
+
+    def test_replay_deterministic_accounting(self, served_engine):
+        workload = zipf_workload(served_engine.graph, 200, hot_set_size=15, seed=12)
+        first = replay(CachedSimRankEngine(served_engine, capacity=8), workload)
+        second = replay(CachedSimRankEngine(served_engine, capacity=8), workload)
+        assert (first.hits, first.misses, first.evictions) == (
+            second.hits, second.misses, second.evictions,
+        )
+
+    def test_hit_rate_definition(self, served_engine):
+        cached = CachedSimRankEngine(served_engine, capacity=64)
+        workload = zipf_workload(served_engine.graph, 300, hot_set_size=10, seed=13)
+        stats = replay(cached, workload)
+        assert stats.hit_rate == pytest.approx(stats.hits / len(workload))
+
+
+class TestFollow:
+    @pytest.fixture
+    def dynamic(self):
+        from repro.core.dynamic import DynamicSimRankEngine
+
+        graph = preferential_attachment(120, out_degree=3, seed=8)
+        config = SimRankConfig(
+            T=5, r_pair=40, r_screen=10, r_alphabeta=80, r_gamma=30,
+            index_walks=4, index_checks=3, k=5,
+        )
+        return DynamicSimRankEngine(graph, config, seed=4)
+
+    def test_follow_returns_self(self, dynamic):
+        cached = CachedSimRankEngine(dynamic.engine, capacity=8)
+        assert cached.follow(dynamic) is cached
+
+    def test_flush_invalidates_and_swaps_engine(self, dynamic):
+        cached = CachedSimRankEngine(dynamic.engine, capacity=8).follow(dynamic)
+        cached.top_k(3)
+        assert len(cached) == 1
+        dynamic.add_edge(0, 100)
+        dynamic.flush()
+        assert len(cached) == 0
+        assert cached.engine is dynamic.engine
+        assert cached.stats.invalidations == 1
+
+    def test_post_flush_answers_are_fresh(self, dynamic):
+        cached = CachedSimRankEngine(dynamic.engine, capacity=8).follow(dynamic)
+        cached.top_k(3)
+        dynamic.add_edge(0, 100)
+        dynamic.flush()
+        assert cached.top_k(3).items == dynamic.engine.top_k(3).items
+
+    def test_noop_flush_keeps_cache(self, dynamic):
+        cached = CachedSimRankEngine(dynamic.engine, capacity=8).follow(dynamic)
+        cached.top_k(3)
+        dynamic.flush()  # nothing staged -> no listener call
+        assert len(cached) == 1

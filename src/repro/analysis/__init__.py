@@ -1,0 +1,43 @@
+"""AST-based static analysis enforcing this project's invariants.
+
+The serve layer's thread-safety, the snapshot-swap immutability
+contract, Monte-Carlo seeding discipline, the hot-path observability
+guard idiom, and kernel dtype contracts are all *conventions* — easy to
+state in a review, easy to erode one commit at a time.  This package
+turns them into machine-checked rules (``repro lint``):
+
+- **R1 lock-discipline** — attributes declared ``# locked-by: <lock>``
+  may only be accessed inside ``with self.<lock>:``.
+- **R2 snapshot-immutability** — live ``CandidateIndex`` /
+  ``EngineSnapshot`` state is never mutated; writes go through
+  ``.clone()``.
+- **R3 seeded-rng** — Monte-Carlo code threads seeded numpy Generators;
+  module-level ``np.random.*`` and stdlib ``random`` are banned.
+- **R4 hot-path-obs-guard** — recording hooks in the query path sit
+  inside ``if obs.OBS.enabled:``.
+- **R5 dtype-contracts** — public kernels declare array dtypes with
+  :func:`repro.utils.contracts.contract`; declarations and call sites
+  are cross-validated.
+
+Per-line waivers: ``# repro: noqa R<N> -- reason`` (reason required).
+See ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, format_findings
+from repro.analysis.rules import Rule, all_rules
+from repro.analysis.runner import DEFAULT_SCOPES, Project, run_lint
+from repro.analysis.source import SourceFile, load_source
+
+__all__ = [
+    "DEFAULT_SCOPES",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "format_findings",
+    "load_source",
+    "run_lint",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.findings import format_findings
+from repro.analysis.rules import all_rules
+from repro.analysis.runner import run_lint
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Project-specific static analysis: lock discipline (R1), snapshot "
+            "immutability (R2), seeded RNG (R3), hot-path obs guards (R4), "
+            "dtype contracts (R5). See docs/static-analysis.md."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory findings are rendered relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.explain:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    only = None
+    if options.rules:
+        only = [part.strip() for part in options.rules.split(",") if part.strip()]
+        known = {rule.id for rule in all_rules()} | {"R0"}
+        unknown = [rule_id for rule_id in only if rule_id not in known]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    paths: List[Path] = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
+
+    root = Path(options.root) if options.root else None
+    findings = run_lint(paths, root=root, only=only)
+    if findings:
+        print(format_findings(findings))
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""R1 — lock discipline for shared mutable state.
+
+The serve layer runs queries on a thread pool while flushes and swaps
+run elsewhere; its correctness depends on every access to a shared
+attribute happening under the lock that guards it.  CPython's GIL makes
+single attribute reads *atomic*, but not *consistent* — a read outside
+the lock can interleave with a multi-step mutation and observe a state
+no critical section ever published.
+
+An attribute opts in by annotation at its ``__init__`` assignment::
+
+    class EngineHandle:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._snapshot = make()  # locked-by: _lock
+
+or via a class-level registry (useful when the assignment line is
+crowded)::
+
+    class EngineHandle:
+        _locked_ = {"_snapshot": "_lock"}
+
+Every ``self.<attr>`` read or write in any method other than
+``__init__`` must then sit lexically inside ``with self.<lock>:``.
+Nested ``def``/``lambda`` bodies reset the guard: a closure created
+inside a critical section may run long after the lock was released.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["LockDisciplineRule"]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _locked_attrs(source: SourceFile, cls: ast.ClassDef) -> Dict[str, str]:
+    """attr -> lock name, from comments and the ``_locked_`` registry."""
+    locked: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        # The comment may sit on any line of a multi-line assignment.
+        span = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+        lock = next((source.locked_by[ln] for ln in span if ln in source.locked_by), None)
+        if lock is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            chain = attribute_chain(target)
+            if chain is not None and len(chain) == 2 and chain[0] == "self":
+                locked[chain[1]] = lock
+    for stmt in cls.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "_locked_"
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if isinstance(key, ast.Constant) and isinstance(value, ast.Constant):
+                    locked[str(key.value)] = str(value.value)
+    return locked
+
+
+def _is_self_attr(node: ast.AST, attr: str) -> bool:
+    chain = attribute_chain(node)
+    return chain is not None and chain[:2] == ("self", attr)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking which locks are lexically held."""
+
+    def __init__(
+        self,
+        rule: "LockDisciplineRule",
+        source: SourceFile,
+        cls_name: str,
+        method_name: str,
+        locked: Dict[str, str],
+    ) -> None:
+        self.rule = rule
+        self.source = source
+        self.cls_name = cls_name
+        self.method_name = method_name
+        self.locked = locked
+        self.held: List[str] = []
+        self.findings: List[Finding] = []
+
+    # -- guard tracking -------------------------------------------------
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            for attr, lock in self.locked.items():
+                del attr
+                if _is_self_attr(item.context_expr, lock):
+                    acquired.append(lock)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        # A nested function may outlive the critical section it was
+        # defined in, so its body is checked with no locks held.
+        outer = self.held
+        self.held = []
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.held = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    # -- the actual check ----------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.locked
+        ):
+            lock = self.locked[node.attr]
+            if lock not in self.held:
+                access = "write to" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+                self.findings.append(
+                    self.source.finding(
+                        self.rule.id,
+                        node,
+                        f"{access} shared attribute `self.{node.attr}` outside "
+                        f"`with self.{lock}:` in {self.cls_name}.{self.method_name} "
+                        f"(declared locked-by: {lock})",
+                    )
+                )
+        self.generic_visit(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "R1"
+    name = "lock-discipline"
+    summary = (
+        "attributes declared `# locked-by: <lock>` (or listed in a class "
+        "`_locked_` registry) may only be accessed inside `with self.<lock>:`"
+    )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        for cls in source.classes():
+            locked = _locked_attrs(source, cls)
+            if not locked:
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "__init__":
+                    continue
+                scanner = _MethodScanner(self, source, cls.name, stmt.name, locked)
+                for child in stmt.body:
+                    scanner.visit(child)
+                yield from scanner.findings

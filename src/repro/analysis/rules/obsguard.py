@@ -1,0 +1,151 @@
+"""R4 — hot-path observability hooks must be guarded.
+
+The ``repro.obs`` contract (PR 1) is that disabled metrics cost one
+attribute check per hook site.  That only holds if every recording call
+in the hot query path is written as::
+
+    if obs.OBS.enabled:
+        obs.record_query(stats)
+
+An unguarded ``obs.record_*`` call pays a function call, a registry
+lookup, and a lock acquisition per event *even when metrics are off* —
+on the walk loop that is millions of avoidable operations per query.
+
+In the scoped hot-path modules (``core/query.py``, ``core/walks.py``,
+``core/montecarlo.py``) every call to a recording hook
+(``record_*`` / ``set_*`` / ``merge_*`` of :mod:`repro.obs.instrument`)
+must be lexically inside an ``if`` whose test is the single-attribute
+check ``obs.OBS.enabled`` (or ``OBS.enabled``), possibly as the first
+operand of an ``and`` chain.  ``obs.trace(...)`` used as a context
+manager is exempt — its disabled path is already a shared no-op object.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Set, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["ObsGuardRule"]
+
+_HOOK_PREFIXES = ("record_", "set_", "merge_")
+
+#: Dotted module whose recording hooks are guarded.
+_INSTRUMENT = "repro.obs.instrument"
+
+
+def _is_enabled_check(test: ast.expr) -> bool:
+    """Whether ``test`` is (or starts with) the ``OBS.enabled`` idiom."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And) and test.values:
+        return _is_enabled_check(test.values[0])
+    chain = attribute_chain(test)
+    if chain is None:
+        return False
+    return chain[-2:] == ("OBS", "enabled")
+
+
+class ObsGuardRule(Rule):
+    id = "R4"
+    name = "hot-path-obs-guard"
+    summary = (
+        "obs recording hooks in the hot query path must sit inside the "
+        "single-attribute guard `if obs.OBS.enabled:`"
+    )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        hook_modules: Set[str] = {
+            alias
+            for alias, target in source.aliases.modules.items()
+            if target in (_INSTRUMENT, "repro.obs")
+        }
+        hook_names: Set[str] = {
+            alias
+            for alias, target in source.aliases.names.items()
+            if target.startswith(_INSTRUMENT + ".")
+            and target.rpartition(".")[2].startswith(_HOOK_PREFIXES)
+        }
+        findings: List[Finding] = []
+        self._scan(source, source.tree, False, hook_modules, hook_names, findings)
+        yield from findings
+
+    def _scan(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        guarded: bool,
+        hook_modules: Set[str],
+        hook_names: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_guarded = guarded
+            if isinstance(child, ast.If) and _is_enabled_check(child.test):
+                # The body is guarded; the orelse is not.
+                for stmt in child.body:
+                    self._scan(source, stmt, True, hook_modules, hook_names, findings)
+                    self._check_node(
+                        source, stmt, True, hook_modules, hook_names, findings
+                    )
+                for stmt in child.orelse:
+                    self._scan(source, stmt, guarded, hook_modules, hook_names, findings)
+                    self._check_node(
+                        source, stmt, guarded, hook_modules, hook_names, findings
+                    )
+                self._check_node(
+                    source, child.test, True, hook_modules, hook_names, findings
+                )
+                continue
+            self._check_node(
+                source, child, child_guarded, hook_modules, hook_names, findings
+            )
+            self._scan(source, child, child_guarded, hook_modules, hook_names, findings)
+
+    def _check_node(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        guarded: bool,
+        hook_modules: Set[str],
+        hook_names: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        if guarded or not isinstance(node, ast.Call):
+            return
+        rendered = self._hook_call(node, hook_modules, hook_names)
+        if rendered is not None:
+            findings.append(
+                source.finding(
+                    self.id,
+                    node,
+                    f"unguarded hot-path hook `{rendered}` — wrap it in "
+                    "`if obs.OBS.enabled:` so disabled metrics cost one "
+                    "attribute check",
+                )
+            )
+
+    @staticmethod
+    def _hook_call(
+        node: ast.Call,
+        hook_modules: Set[str],
+        hook_names: Set[str],
+    ) -> Union[str, None]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            chain = attribute_chain(func)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] in hook_modules
+                and chain[1].startswith(_HOOK_PREFIXES)
+            ):
+                return ".".join(chain)
+        elif isinstance(func, ast.Name) and func.id in hook_names:
+            return func.id
+        return None

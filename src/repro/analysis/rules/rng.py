@@ -1,0 +1,156 @@
+"""R3 — seeded-RNG discipline in the Monte-Carlo code.
+
+The paper's accuracy and reproducibility claims rest on every walk
+bundle being replayable from a seed: results tables, regression tests,
+and the parallel sweep's "identical to sequential" guarantee all assume
+it.  Module-level RNG (``np.random.rand``, ``random.random``, the
+global ``np.random.seed``) draws from hidden process-wide state, which
+breaks replay and couples concurrent components through a shared
+stream.
+
+In the scoped modules (``core/``, ``baselines/``,
+``graph/generators.py``) the rule flags:
+
+- calls to ``np.random.<fn>`` / ``numpy.random.<fn>`` for any function
+  that *draws from or mutates* the global stream (constructing
+  generators — ``default_rng``, ``Generator``, ``SeedSequence``,
+  bit generators — is the sanctioned API and stays allowed);
+- any use of the stdlib :mod:`random` module: importing it, importing
+  names from it, or calling through it.
+
+The fix is always the same: accept a ``seed`` / ``rng`` argument and
+thread it through :func:`repro.utils.rng.ensure_rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["SeededRngRule"]
+
+#: numpy.random names that construct generators rather than draw from
+#: the global stream — the sanctioned, seedable API.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "RandomState",  # legacy but explicitly seeded per-instance
+    }
+)
+
+
+class SeededRngRule(Rule):
+    id = "R3"
+    name = "seeded-rng"
+    summary = (
+        "Monte-Carlo code must thread a seeded numpy Generator; module-level "
+        "np.random.* draws and the stdlib random module are forbidden"
+    )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        aliases = source.aliases
+        numpy_aliases = {
+            alias
+            for alias, target in aliases.modules.items()
+            if target in ("numpy", "numpy.random")
+        }
+        numpy_random_aliases = {
+            alias
+            for alias, target in aliases.modules.items()
+            if target == "numpy.random"
+        }
+        random_aliases = {
+            alias for alias, target in aliases.modules.items() if target == "random"
+        }
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(source, node)
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None:
+                    continue
+                # np.random.<fn>(...) / numpy.random.<fn>(...)
+                if (
+                    len(chain) == 3
+                    and chain[0] in numpy_aliases
+                    and chain[1] == "random"
+                    and chain[2] not in ALLOWED_NP_RANDOM
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"module-level `{'.'.join(chain)}()` uses the hidden global "
+                        "RNG stream — thread a seeded Generator "
+                        "(repro.utils.rng.ensure_rng) instead",
+                    )
+                # <alias>.<fn>(...) with alias bound to numpy.random
+                elif (
+                    len(chain) == 2
+                    and chain[0] in numpy_random_aliases
+                    and chain[1] not in ALLOWED_NP_RANDOM
+                ):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"module-level `numpy.random.{chain[1]}()` uses the hidden "
+                        "global RNG stream — thread a seeded Generator instead",
+                    )
+                # stdlib random.<fn>(...)
+                elif len(chain) == 2 and chain[0] in random_aliases:
+                    yield source.finding(
+                        self.id,
+                        node,
+                        f"stdlib `random.{chain[1]}()` is unseeded process-global "
+                        "state — use a numpy Generator threaded from a seed",
+                    )
+
+    def _check_import(
+        self, source: SourceFile, node: "ast.Import | ast.ImportFrom"
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.name == "random" or name.name.startswith("random."):
+                    yield source.finding(
+                        self.id,
+                        node,
+                        "import of the stdlib `random` module — Monte-Carlo code "
+                        "must use seeded numpy Generators (repro.utils.rng)",
+                    )
+        else:
+            if node.module == "random" and node.level == 0:
+                yield source.finding(
+                    self.id,
+                    node,
+                    "import from the stdlib `random` module — Monte-Carlo code "
+                    "must use seeded numpy Generators (repro.utils.rng)",
+                )
+            elif node.module in ("numpy.random", "numpy") and node.level == 0:
+                for name in node.names:
+                    bare = name.name
+                    if node.module == "numpy" and bare != "random":
+                        continue
+                    if node.module == "numpy.random" and bare not in ALLOWED_NP_RANDOM:
+                        yield source.finding(
+                            self.id,
+                            node,
+                            f"import of `numpy.random.{bare}` — only generator "
+                            "constructors (default_rng, SeedSequence, ...) may be "
+                            "imported; draws must go through a threaded Generator",
+                        )

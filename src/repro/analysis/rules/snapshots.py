@@ -1,0 +1,267 @@
+"""R2 — snapshot immutability on the query path.
+
+The zero-downtime swap contract (PR 2) is that in-flight queries read an
+immutable ``EngineSnapshot`` whose ``CandidateIndex`` is never mutated:
+index maintenance must patch a ``.clone()`` and publish it as a *new*
+engine.  A single stray ``index.signatures[u] = ...`` on a live index
+would corrupt answers for every concurrent reader — silently.
+
+The rule flags, in the scoped modules:
+
+1. mutation of index payload attributes — assignment (plain, augmented,
+   or through a subscript) to ``<x>.signatures`` / ``<x>.inverted`` /
+   ``<x>.gamma.values``, and mutating container-method calls on them
+   (``.append``, ``.update``, ``.extend``, ...);
+2. calls to declared index mutators (``replace_signature``);
+3. attribute assignment on any receiver annotated as ``CandidateIndex``
+   or ``EngineSnapshot`` (parameter or variable annotations).
+
+Exemptions — the blessed write paths:
+
+- receivers *owned* by the enclosing function: locals assigned from a
+  ``.clone()`` call or from an owner-class constructor
+  (``CandidateIndex(...)``, ``EngineSnapshot(...)``, ``GammaTable(...)``,
+  ``cls(...)``);
+- ``self`` inside the owner classes themselves (the class's own methods
+  are the mutation API the clone path uses).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["SnapshotImmutabilityRule"]
+
+#: Classes whose instances are the protected snapshot state.
+OWNER_CLASSES = ("CandidateIndex", "EngineSnapshot", "GammaTable")
+
+#: Attribute names that hold index payload (unique enough project-wide).
+PAYLOAD_ATTRS = ("signatures", "inverted")
+
+#: Methods that mutate a CandidateIndex in place.
+INDEX_MUTATORS = ("replace_signature",)
+
+#: Container methods that mutate their receiver.
+CONTAINER_MUTATORS = (
+    "append", "extend", "insert", "remove", "pop", "popitem",
+    "clear", "update", "setdefault", "sort", "reverse", "fill",
+)
+
+
+def _constructor_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _owned_locals(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> Set[str]:
+    """Local names bound from ``.clone()`` or an owner-class constructor."""
+    owned: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        name = _constructor_name(node.value)
+        if name == "clone" or name in OWNER_CLASSES or name == "cls":
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    owned.add(target.id)
+    return owned
+
+
+def _annotation_mentions_owner(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return any(cls in text for cls in OWNER_CLASSES)
+
+
+def _annotated_owner_params(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> Set[str]:
+    """Parameter and variable names annotated with an owner class."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if _annotation_mentions_owner(arg.annotation):
+            names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_mentions_owner(node.annotation):
+                names.add(node.target.id)
+    return names
+
+
+def _root_name(chain: Tuple[str, ...]) -> str:
+    return chain[0]
+
+
+def _strip_subscript(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _payload_target(node: ast.expr) -> Optional[Tuple[Tuple[str, ...], str]]:
+    """``(receiver chain, payload attr)`` when ``node`` is a payload
+    attribute (possibly through subscripts), else None."""
+    node = _strip_subscript(node)
+    if not isinstance(node, ast.Attribute):
+        return None
+    chain = attribute_chain(node)
+    if chain is None:
+        return None
+    # <recv>.signatures / <recv>.inverted
+    if chain[-1] in PAYLOAD_ATTRS and len(chain) >= 2:
+        return chain[:-1], chain[-1]
+    # <recv>.gamma.values
+    if len(chain) >= 3 and chain[-2:] == ("gamma", "values"):
+        return chain[:-2], "gamma.values"
+    return None
+
+
+class SnapshotImmutabilityRule(Rule):
+    id = "R2"
+    name = "snapshot-immutability"
+    summary = (
+        "CandidateIndex/EngineSnapshot state may not be mutated outside the "
+        "clone-and-publish path (patch a `.clone()`, never a live index)"
+    )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        # Class bodies of the owner classes are the mutation API itself.
+        owner_spans: list[Tuple[int, int]] = []
+        for cls in source.classes():
+            if cls.name in OWNER_CLASSES:
+                owner_spans.append((cls.lineno, cls.end_lineno or cls.lineno))
+
+        def inside_owner(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(lo <= line <= hi for lo, hi in owner_spans)
+
+        functions = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Module-level statements get an empty ownership context.
+        yield from self._check_scope(source, source.tree, set(), set(), inside_owner,
+                                     skip_functions=True)
+        for func in functions:
+            owned = _owned_locals(func)
+            annotated = _annotated_owner_params(func)
+            # skip_functions: nested defs are visited as their own scope
+            # by the surrounding loop, so don't double-report them here.
+            yield from self._check_scope(
+                source, func, owned, annotated, inside_owner, skip_functions=True
+            )
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        scope: ast.AST,
+        owned: Set[str],
+        annotated: Set[str],
+        inside_owner,
+        skip_functions: bool,
+    ) -> Iterator[Finding]:
+        def exempt_receiver(chain: Optional[Sequence[str]], node: ast.AST) -> bool:
+            if inside_owner(node):
+                return True
+            if chain is None:
+                # Receiver too dynamic to resolve (call/subscript root);
+                # stay quiet rather than guess.
+                return True
+            root = chain[0]
+            return root in owned or root == "cls"
+
+        for node in self._walk(scope, skip_functions):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    payload = _payload_target(target)
+                    if payload is not None:
+                        chain, attr = payload
+                        if not exempt_receiver(chain, node):
+                            yield source.finding(
+                                self.id,
+                                node,
+                                f"mutation of index payload `{'.'.join(chain)}.{attr}` "
+                                "outside the clone-and-publish path — patch a "
+                                "`.clone()` instead (snapshot immutability)",
+                            )
+                        continue
+                    # Any attribute assignment on an annotated owner object.
+                    stripped = _strip_subscript(target)
+                    if isinstance(stripped, ast.Attribute):
+                        chain = attribute_chain(stripped)
+                        if (
+                            chain is not None
+                            and chain[0] in annotated
+                            and chain[0] not in owned
+                        ):
+                            yield source.finding(
+                                self.id,
+                                node,
+                                f"assignment to `{'.'.join(chain)}` mutates a "
+                                f"{OWNER_CLASSES[0]}/{OWNER_CLASSES[1]}-typed object "
+                                "on the query path — snapshots are immutable",
+                            )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                receiver = node.func.value
+                if method in INDEX_MUTATORS:
+                    chain = attribute_chain(receiver)
+                    if not exempt_receiver(chain, node):
+                        rendered = ".".join(chain) if chain else "<expr>"
+                        yield source.finding(
+                            self.id,
+                            node,
+                            f"call to index mutator `{rendered}.{method}()` outside "
+                            "the clone-and-publish path — patch a `.clone()` instead",
+                        )
+                elif method in CONTAINER_MUTATORS:
+                    payload = _payload_target(receiver)
+                    if payload is not None:
+                        chain, attr = payload
+                        if not exempt_receiver(chain, node):
+                            yield source.finding(
+                                self.id,
+                                node,
+                                f"mutating call `.{method}()` on index payload "
+                                f"`{'.'.join(chain)}.{attr}` outside the "
+                                "clone-and-publish path",
+                            )
+
+    @staticmethod
+    def _walk(scope: ast.AST, skip_functions: bool) -> Iterator[ast.AST]:
+        """Walk ``scope``; optionally stop at nested function boundaries."""
+        if not skip_functions:
+            root_children = list(ast.iter_child_nodes(scope))
+            stack = root_children
+        else:
+            stack = [
+                child
+                for child in ast.iter_child_nodes(scope)
+                if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if skip_functions and isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                stack.append(child)

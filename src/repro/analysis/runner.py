@@ -1,0 +1,153 @@
+"""Project loading and rule dispatch for ``repro lint``.
+
+A :class:`Project` is the set of parsed :class:`SourceFile` objects the
+rules operate on.  Each rule runs only over the files its invariant
+governs (:data:`DEFAULT_SCOPES`): lock discipline is a serve-layer
+contract, the RNG rule governs the Monte-Carlo code, the hot-path obs
+guard applies to the three query-path modules.  Scope patterns are
+:mod:`fnmatch` globs matched against the repo-relative posix path, with
+an implicit ``*/`` prefix so the same patterns work from any checkout
+root (and from test fixtures that mimic the layout).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, all_rules
+from repro.analysis.source import SourceFile, load_source
+
+__all__ = ["DEFAULT_SCOPES", "Project", "discover_files", "run_lint", "scope_match"]
+
+#: rule id -> path globs the rule applies to (posix, repo-relative).
+DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
+    "R1": ("serve/*.py", "core/dynamic.py", "workloads.py"),
+    "R2": ("core/*.py", "serve/*.py", "workloads.py"),
+    "R3": ("core/*.py", "baselines/*.py", "graph/generators.py"),
+    "R4": ("core/query.py", "core/walks.py", "core/montecarlo.py"),
+    "R5": ("*.py",),
+}
+
+#: directories never worth parsing.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclass
+class Project:
+    """Every parsed source file of one lint invocation."""
+
+    root: Path
+    sources: List[SourceFile] = field(default_factory=list)
+
+    def by_rel(self, rel: str) -> Optional[SourceFile]:
+        for source in self.sources:
+            if source.rel == rel:
+                return source
+        return None
+
+
+def scope_match(rel: str, patterns: Sequence[str]) -> bool:
+    """Whether a repo-relative path falls inside a rule's scope."""
+    path = rel.replace("\\", "/")
+    for pattern in patterns:
+        if fnmatch.fnmatch(path, pattern) or fnmatch.fnmatch(path, "*/" + pattern):
+            return True
+    return False
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+    # De-duplicate while keeping order (a file given twice, or both a dir
+    # and a file inside it).
+    seen = set()
+    unique: List[Path] = []
+    for path in found:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def load_project(paths: Iterable[Path], root: Optional[Path] = None) -> Project:
+    root = root or Path.cwd()
+    project = Project(root=root)
+    for path in discover_files(paths):
+        project.sources.append(load_source(path, root))
+    return project
+
+
+def run_lint(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    only: Optional[Iterable[str]] = None,
+    scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
+) -> List[Finding]:
+    """Run the project linter and return sorted, unsuppressed findings.
+
+    ``only`` restricts to a set of rule ids; ``scopes`` overrides
+    :data:`DEFAULT_SCOPES` (useful in tests to point one rule at a
+    fixture file regardless of its name).
+    """
+    project = load_project(paths, root)
+    scope_map = DEFAULT_SCOPES if scopes is None else scopes
+    active = list(all_rules()) if rules is None else list(rules)
+    if only is not None:
+        wanted = set(only)
+        active = [rule for rule in active if rule.id in wanted]
+
+    findings: List[Finding] = []
+    for source in project.sources:
+        if source.syntax_error is not None:
+            exc = source.syntax_error
+            findings.append(
+                Finding(
+                    rule="R0",
+                    path=source.rel,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for line in source.suppressions.missing_reasons():
+            findings.append(
+                Finding(
+                    rule="R0",
+                    path=source.rel,
+                    line=line,
+                    col=0,
+                    message=(
+                        "`# repro: noqa` without a `-- reason` tail — waivers "
+                        "must record why they are safe"
+                    ),
+                )
+            )
+
+    for rule in active:
+        rule.prepare(project)
+    for rule in active:
+        patterns = scope_map.get(rule.id, ("*.py",))
+        for source in project.sources:
+            if source.syntax_error is not None:
+                continue
+            if not scope_match(source.rel, patterns):
+                continue
+            for finding in rule.check(project, source):
+                if not source.suppressed(finding):
+                    findings.append(finding)
+
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,172 @@
+"""The analyzer's view of one Python source file.
+
+:class:`SourceFile` bundles everything a rule needs: raw text and lines,
+the parsed AST, per-line ``# repro: noqa`` suppressions, the per-line
+``# locked-by: <lock>`` annotations the lock-discipline rule reads, and
+the module's import aliases (so rules can recognise ``np.random`` and
+``repro.obs.instrument`` under whatever name they were imported as).
+
+Comments are not part of the AST, so the two comment grammars are
+extracted with line regexes before parsing; everything else is plain
+:mod:`ast`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.findings import Finding, Suppressions, parse_suppressions
+
+__all__ = ["ImportAliases", "SourceFile", "attribute_chain", "load_source"]
+
+#: ``self._snapshot = ...  # locked-by: _lock``
+_LOCKED_BY_RE = re.compile(r"#\s*locked-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+
+
+@dataclass
+class ImportAliases:
+    """Name bindings produced by a module's import statements.
+
+    ``modules`` maps a local name to the dotted module it refers to
+    (``{"np": "numpy", "obs": "repro.obs.instrument"}``); ``names`` maps
+    a local name to the fully qualified object it was imported from
+    (``{"record_query": "repro.obs.instrument.record_query"}``).
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    names: Dict[str, str] = field(default_factory=dict)
+
+    def module_alias_for(self, dotted: str) -> List[str]:
+        """Every local name bound to the module ``dotted``."""
+        return [alias for alias, target in self.modules.items() if target == dotted]
+
+    def qualified(self, name: str) -> Optional[str]:
+        """Fully qualified origin of a bare imported name, if known."""
+        return self.names.get(name)
+
+
+class SourceFile:
+    """One parsed file plus the comment annotations rules consume."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: Path rendered in findings (repo-relative when possible).
+        self.rel = rel
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        # Comment grammars are parsed from real COMMENT tokens only, so a
+        # docstring that *talks about* `# repro: noqa` is not a directive.
+        comments = _comment_lines(text, len(self.lines))
+        self.suppressions: Suppressions = parse_suppressions(comments)
+        #: line number -> lock name from a ``# locked-by:`` comment.
+        self.locked_by: Dict[int, str] = _parse_locked_by(comments)
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: ast.Module = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            self.syntax_error = exc
+            self.tree = ast.Module(body=[], type_ignores=[])
+        self.aliases: ImportAliases = _collect_aliases(self.tree)
+
+    def finding(self, rule: str, node: Union[ast.AST, int], message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` (or a raw line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.rel, line=line, col=col, message=message)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a per-line noqa directive waives this finding."""
+        return self.suppressions.covers(finding.line, finding.rule)
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        """Top-level and nested class definitions, in source order."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+def load_source(path: Path, root: Optional[Path] = None) -> SourceFile:
+    """Read and parse ``path``; ``root`` controls the rendered path."""
+    rel = str(path)
+    if root is not None:
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(path)
+    return SourceFile(path, rel, path.read_text(encoding="utf-8"))
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None when the chain has calls
+    or subscripts in it (those receivers are out of static reach)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _comment_lines(text: str, n_lines: int) -> List[str]:
+    """Per-line comment text (empty where a line has no real comment).
+
+    Tokenizing skips string literals, so directive grammars can't be
+    triggered from inside docstrings.  On tokenizer errors (the file is
+    about to fail ``ast.parse`` anyway) fall back to raw lines.
+    """
+    comments = [""] * n_lines
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                line = token.start[0]
+                if 1 <= line <= n_lines:
+                    comments[line - 1] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return text.splitlines()
+    return comments
+
+
+def _parse_locked_by(lines: List[str]) -> Dict[int, str]:
+    locked: Dict[int, str] = {}
+    for number, text in enumerate(lines, start=1):
+        if "locked-by" not in text:
+            continue
+        match = _LOCKED_BY_RE.search(text)
+        if match is not None:
+            locked[number] = match.group("lock")
+    return locked
+
+
+def _collect_aliases(tree: ast.Module) -> ImportAliases:
+    aliases = ImportAliases()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.partition(".")[0]
+                target = name.name if name.asname else name.name.partition(".")[0]
+                aliases.modules[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                qualified = f"{node.module}.{name.name}"
+                # ``from repro.obs import instrument as obs`` binds a
+                # module; record it on both maps — rules pick the view
+                # they need and submodule-vs-object is not decidable
+                # syntactically.
+                aliases.modules[local] = qualified
+                aliases.names[local] = qualified
+    return aliases

@@ -221,6 +221,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project's static-analysis rules (docs/static-analysis.md)."""
+    from repro.analysis.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.root:
+        argv += ["--root", args.root]
+    if args.explain:
+        argv.append("--explain")
+    return lint_main(argv)
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Structural summary of a graph file."""
     from repro.graph.stats import average_distance, degree_summary, reciprocity
@@ -335,6 +349,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="graph structural summary")
     common(p_info)
     p_info.set_defaults(fn=cmd_info)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project-specific static-analysis rules R1-R5"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--rules", default=None, metavar="R1,R2,...",
+                        help="comma-separated rule ids to run")
+    p_lint.add_argument("--root", default=None, metavar="DIR",
+                        help="directory findings are rendered relative to")
+    p_lint.add_argument("--explain", action="store_true",
+                        help="list the registered rules and exit")
+    p_lint.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -44,9 +44,20 @@ from repro.graph.traversal import UNREACHABLE, bfs_distances
 from repro.core.config import SimRankConfig
 from repro.core.linear import DiagonalLike, resolve_diagonal
 from repro.core.walks import WalkEngine
+from repro.utils.contracts import contract
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+__all__ = [
+    "trivial_bound",
+    "paper_trivial_bound",
+    "L1Bound",
+    "compute_alpha_beta",
+    "GammaTable",
+    "compute_gamma",
+    "compute_gamma_all",
+    "combined_upper_bound",
+]
 def trivial_bound(c: float, d: int) -> float:
     """Sound distance bound ``c^{ceil(d/2)}`` from the surfer-pair model.
 
@@ -191,6 +202,7 @@ class GammaTable:
         return int(self.values.nbytes)
 
 
+@contract(returns="float64[1d]")
 def compute_gamma(
     graph: CSRGraph,
     u: int,

@@ -22,8 +22,11 @@ import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
+from repro.utils.contracts import contract
 from repro.utils.rng import SeedLike, ensure_rng
 
+
+__all__ = ["DEAD", "WalkEngine", "PositionSketch", "sketch_from_walks"]
 #: Marker for a terminated walk (its vertex had no in-links).
 DEAD = -1
 
@@ -38,11 +41,14 @@ class WalkEngine:
         self._indices = graph.in_indices
         self._degrees = graph.in_degrees
 
+    @contract(positions="int64", returns="int64")
     def step(self, positions: np.ndarray) -> np.ndarray:
         """Advance every walk one in-link step; dead walks stay dead.
 
-        ``positions`` is any int array of current vertices (or DEAD); a
-        fresh array is returned, inputs are never mutated.
+        ``positions`` is an int64 array of current vertices (or DEAD); a
+        fresh array is returned, inputs are never mutated.  Array-likes
+        (lists, scalars) are still coerced, but an ndarray of another
+        dtype is rejected — it would silently pay a copy per step.
         """
         positions = np.asarray(positions, dtype=np.int64)
         result = np.full(positions.shape, DEAD, dtype=np.int64)
@@ -60,6 +66,7 @@ class WalkEngine:
             result[alive_idx[movable]] = landed
         return result
 
+    @contract(returns="int64[2d]")
     def walk_matrix(self, start: int, R: int, T: int) -> np.ndarray:
         """R independent walks of T steps from ``start`` as a (T, R) array.
 
@@ -76,6 +83,7 @@ class WalkEngine:
             out[t] = self.step(out[t - 1])
         return out
 
+    @contract(returns="int64[2d]")
     def walk_matrix_multi(self, starts: Sequence[int], T: int) -> np.ndarray:
         """One walk per start vertex, as a (T, len(starts)) array.
 

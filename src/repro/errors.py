@@ -41,6 +41,11 @@ class SerializationError(ReproError):
     """A saved index or graph file is corrupt or of an unsupported version."""
 
 
+class ContractViolationError(ReproError, TypeError):
+    """A numpy kernel's declared dtype/shape contract was violated, or a
+    contract declaration itself is malformed."""
+
+
 class ServeError(ReproError):
     """A request to a :mod:`repro.serve` server failed server-side."""
 

@@ -1,0 +1,145 @@
+"""Lightweight dtype/shape contracts for public numpy kernels.
+
+The walk engine and the bound tables pass raw ``np.ndarray`` payloads
+across module boundaries; a wrong dtype does not crash, it silently
+degrades (a float64 position array makes fancy-indexing copies; an
+int32 one overflows on the key-packing trick in ``compute_gamma_all``).
+The :func:`contract` decorator makes the expectation explicit, checks
+it at runtime for a few hundred nanoseconds per call, and — because the
+declaration is a literal in the decorator — lets ``repro lint`` (rule
+R5) cross-validate call sites statically.
+
+Usage::
+
+    @contract(positions="int64", returns="int64")
+    def step(self, positions: np.ndarray) -> np.ndarray: ...
+
+    @contract(returns="float64[1d]")
+    def compute_gamma(...) -> np.ndarray: ...
+
+A spec is ``"<dtype>"`` (any shape) or ``"<dtype>[<n>d]"`` (exact
+ndim).  Checks apply only to values that already *are* ndarrays:
+array-likes (lists, scalars) pass through untouched, so contracts never
+tighten a kernel's accepted input types — they catch the case where an
+actual array of the wrong dtype/rank would be consumed silently.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ContractViolationError
+
+__all__ = ["ArraySpec", "contract", "parse_spec"]
+
+_SPEC_RE = re.compile(r"^(?P<dtype>[a-z0-9_]+)(?:\[(?P<ndim>\d+)d\])?$")
+
+#: dtype names a spec may use (numpy canonical names).
+KNOWN_DTYPES = frozenset(
+    {
+        "bool",
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "float16", "float32", "float64",
+        "complex64", "complex128",
+    }
+)
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One parsed contract entry: required dtype and optional ndim."""
+
+    dtype: str
+    ndim: Optional[int] = None
+
+    def describe(self) -> str:
+        return self.dtype if self.ndim is None else f"{self.dtype}[{self.ndim}d]"
+
+
+def parse_spec(name: str, spec: str) -> ArraySpec:
+    """Parse ``"int64"`` / ``"float64[2d]"``; raise on nonsense specs."""
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ContractViolationError(
+            f"contract spec for {name!r} is malformed: {spec!r} "
+            "(expected '<dtype>' or '<dtype>[<n>d]')"
+        )
+    dtype = match.group("dtype")
+    if dtype not in KNOWN_DTYPES:
+        raise ContractViolationError(
+            f"contract spec for {name!r} names unknown dtype {dtype!r}"
+        )
+    ndim = match.group("ndim")
+    return ArraySpec(dtype=dtype, ndim=int(ndim) if ndim is not None else None)
+
+
+def _check(qualname: str, label: str, value: object, spec: ArraySpec) -> None:
+    if not isinstance(value, np.ndarray):
+        return
+    if value.dtype.name != spec.dtype:
+        raise ContractViolationError(
+            f"{qualname}: {label} must be {spec.describe()}, "
+            f"got dtype {value.dtype.name}"
+        )
+    if spec.ndim is not None and value.ndim != spec.ndim:
+        raise ContractViolationError(
+            f"{qualname}: {label} must be {spec.describe()}, "
+            f"got {value.ndim}-d array"
+        )
+
+
+def contract(**specs: str) -> Callable[[F], F]:
+    """Declare and enforce array dtypes/ranks on a kernel's signature.
+
+    Keyword names must match the wrapped function's parameters (plus the
+    special key ``returns``); mismatched names raise at decoration time
+    so a typo can never ship as a silently unchecked contract.
+    """
+
+    def decorate(fn: F) -> F:
+        import inspect
+
+        signature = inspect.signature(fn)
+        parameters = list(signature.parameters)
+        parsed: Dict[str, ArraySpec] = {
+            key: parse_spec(key, value) for key, value in specs.items()
+        }
+        returns = parsed.pop("returns", None)
+        for key in parsed:
+            if key not in parameters:
+                raise ContractViolationError(
+                    f"contract on {fn.__qualname__} names unknown parameter {key!r}"
+                )
+        # Positional lookup table so the per-call path never re-binds the
+        # signature: (param name, positional index, spec).
+        checkers: List[Tuple[str, int, ArraySpec]] = [
+            (key, parameters.index(key), spec) for key, spec in parsed.items()
+        ]
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for key, position, spec in checkers:
+                if key in kwargs:
+                    _check(fn.__qualname__, f"argument {key!r}", kwargs[key], spec)
+                elif position < len(args):
+                    _check(fn.__qualname__, f"argument {key!r}", args[position], spec)
+            result = fn(*args, **kwargs)
+            if returns is not None:
+                _check(fn.__qualname__, "return value", result, returns)
+            return result
+
+        wrapper.__contract__ = {  # type: ignore[attr-defined]
+            "params": dict(parsed),
+            "returns": returns,
+        }
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

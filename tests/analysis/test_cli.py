@@ -1,0 +1,73 @@
+"""CLI surface of the analyzer: exit codes, output shape, meta-test."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, run_lint
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_clean_tree_exits_zero(write_tree, capsys):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert lint_main([str(root)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_violations_exit_one_with_file_line(write_tree, capsys):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    code = lint_main([str(root), "--root", str(root)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "core/mc.py:3:" in out
+    assert "R3" in out
+
+
+def test_rules_filter(write_tree):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    assert lint_main([str(root), "--rules", "R1"]) == 0
+    assert lint_main([str(root), "--rules", "R3"]) == 1
+
+
+def test_unknown_rule_is_usage_error(write_tree):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    with pytest.raises(SystemExit) as err:
+        lint_main([str(root), "--rules", "R99"])
+    assert err.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as err:
+        lint_main([str(tmp_path / "nope")])
+    assert err.value.code == 2
+
+
+def test_explain_lists_all_rules(capsys):
+    assert lint_main(["--explain"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_repro_lint_subcommand(write_tree, capsys):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    assert repro_main(["lint", str(root), "--root", str(root)]) == 1
+    assert "R3" in capsys.readouterr().out
+    assert repro_main(["lint", str(root), "--rules", "R1"]) == 0
+
+
+def test_shipped_tree_is_clean():
+    """Meta-test: the repository's own source passes its own linter."""
+    findings = run_lint([REPO_SRC], root=REPO_SRC.parent)
+    assert findings == [], "\n".join(f.render() for f in findings)

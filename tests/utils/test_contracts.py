@@ -1,0 +1,119 @@
+"""Runtime behaviour of the @contract decorator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ContractViolationError, ReproError
+from repro.utils.contracts import ArraySpec, contract, parse_spec
+
+
+class TestParseSpec:
+    def test_plain_dtype(self):
+        assert parse_spec("x", "int64") == ArraySpec("int64", None)
+
+    def test_dtype_with_ndim(self):
+        assert parse_spec("x", "float64[2d]") == ArraySpec("float64", 2)
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(ContractViolationError):
+            parse_spec("x", "int64[2]")
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ContractViolationError):
+            parse_spec("x", "floaty64")
+
+
+class TestContractDecorator:
+    def test_passes_matching_arrays_through(self):
+        @contract(a="int64", returns="int64")
+        def double(a):
+            return a * 2
+
+        out = double(np.arange(3, dtype=np.int64))
+        assert out.dtype == np.int64
+
+    def test_rejects_wrong_dtype_positional_and_keyword(self):
+        @contract(a="int64")
+        def f(a):
+            return a
+
+        bad = np.zeros(3, dtype=np.int32)
+        with pytest.raises(ContractViolationError, match="int32"):
+            f(bad)
+        with pytest.raises(ContractViolationError, match="int32"):
+            f(a=bad)
+
+    def test_rejects_wrong_ndim(self):
+        @contract(a="int64[2d]")
+        def f(a):
+            return a
+
+        with pytest.raises(ContractViolationError, match="1-d"):
+            f(np.zeros(3, dtype=np.int64))
+
+    def test_checks_return_value(self):
+        @contract(returns="float64[1d]")
+        def f():
+            return np.zeros((2, 2))
+
+        with pytest.raises(ContractViolationError, match="return value"):
+            f()
+
+    def test_non_arrays_are_not_checked(self):
+        @contract(a="int64")
+        def f(a):
+            return a
+
+        assert f([1, 2, 3]) == [1, 2, 3]
+
+    def test_methods_check_by_position(self):
+        class K:
+            @contract(positions="int64")
+            def step(self, positions):
+                return positions
+
+        with pytest.raises(ContractViolationError):
+            K().step(np.zeros(2, dtype=np.float64))
+
+    def test_unknown_parameter_rejected_at_decoration_time(self):
+        with pytest.raises(ContractViolationError, match="unknown parameter"):
+
+            @contract(nope="int64")
+            def f(a):
+                return a
+
+    def test_violation_is_both_repro_error_and_type_error(self):
+        with pytest.raises(ReproError):
+            parse_spec("x", "bad spec")
+        assert issubclass(ContractViolationError, TypeError)
+
+    def test_declaration_exposed_for_the_analyzer(self):
+        @contract(a="int64", returns="float64[1d]")
+        def f(a):
+            return a
+
+        decl = f.__contract__
+        assert decl["params"] == {"a": ArraySpec("int64", None)}
+        assert decl["returns"] == ArraySpec("float64", 1)
+
+
+class TestKernelContracts:
+    """The shipped kernels reject silently-degrading inputs."""
+
+    def test_walk_engine_step_rejects_float_positions(self):
+        from repro.core.walks import WalkEngine
+        from repro.graph.generators import cycle_graph
+
+        engine = WalkEngine(cycle_graph(8), seed=0)
+        with pytest.raises(ContractViolationError):
+            engine.step(np.zeros(4, dtype=np.float64))
+
+    def test_walk_engine_step_still_coerces_lists(self):
+        from repro.core.walks import WalkEngine
+        from repro.graph.generators import cycle_graph
+
+        engine = WalkEngine(cycle_graph(8), seed=0)
+        out = engine.step([0, 1, 2])
+        assert out.dtype == np.int64

@@ -29,6 +29,7 @@ from repro.obs import instrument as obs
 from repro.workloads import CachedSimRankEngine
 
 
+__all__ = ["EngineSnapshot", "EngineHandle"]
 class EngineSnapshot:
     """One immutable serving generation: engine + its result cache + epoch."""
 
@@ -69,7 +70,7 @@ class EngineHandle:
             engine.preprocess()
         self._cache_capacity = cache_capacity
         self._lock = threading.Lock()
-        self._snapshot = self._make_snapshot(engine, epoch=0)
+        self._snapshot = self._make_snapshot(engine, epoch=0)  # locked-by: _lock
         self._dynamic: Optional[DynamicSimRankEngine] = None
         self._listener = None
 
@@ -99,7 +100,8 @@ class EngineHandle:
     @property
     def epoch(self) -> int:
         """Epoch of the currently published snapshot."""
-        return self._snapshot.epoch
+        with self._lock:
+            return self._snapshot.epoch
 
     @property
     def dynamic(self) -> Optional[DynamicSimRankEngine]:

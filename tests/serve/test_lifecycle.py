@@ -93,3 +93,46 @@ class TestDynamicAttachment:
         handle = EngineHandle(static_engine)
         assert "epoch=0" in repr(handle)
         assert isinstance(handle.current(), EngineSnapshot)
+
+
+class TestConcurrentSwaps:
+    """Regression: ``epoch`` used to read ``_snapshot`` without the lock."""
+
+    def test_epoch_monotonic_under_concurrent_swaps(self, static_engine):
+        import threading
+
+        handle = EngineHandle(static_engine, cache_capacity=None)
+        swaps_per_thread = 200
+        errors = []
+        done = threading.Event()
+
+        def swapper() -> None:
+            try:
+                for _ in range(swaps_per_thread):
+                    handle.swap(static_engine)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                last = -1
+                while not done.is_set():
+                    epoch = handle.epoch
+                    assert epoch >= last, "epoch went backwards"
+                    last = epoch
+                    snapshot = handle.current()
+                    assert snapshot.epoch >= last - 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        swappers = [threading.Thread(target=swapper) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + swappers:
+            t.start()
+        for t in swappers:
+            t.join()
+        done.set()
+        for t in readers:
+            t.join()
+        assert errors == []
+        assert handle.epoch == 2 * swaps_per_thread

@@ -23,6 +23,7 @@ callers never see a stale index.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
@@ -40,6 +41,7 @@ from repro.graph.traversal import distance_ball
 from repro.utils.rng import SeedLike, derive_seed
 
 
+__all__ = ["FlushStats", "DynamicSimRankEngine"]
 @dataclass
 class FlushStats:
     """What one :meth:`DynamicSimRankEngine.flush` actually rebuilt."""
@@ -72,10 +74,13 @@ class DynamicSimRankEngine:
             )
         self.config = config or SimRankConfig()
         self._seed = seed
-        self._edges: Set[Tuple[int, int]] = set(map(tuple, graph.edge_array().tolist()))
+        # RLock, not Lock: defensive against a listener (fired by flush)
+        # re-entering an accessor on the same thread.
+        self._state_lock = threading.RLock()
+        self._edges: Set[Tuple[int, int]] = set(map(tuple, graph.edge_array().tolist()))  # locked-by: _state_lock
         self._n = graph.n
-        self._engine = SimRankEngine(graph, self.config, seed=seed).preprocess()
-        self._pending: List[Tuple[str, int, int]] = []
+        self._engine = SimRankEngine(graph, self.config, seed=seed).preprocess()  # locked-by: _state_lock
+        self._pending: List[Tuple[str, int, int]] = []  # locked-by: _state_lock
         self._rebuild_fraction = rebuild_fraction
         self._flush_epoch = 0
         self._flush_listeners: List[Callable[[SimRankEngine, FlushStats], None]] = []
@@ -95,17 +100,20 @@ class DynamicSimRankEngine:
         this rather than the private attribute.  The object is replaced
         wholesale by :meth:`flush`, so don't hold it across updates.
         """
-        return self._engine
+        with self._state_lock:
+            return self._engine
 
     @property
     def graph(self) -> CSRGraph:
         """The current (flushed) graph."""
-        return self._engine.graph
+        with self._state_lock:
+            return self._engine.graph
 
     @property
     def pending_edits(self) -> int:
         """Number of staged, not-yet-applied edits."""
-        return len(self._pending)
+        with self._state_lock:
+            return len(self._pending)
 
     def add_edge(self, u: int, v: int) -> bool:
         """Stage inserting u -> v; returns False if the edge exists already.
@@ -115,21 +123,23 @@ class DynamicSimRankEngine:
         u, v = int(u), int(v)
         if u < 0 or v < 0:
             raise VertexError(min(u, v), self._n)
-        if (u, v) in self._edges:
-            return False
-        self._edges.add((u, v))
-        self._n = max(self._n, u + 1, v + 1)
-        self._pending.append(("add", u, v))
-        return True
+        with self._state_lock:
+            if (u, v) in self._edges:
+                return False
+            self._edges.add((u, v))
+            self._n = max(self._n, u + 1, v + 1)
+            self._pending.append(("add", u, v))
+            return True
 
     def remove_edge(self, u: int, v: int) -> bool:
         """Stage deleting u -> v; returns False if the edge is absent."""
         u, v = int(u), int(v)
-        if (u, v) not in self._edges:
-            return False
-        self._edges.remove((u, v))
-        self._pending.append(("remove", u, v))
-        return True
+        with self._state_lock:
+            if (u, v) not in self._edges:
+                return False
+            self._edges.remove((u, v))
+            self._pending.append(("remove", u, v))
+            return True
 
     # ------------------------------------------------------------------
     # Flush listeners
@@ -166,7 +176,12 @@ class DynamicSimRankEngine:
     # Flush
     # ------------------------------------------------------------------
 
-    def _affected_vertices(self, old_graph: CSRGraph, new_graph: CSRGraph) -> Set[int]:
+    def _affected_vertices(
+        self,
+        old_graph: CSRGraph,
+        new_graph: CSRGraph,
+        pending: List[Tuple[str, int, int]],
+    ) -> Set[int]:
         """Vertices whose reverse-walk distribution may have changed.
 
         For each edited edge (a, b): the out-ball of b with radius T-1 —
@@ -177,7 +192,7 @@ class DynamicSimRankEngine:
         """
         radius = self.config.T - 1
         affected: Set[int] = set()
-        for kind, _, b in self._pending:
+        for kind, _, b in pending:
             source_graph = new_graph if kind == "add" else old_graph
             if b < source_graph.n:
                 affected.update(
@@ -196,54 +211,63 @@ class DynamicSimRankEngine:
         ``(new_engine, stats)``.
         """
         stats = FlushStats()
-        if not self._pending:
-            self.last_flush = stats
-            return stats
-        start = time.perf_counter()
-        old_graph = self._engine.graph
-        new_graph = CSRGraph.from_edges(self._n, sorted(self._edges))
-        grew = new_graph.n > old_graph.n
-        affected = self._affected_vertices(old_graph, new_graph)
-        if grew:
-            affected.update(range(old_graph.n, new_graph.n))
-        stats.edits_applied = len(self._pending)
-        stats.vertices_affected = len(affected)
-        self._flush_epoch += 1
-
-        if len(affected) > self._rebuild_fraction * new_graph.n:
-            stats.full_rebuild = True
-            self._engine = SimRankEngine(
-                new_graph, self.config, seed=self._seed
-            ).preprocess()
-        else:
-            # Patch a clone so the outgoing engine's index stays intact
-            # for snapshot readers, then point a fresh engine at it.
-            index = self._engine.index.clone()
-            self._engine = SimRankEngine(new_graph, self.config, seed=self._seed)
-            self._engine._index = index  # noqa: SLF001 - deliberate surgery
-            index.n = new_graph.n
+        with self._state_lock:
+            if not self._pending:
+                self.last_flush = stats
+                return stats
+            start = time.perf_counter()
+            old_graph = self._engine.graph
+            new_graph = CSRGraph.from_edges(self._n, sorted(self._edges))
+            grew = new_graph.n > old_graph.n
+            affected = self._affected_vertices(old_graph, new_graph, self._pending)
             if grew:
-                index.signatures.extend([[v] for v in range(old_graph.n, new_graph.n)])
-                pad = np.zeros((new_graph.n - index.gamma.values.shape[0], index.gamma.T))
-                index.gamma.values = np.vstack([index.gamma.values, pad])
-            ordered = sorted(affected)
-            walk_seed = derive_seed(self._seed, 7, 1, self._flush_epoch)
-            new_signatures = build_signatures(
-                new_graph, self.config, seed=walk_seed, vertices=ordered
-            )
-            for u, signature in zip(ordered, new_signatures):
-                index.replace_signature(u, signature)
-                index.gamma.values[u] = compute_gamma(
-                    new_graph,
-                    u,
-                    self.config,
-                    seed=derive_seed(self._seed, 7, 2, self._flush_epoch, u),
+                affected.update(range(old_graph.n, new_graph.n))
+            stats.edits_applied = len(self._pending)
+            stats.vertices_affected = len(affected)
+            self._flush_epoch += 1
+
+            if len(affected) > self._rebuild_fraction * new_graph.n:
+                stats.full_rebuild = True
+                self._engine = SimRankEngine(
+                    new_graph, self.config, seed=self._seed
+                ).preprocess()
+            else:
+                # Patch a clone so the outgoing engine's index stays intact
+                # for snapshot readers, then point a fresh engine at it.
+                index = self._engine.index.clone()
+                self._engine = SimRankEngine(new_graph, self.config, seed=self._seed)
+                self._engine._index = index  # noqa: SLF001 - deliberate surgery
+                index.n = new_graph.n
+                if grew:
+                    index.signatures.extend(
+                        [[v] for v in range(old_graph.n, new_graph.n)]
+                    )
+                    pad = np.zeros(
+                        (new_graph.n - index.gamma.values.shape[0], index.gamma.T)
+                    )
+                    index.gamma.values = np.vstack([index.gamma.values, pad])
+                ordered = sorted(affected)
+                walk_seed = derive_seed(self._seed, 7, 1, self._flush_epoch)
+                new_signatures = build_signatures(
+                    new_graph, self.config, seed=walk_seed, vertices=ordered
                 )
-        self._pending.clear()
-        stats.elapsed_seconds = time.perf_counter() - start
-        self.last_flush = stats
+                for u, signature in zip(ordered, new_signatures):
+                    index.replace_signature(u, signature)
+                    index.gamma.values[u] = compute_gamma(
+                        new_graph,
+                        u,
+                        self.config,
+                        seed=derive_seed(self._seed, 7, 2, self._flush_epoch, u),
+                    )
+            self._pending.clear()
+            stats.elapsed_seconds = time.perf_counter() - start
+            self.last_flush = stats
+            engine = self._engine
+        # Listeners run outside the critical section: EngineHandle.swap
+        # takes its own lock, and a slow listener must not extend the
+        # window during which edit staging and health reads block.
         for listener in list(self._flush_listeners):
-            listener(self._engine, stats)
+            listener(engine, stats)
         return stats
 
     # ------------------------------------------------------------------
@@ -253,20 +277,27 @@ class DynamicSimRankEngine:
     def top_k(self, u: int, k: Optional[int] = None) -> TopKResult:
         """Top-k query against the up-to-date index."""
         self.flush()
-        return self._engine.top_k(u, k=k)
+        with self._state_lock:
+            engine = self._engine
+        return engine.top_k(u, k=k)
 
     def single_pair(self, u: int, v: int, method: str = "montecarlo") -> float:
         """Single-pair score against the up-to-date graph."""
         self.flush()
-        return self._engine.single_pair(u, v, method=method)
+        with self._state_lock:
+            engine = self._engine
+        return engine.single_pair(u, v, method=method)
 
     def single_source(self, u: int) -> np.ndarray:
         """Deterministic single-source vector on the up-to-date graph."""
         self.flush()
-        return self._engine.single_source(u)
+        with self._state_lock:
+            engine = self._engine
+        return engine.single_source(u)
 
     def __repr__(self) -> str:
-        return (
-            f"DynamicSimRankEngine(n={self._n}, m={len(self._edges)}, "
-            f"pending={len(self._pending)})"
-        )
+        with self._state_lock:
+            return (
+                f"DynamicSimRankEngine(n={self._n}, m={len(self._edges)}, "
+                f"pending={len(self._pending)})"
+            )

@@ -123,7 +123,7 @@ class CachedSimRankEngine:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
         self._engine = engine
         self._capacity = capacity
-        self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()
+        self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()  # locked-by: _lock
         self._lock = threading.Lock()
         self.stats = CacheStats()
 

@@ -201,3 +201,59 @@ class TestEquivalenceWithStaticRebuild:
             assert postings == sorted(postings)
             for u in postings:
                 assert w in index.signatures[u]
+
+
+class TestConcurrency:
+    """Edit staging and flushing race from different threads in serving.
+
+    Regression for the unlocked shared state: before ``_state_lock``,
+    a flush sorting ``_edges`` while another thread staged an edit
+    raised ``RuntimeError: Set changed size during iteration`` (or
+    silently lost edits in the check-then-act windows).
+    """
+
+    def test_concurrent_staging_and_flushing(self, dyn_config):
+        import threading
+
+        graph = cycle_graph(40)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        n = graph.n
+        errors = []
+        done = threading.Event()
+
+        def stage(offset: int) -> None:
+            try:
+                for i in range(40):
+                    u = (offset + 3 * i) % n
+                    v = (u + 7 + offset) % n
+                    if not dynamic.add_edge(u, v):
+                        dynamic.remove_edge(u, v)
+                    assert dynamic.pending_edits >= 0
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def flush_loop() -> None:
+            try:
+                while not done.is_set():
+                    dynamic.flush()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=stage, args=(k,)) for k in (0, 1)]
+        flusher = threading.Thread(target=flush_loop)
+        flusher.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        done.set()
+        flusher.join()
+        assert errors == []
+        dynamic.flush()
+        assert dynamic.pending_edits == 0
+        # The flushed graph and the staged edge set agree exactly.
+        assert dynamic.graph.m == len(dynamic._edges)
+        flushed = set(map(tuple, dynamic.graph.edge_array().tolist()))
+        assert flushed == dynamic._edges
+        # And the engine still answers.
+        assert dynamic.top_k(0, k=3).items

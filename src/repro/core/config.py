@@ -32,6 +32,7 @@ from typing import Optional
 from repro.utils.validation import check_fraction, check_positive_int
 
 
+__all__ = ["SimRankConfig"]
 @dataclass(frozen=True)
 class SimRankConfig:
     """Frozen bundle of every parameter the paper's algorithms take."""

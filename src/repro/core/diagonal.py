@@ -31,6 +31,13 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_fraction, check_positive_int
 
 
+__all__ = [
+    "approx_diagonal",
+    "diagonal_from_simrank",
+    "exact_diagonal",
+    "estimate_diagonal_mc",
+    "diagonal_bounds_violations",
+]
 def approx_diagonal(n: int, c: float) -> np.ndarray:
     """The paper's working approximation ``D = (1 - c) I`` as a vector."""
     check_fraction("c", c)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -37,6 +37,11 @@ from repro.core.montecarlo import single_pair_simrank
 from repro.core.query import TopKResult, top_k_query
 from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed
+
+if TYPE_CHECKING:  # scipy is an optional runtime import (see _get_transition)
+    import scipy.sparse as sp
+
+__all__ = ["SimRankEngine"]
 
 
 class SimRankEngine:
@@ -70,7 +75,7 @@ class SimRankEngine:
         self.diagonal = resolve_diagonal(graph.n, self.config.c, diagonal)
         self._seed = seed
         self._index: Optional[CandidateIndex] = None
-        self._transition = None
+        self._transition: Optional["sp.csr_matrix"] = None
         self.preprocess_seconds: float = 0.0
 
     @classmethod
@@ -290,7 +295,7 @@ class SimRankEngine:
             transition=self._get_transition(),
         )
 
-    def _get_transition(self):
+    def _get_transition(self) -> "sp.csr_matrix":
         if self._transition is None:
             self._transition = self.graph.transition_matrix()
         return self._transition

@@ -28,6 +28,13 @@ from repro.graph.csr import CSRGraph
 from repro.utils.validation import check_fraction
 
 
+__all__ = [
+    "iterations_for_tolerance",
+    "exact_simrank",
+    "exact_single_source",
+    "exact_top_k",
+    "high_score_vertices",
+]
 def iterations_for_tolerance(c: float, tol: float) -> int:
     """Number of fixed-point iterations so that the residual ≤ ``tol``.
 

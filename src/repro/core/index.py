@@ -35,6 +35,14 @@ from repro.core.walks import WalkEngine
 from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "CandidateIndex",
+    "signature_for_vertex",
+    "build_signatures",
+    "build_index",
+]
 INDEX_FORMAT_VERSION = 1
 
 

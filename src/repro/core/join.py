@@ -38,6 +38,7 @@ from repro.graph.csr import CSRGraph
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
 
+__all__ = ["JoinStats", "JoinResult", "similarity_join"]
 @dataclass
 class JoinStats:
     """Work accounting of one similarity join."""

@@ -36,6 +36,17 @@ import scipy.sparse as sp
 from repro.errors import ConfigError, VertexError
 from repro.graph.csr import CSRGraph
 
+
+__all__ = [
+    "DiagonalLike",
+    "resolve_diagonal",
+    "truncation_error_bound",
+    "series_length_for_accuracy",
+    "single_pair_series",
+    "single_source_series",
+    "all_pairs_series",
+    "linear_residual",
+]
 DiagonalLike = Union[None, float, np.ndarray]
 
 

@@ -32,6 +32,14 @@ from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+__all__ = [
+    "required_samples",
+    "single_pair_simrank",
+    "SingleSourceEstimator",
+    "PairEstimate",
+    "single_pair_with_ci",
+    "single_source_simrank",
+]
 def required_samples(
     c: float, n: int, T: int, epsilon: float, delta: float = 0.05
 ) -> int:

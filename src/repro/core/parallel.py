@@ -27,14 +27,17 @@ from repro.core.index import CandidateIndex
 from repro.core.query import top_k_query
 from repro.graph.csr import CSRGraph
 from repro.obs import instrument as obs
+from repro.obs.metrics import Snapshot
 from repro.utils.rng import SeedLike, derive_seed
 
+
+__all__ = ["ChunkResult", "top_k_all_parallel"]
 # Worker-process globals, installed once by _initializer.
-_WORKER_STATE: dict = {}
+_WORKER_STATE: Dict[str, object] = {}
 
 #: One chunk's answer: the per-vertex item lists plus the chunk's private
 #: metrics-registry snapshot (None when metrics are disabled).
-ChunkResult = Tuple[List[Tuple[int, List[Tuple[int, float]]]], Optional[dict]]
+ChunkResult = Tuple[List[Tuple[int, List[Tuple[int, float]]]], Optional[Snapshot]]
 
 
 def _initializer(

@@ -43,6 +43,7 @@ from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, derive_seed
 
 
+__all__ = ["QueryStats", "TopKResult", "top_k_query"]
 @dataclass
 class QueryStats:
     """Instrumentation of one top-k query (drives the ablation benches)."""

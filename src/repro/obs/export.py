@@ -18,6 +18,8 @@ import math
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.obs.metrics import Snapshot
+
 __all__ = [
     "to_jsonl",
     "parse_jsonl",
@@ -33,7 +35,7 @@ __all__ = [
 # JSON lines
 # ---------------------------------------------------------------------------
 
-def to_jsonl(snapshot: dict) -> str:
+def to_jsonl(snapshot: Snapshot) -> str:
     """One JSON object per metric, sorted by key — diff-friendly."""
     lines: List[str] = []
     for key, value in sorted(snapshot.get("counters", {}).items()):
@@ -59,9 +61,9 @@ def to_jsonl(snapshot: dict) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def parse_jsonl(text: str) -> dict:
+def parse_jsonl(text: str) -> Snapshot:
     """Inverse of :func:`to_jsonl`; returns a snapshot dict."""
-    snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    snapshot: Snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -90,7 +92,7 @@ def parse_jsonl(text: str) -> dict:
     return snapshot
 
 
-def write_jsonl(snapshot: dict, path: Union[str, Path]) -> Path:
+def write_jsonl(snapshot: Snapshot, path: Union[str, Path]) -> Path:
     """Write the JSONL export to ``path`` (benchmark sidecars)."""
     path = Path(path)
     path.write_text(to_jsonl(snapshot))
@@ -115,7 +117,7 @@ def _prom_number(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus(snapshot: dict) -> str:
+def to_prometheus(snapshot: Snapshot) -> str:
     """Prometheus text-format 0.0.4 rendering of a snapshot."""
     lines: List[str] = []
     for key, value in sorted(snapshot.get("counters", {}).items()):
@@ -163,7 +165,7 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 # Derived gauges
 # ---------------------------------------------------------------------------
 
-def with_derived(snapshot: dict) -> dict:
+def with_derived(snapshot: Snapshot) -> Snapshot:
     """A copy of ``snapshot`` with ratio gauges computed from its counters.
 
     Currently one ratio: ``query.prune_rate`` =
@@ -189,7 +191,7 @@ def with_derived(snapshot: dict) -> dict:
 # Human summary (the ``--metrics summary`` CLI mode)
 # ---------------------------------------------------------------------------
 
-def summary_rows(snapshot: dict) -> List[List[str]]:
+def summary_rows(snapshot: Snapshot) -> List[List[str]]:
     """``[metric, kind, value]`` rows for a text table (derived gauges included)."""
     snapshot = with_derived(snapshot)
     rows: List[List[str]] = []

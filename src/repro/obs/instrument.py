@@ -23,14 +23,48 @@ sidecars without disturbing a surrounding session registry.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, ContextManager, Iterator, List, Optional
 
 from repro.obs import catalog
 from repro.obs.metrics import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
+    Snapshot,
 )
 from repro.obs.tracing import Tracer
+
+if TYPE_CHECKING:  # core imports this module; keep the reverse edge type-only
+    from repro.core.index import CandidateIndex
+    from repro.core.query import QueryStats
+
+__all__ = [
+    "Observability",
+    "OBS",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "get_registry",
+    "snapshot",
+    "trace",
+    "collecting",
+    "session",
+    "record_query",
+    "record_preprocess",
+    "record_index",
+    "record_walk_bundle",
+    "record_cache",
+    "merge_worker_snapshot",
+    "push_registry",
+    "pop_registry",
+    "record_serve_request",
+    "record_serve_shed",
+    "record_serve_deadline_expired",
+    "record_serve_error",
+    "record_serve_batch",
+    "record_serve_swap",
+    "set_serve_queue_depth",
+]
 
 
 class Observability:
@@ -80,12 +114,12 @@ def get_registry() -> MetricsRegistry:
     return OBS._stack[-1] if OBS._stack else OBS.registry
 
 
-def snapshot() -> dict:
+def snapshot() -> Snapshot:
     """Snapshot of the active registry."""
     return get_registry().snapshot()
 
 
-def trace(name: str, **attrs: object):
+def trace(name: str, **attrs: object) -> ContextManager[None]:
     """Span context manager on the global tracer (no-op when disabled)."""
     return OBS.tracer.trace(name, **attrs)
 
@@ -129,7 +163,7 @@ def session(tracing: bool = False) -> Iterator[MetricsRegistry]:
 # Recording hooks (callers gate on OBS.enabled first)
 # ---------------------------------------------------------------------------
 
-def record_query(stats) -> None:
+def record_query(stats: "QueryStats") -> None:
     """Fold one query's :class:`~repro.core.query.QueryStats` into the registry."""
     registry = get_registry()
     registry.counter(*catalog.QUERY_COUNT).inc()
@@ -163,7 +197,7 @@ def record_preprocess(
     registry.gauge(*catalog.PREPROCESS_INVERT_SECONDS).set(invert_seconds)
 
 
-def record_index(index) -> None:
+def record_index(index: "CandidateIndex") -> None:
     """Shape of a freshly built/loaded :class:`~repro.core.index.CandidateIndex`."""
     registry = get_registry()
     registry.gauge(*catalog.INDEX_BYTES).set(index.nbytes())
@@ -198,7 +232,7 @@ def record_cache(event: str, amount: int = 1) -> None:
     get_registry().counter(*key).inc(amount)
 
 
-def merge_worker_snapshot(worker_snapshot: dict) -> None:
+def merge_worker_snapshot(worker_snapshot: Snapshot) -> None:
     """Fold a worker chunk's registry snapshot into the active registry."""
     registry = get_registry()
     registry.counter(*catalog.PARALLEL_CHUNKS).inc()

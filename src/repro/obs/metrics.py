@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type, TypeVar
 
 __all__ = [
+    "Snapshot",
     "Counter",
     "Gauge",
     "Histogram",
@@ -36,6 +37,11 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]
+
+#: A picklable registry dump, as produced by :meth:`MetricsRegistry.snapshot`.
+Snapshot = Dict[str, Any]
+
+M = TypeVar("M")
 
 #: Latency buckets (seconds): sub-ms to tens of seconds, Prometheus style.
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -177,7 +183,7 @@ class MetricsRegistry:
     # Get-or-create accessors
     # ------------------------------------------------------------------
 
-    def _get_or_create(self, kind: type, subsystem: str, name: str, *args):
+    def _get_or_create(self, kind: Type[M], subsystem: str, name: str, *args: object) -> M:
         key = (str(subsystem), str(name))
         with self._lock:
             existing = self._metrics.get(key)
@@ -229,7 +235,7 @@ class MetricsRegistry:
     # Snapshot / merge (the ProcessPoolExecutor hand-off)
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Snapshot:
         """Picklable plain-dict state, stable across processes.
 
         Shape::

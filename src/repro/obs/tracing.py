@@ -25,9 +25,10 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import ContextManager, Dict, Iterator, List, Optional
 
 
+__all__ = ["Span", "Tracer", "render_spans"]
 @dataclass
 class Span:
     """One completed traced region."""
@@ -45,7 +46,7 @@ class _NoopContext:
     __slots__ = ()
 
     def __enter__(self) -> None:
-        return None
+        pass
 
     def __exit__(self, *exc_info: object) -> bool:
         return False
@@ -71,7 +72,7 @@ class Tracer:
     # Recording
     # ------------------------------------------------------------------
 
-    def trace(self, name: str, **attrs: object):
+    def trace(self, name: str, **attrs: object) -> ContextManager[None]:
         """Context manager timing its body as a span named ``name``."""
         if not self.enabled:
             return _NOOP

@@ -34,6 +34,8 @@ from repro.errors import ConfigError
 from repro.obs import instrument as obs
 from repro.serve import protocol
 
+
+__all__ = ["SHED_POLICIES", "Ticket", "AdmissionQueue"]
 SHED_POLICIES = ("reject-new", "drop-oldest")
 
 
@@ -48,7 +50,7 @@ class Ticket:
     """
 
     op: str
-    payload: dict = field(default_factory=dict)
+    payload: protocol.Message = field(default_factory=dict)
     future: Optional[asyncio.Future] = None
     deadline: Optional[float] = None
     enqueued_at: float = 0.0
@@ -121,7 +123,7 @@ class AdmissionQueue:
         return True
 
     @staticmethod
-    def _resolve(ticket: Ticket, response: dict) -> None:
+    def _resolve(ticket: Ticket, response: protocol.Message) -> None:
         if ticket.future is not None and not ticket.future.done():
             ticket.future.set_result(response)
 

@@ -29,6 +29,7 @@ from repro.serve.admission import AdmissionQueue, Ticket
 from repro.serve.lifecycle import EngineHandle, EngineSnapshot
 
 
+__all__ = ["MicroBatcher"]
 class MicroBatcher:
     """Consume an :class:`AdmissionQueue`, execute batches on an executor.
 
@@ -122,7 +123,7 @@ class MicroBatcher:
         if ticket.future is not None and not ticket.future.done():
             ticket.future.set_result(response)
 
-    def _execute(self, snapshot: EngineSnapshot, ticket: Ticket) -> dict:
+    def _execute(self, snapshot: EngineSnapshot, ticket: Ticket) -> protocol.Message:
         """Runs on an executor thread; must only touch the snapshot."""
         payload = ticket.payload
         if ticket.op == "top_k":

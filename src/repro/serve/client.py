@@ -23,6 +23,7 @@ from repro.errors import ProtocolError, ServeError
 from repro.serve import protocol
 
 
+__all__ = ["RemoteTopK", "ServeClient", "http_get", "parse_healthz"]
 class RemoteTopK:
     """A remote top-k answer: items plus the snapshot epoch that scored it."""
 
@@ -80,9 +81,9 @@ class ServeClient:
     # Transport
     # ------------------------------------------------------------------
 
-    def request(self, op: str, **fields: object) -> dict:
+    def request(self, op: str, **fields: object) -> protocol.Message:
         """Send one request, block for its response, raise on error reply."""
-        message: dict = {"op": op}
+        message: protocol.Message = {"op": op}
         message.update({k: v for k, v in fields.items() if v is not None})
         self._file.write(protocol.encode(message))
         self._file.flush()
@@ -132,7 +133,7 @@ class ServeClient:
         self,
         add: Sequence[Tuple[int, int]] = (),
         remove: Sequence[Tuple[int, int]] = (),
-    ) -> dict:
+    ) -> protocol.Message:
         """Stage edge edits; returns ``{added, removed, pending}``."""
         return self.request(
             "update",
@@ -140,11 +141,11 @@ class ServeClient:
             remove=[[int(u), int(v)] for u, v in remove],
         )
 
-    def flush(self) -> dict:
+    def flush(self) -> protocol.Message:
         """Apply staged edits; blocks until the new snapshot is live."""
         return self.request("flush")
 
-    def healthz(self) -> dict:
+    def healthz(self) -> protocol.Message:
         """Server health summary (same payload as HTTP ``/healthz``)."""
         response = dict(self.request("healthz"))
         response.pop("ok", None)
@@ -186,6 +187,6 @@ def http_get(
     return int(parts[1]), body
 
 
-def parse_healthz(body: str) -> dict:
+def parse_healthz(body: str) -> protocol.Message:
     """Decode an HTTP ``/healthz`` body."""
     return json.loads(body)

@@ -25,7 +25,7 @@ code                meaning                                      raises
 from __future__ import annotations
 
 import json
-from typing import Dict, Type, Union
+from typing import Any, Dict, Type, Union
 
 from repro.errors import (
     DeadlineExceededError,
@@ -33,6 +33,26 @@ from repro.errors import (
     ServeError,
     ServerOverloadedError,
 )
+
+
+__all__ = [
+    "Message",
+    "MAX_LINE_BYTES",
+    "CODE_OVERLOADED",
+    "CODE_DEADLINE",
+    "CODE_BAD_REQUEST",
+    "CODE_UNSUPPORTED",
+    "CODE_SHUTTING_DOWN",
+    "CODE_INTERNAL",
+    "CODE_TO_ERROR",
+    "encode",
+    "decode",
+    "ok",
+    "error",
+    "raise_for_response",
+]
+#: A protocol message: one JSON object on the wire.
+Message = Dict[str, Any]
 
 #: Longest accepted request/response line; beyond this the peer is
 #: misbehaving (a top-k answer for k=1000 is ~20 KB).
@@ -53,12 +73,12 @@ CODE_TO_ERROR: Dict[str, Type[ServeError]] = {
 }
 
 
-def encode(message: dict) -> bytes:
+def encode(message: Message) -> bytes:
     """One protocol line: compact JSON + newline."""
     return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def decode(line: Union[bytes, str]) -> dict:
+def decode(line: Union[bytes, str]) -> Message:
     """Parse one line into a message dict, or raise :class:`ProtocolError`."""
     if isinstance(line, bytes):
         if len(line) > MAX_LINE_BYTES:
@@ -76,21 +96,21 @@ def decode(line: Union[bytes, str]) -> dict:
     return message
 
 
-def ok(op: str, **fields: object) -> dict:
+def ok(op: str, **fields: object) -> Message:
     """A success response for ``op``."""
-    response: dict = {"ok": True, "op": op}
+    response: Message = {"ok": True, "op": op}
     response.update(fields)
     return response
 
 
-def error(op: str, code: str, message: str, **fields: object) -> dict:
+def error(op: str, code: str, message: str, **fields: object) -> Message:
     """A failure response for ``op`` with a machine-readable ``code``."""
-    response: dict = {"ok": False, "op": op, "code": code, "error": message}
+    response: Message = {"ok": False, "op": op, "code": code, "error": message}
     response.update(fields)
     return response
 
 
-def raise_for_response(response: dict) -> dict:
+def raise_for_response(response: Message) -> Message:
     """Return ``response`` if it is a success, else raise the mapped error."""
     if response.get("ok"):
         return response

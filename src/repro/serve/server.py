@@ -33,7 +33,7 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Set, Union
 
 from repro.core.dynamic import DynamicSimRankEngine
 from repro.core.engine import SimRankEngine
@@ -46,6 +46,8 @@ from repro.serve.admission import SHED_POLICIES, AdmissionQueue, Ticket
 from repro.serve.batching import MicroBatcher
 from repro.serve.lifecycle import EngineHandle
 
+
+__all__ = ["BATCHED_OPS", "ServeConfig", "SimRankServer", "ServerThread"]
 #: Ops the admission queue + batcher execute (the data plane).
 BATCHED_OPS = ("top_k", "pair")
 
@@ -116,8 +118,8 @@ class SimRankServer:
         self._stopping = False
         self._mutate_lock: Optional[asyncio.Lock] = None
         self._obs_was_enabled = False
-        self._conn_tasks: set = set()
-        self._writers: set = set()
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -257,7 +259,7 @@ class SimRankServer:
             response["id"] = request_id
         return response
 
-    async def _dispatch(self, op: object, message: dict) -> dict:
+    async def _dispatch(self, op: object, message: protocol.Message) -> protocol.Message:
         if self._stopping:
             return protocol.error(
                 str(op), protocol.CODE_SHUTTING_DOWN, "server is shutting down"
@@ -283,7 +285,7 @@ class SimRankServer:
     # Data plane
     # ------------------------------------------------------------------
 
-    async def _admit(self, op: str, message: dict) -> dict:
+    async def _admit(self, op: str, message: protocol.Message) -> protocol.Message:
         if "vertex" not in message:
             raise ProtocolError(f"{op} requires a 'vertex' field")
         if op == "pair" and "other" not in message:
@@ -306,7 +308,7 @@ class SimRankServer:
     # Control plane
     # ------------------------------------------------------------------
 
-    async def _op_update(self, message: dict) -> dict:
+    async def _op_update(self, message: protocol.Message) -> protocol.Message:
         if self.dynamic is None:
             return protocol.error(
                 "update",
@@ -326,7 +328,7 @@ class SimRankServer:
             pending = self.dynamic.pending_edits
         return protocol.ok("update", added=added, removed=removed, pending=pending)
 
-    async def _op_flush(self) -> dict:
+    async def _op_flush(self) -> protocol.Message:
         if self.dynamic is None:
             return protocol.error(
                 "flush",
@@ -353,7 +355,7 @@ class SimRankServer:
     # Introspection
     # ------------------------------------------------------------------
 
-    def health(self) -> dict:
+    def health(self) -> protocol.Message:
         """The ``/healthz`` payload."""
         latency = self.registry.get("serve", "request_latency_seconds")
         snapshot = self.handle.current()

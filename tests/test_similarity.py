@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.exact import exact_simrank
-from repro.errors import VertexError
+from repro.errors import ConfigError, VertexError
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import star_graph
 from repro.similarity import (
@@ -119,7 +119,7 @@ class TestPRank:
         np.testing.assert_allclose(row, S[2])
 
     def test_invalid_lambda(self, citation_fixture):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigError):
             prank_matrix(citation_fixture, lam=1.5)
 
 

@@ -5,18 +5,31 @@ about: a single walk step, a full walk bundle, the Monte-Carlo
 single-pair estimate (Algorithm 1, claimed size-independent), the
 deterministic O(Tm) series, the Fogaras-Racz coupled query, and one
 exact all-pairs iteration (the O(n^2)-memory competitor).
+
+The ``TestKernelComparison`` block times the array-native kernels
+(``kernel="array"``) against the dict-based reference path on the
+sanity-size graph and writes a machine-readable ``BENCH_kernels.json``
+sidecar at the repo root recording the speedups.  CI runs it in quick
+mode (``REPRO_BENCH_QUICK=1``) and fails when the array kernels are
+slower than the reference path.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.baselines.fogaras_racz import FingerprintIndex
 from repro.core.exact import exact_simrank
-from repro.core.linear import single_pair_series, single_source_series
-from repro.core.montecarlo import single_pair_simrank
-from repro.core.walks import WalkEngine
+from repro.core.index import build_signatures
+from repro.core.linear import resolve_diagonal, single_pair_series, single_source_series
+from repro.core.montecarlo import SingleSourceEstimator, single_pair_simrank
+from repro.core.walks import FlatSketch, PositionSketch, WalkEngine, segment_collisions
 
 
 @pytest.fixture(scope="module")
@@ -132,4 +145,176 @@ def test_single_pair_with_ci(benchmark, web_graph_medium, bench_config):
         ),
         rounds=1,
         iterations=2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Array kernels vs the dict-based reference path (PR 4's tentpole).
+# ---------------------------------------------------------------------------
+
+SIDECAR_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _timed(fn, repeats: int) -> float:
+    """Best-of-N wall clock of ``fn`` (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestKernelComparison:
+    """Reference-vs-array timings + the BENCH_kernels.json sidecar.
+
+    Runs at the acceptance point of the kernel rewrite: R=100, T=10 on
+    the ~10^4-edge sanity graph.  ``REPRO_BENCH_QUICK=1`` shrinks the
+    candidate set and repeat counts for the CI smoke step; the speedup
+    floors it asserts are the regression gate (array must never be
+    slower than reference, and the fused batch estimator must hold a
+    >= 5x margin in full mode).
+    """
+
+    def test_kernel_speedups_and_sidecar(self, web_graph_medium, bench_config):
+        quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+        config = bench_config.with_(T=10, r_pair=100)
+        graph = web_graph_medium
+        u = 10
+        repeats = 2 if quick else 4
+        n_candidates = 24 if quick else 96
+        n_signature_vertices = 40 if quick else 200
+        candidates = [v for v in range(graph.n) if v != u][:n_candidates]
+        sig_vertices = list(range(n_signature_vertices))
+        diagonal = resolve_diagonal(graph.n, config.c, None)
+        walks = WalkEngine(graph, seed=0).walk_matrix(u, config.r_pair, config.T)
+
+        timings: dict = {}
+
+        # 1. Sketch build: one np.sort+RLE pass vs a dict per step.
+        timings["sketch_build"] = {
+            "array": _timed(lambda: FlatSketch(walks), repeats),
+            "reference": _timed(lambda: PositionSketch(walks), repeats),
+        }
+
+        # 2. Batch collision: one searchsorted+bincount over the whole
+        # candidate batch (segment_collisions) vs probing the reference
+        # sketch's dict once per walk position.  This is the shape the
+        # query path actually runs; a lone pairwise collision_value call
+        # is dominated by numpy dispatch overhead at R=100 and is not a
+        # hot path in either kernel.
+        flat_u = FlatSketch(walks)
+        dict_u = PositionSketch(walks)
+        B = len(candidates)
+        positions = np.random.default_rng(7).integers(
+            0, graph.n, size=B * config.r_pair
+        ).astype(np.int64)
+
+        def array_collisions() -> np.ndarray:
+            total = np.zeros(B)
+            for t in range(config.T):
+                vertices, counts = flat_u.row(t)
+                total += segment_collisions(
+                    positions, vertices, counts, diagonal, config.r_pair, B
+                )
+            return total
+
+        def dict_collisions() -> list:
+            total = [0.0] * B
+            for t in range(config.T):
+                row = dict_u.counts[t]
+                for i, w in enumerate(positions.tolist()):
+                    count = row.get(w)
+                    if count:
+                        total[i // config.r_pair] += diagonal[w] * count
+            return total
+
+        timings["collision"] = {
+            "array": _timed(array_collisions, repeats),
+            "reference": _timed(dict_collisions, repeats),
+        }
+        np.testing.assert_allclose(array_collisions(), dict_collisions(), atol=1e-12)
+
+        # 3. Fused batch estimate vs the per-candidate reference loop.
+        array_estimator = SingleSourceEstimator(
+            graph, u, config=config.with_(kernel="array"), seed=0
+        )
+        reference_estimator = SingleSourceEstimator(
+            graph, u, config=config.with_(kernel="reference"), seed=0
+        )
+        timings["batch_estimate"] = {
+            "array": _timed(
+                lambda: array_estimator.estimate_batch(candidates, R=config.r_pair),
+                repeats,
+            ),
+            "reference": _timed(
+                lambda: reference_estimator.estimate_batch(candidates, R=config.r_pair),
+                repeats,
+            ),
+        }
+        np.testing.assert_allclose(
+            array_estimator.estimate_batch(candidates, R=config.r_pair),
+            reference_estimator.estimate_batch(candidates, R=config.r_pair),
+            atol=1e-12,
+        )
+
+        # 4. Batched Algorithm 4 vs per-vertex signature walks.
+        timings["signature_build"] = {
+            "array": _timed(
+                lambda: build_signatures(
+                    graph, config.with_(kernel="array"), seed=0, vertices=sig_vertices
+                ),
+                repeats,
+            ),
+            "reference": _timed(
+                lambda: build_signatures(
+                    graph, config.with_(kernel="reference"), seed=0, vertices=sig_vertices
+                ),
+                repeats,
+            ),
+        }
+
+        speedups = {
+            kernel: row["reference"] / row["array"] for kernel, row in timings.items()
+        }
+        sidecar = {
+            "graph": {"n": graph.n, "m": graph.m},
+            "parameters": {
+                "T": config.T,
+                "R": config.r_pair,
+                "candidates": len(candidates),
+                "signature_vertices": len(sig_vertices),
+                "quick": quick,
+            },
+            "timings_seconds": timings,
+            "speedups": speedups,
+        }
+        SIDECAR_PATH.write_text(json.dumps(sidecar, indent=2) + "\n")
+
+        # Regression gate: the array path must never lose to reference,
+        # and the fused estimator carries the PR's >= 5x acceptance bar.
+        assert speedups["collision"] >= 1.0
+        assert speedups["batch_estimate"] >= (1.0 if quick else 5.0)
+        assert speedups["signature_build"] >= 1.0
+
+
+def test_batch_estimate_array(benchmark, web_graph_medium, bench_config):
+    config = bench_config.with_(T=10, kernel="array")
+    estimator = SingleSourceEstimator(web_graph_medium, 10, config=config, seed=0)
+    candidates = list(range(11, 59))
+    benchmark.pedantic(
+        lambda: estimator.estimate_batch(candidates, R=config.r_pair),
+        rounds=1,
+        iterations=3,
+    )
+
+
+def test_batch_estimate_reference(benchmark, web_graph_medium, bench_config):
+    config = bench_config.with_(T=10, kernel="reference")
+    estimator = SingleSourceEstimator(web_graph_medium, 10, config=config, seed=0)
+    candidates = list(range(11, 59))
+    benchmark.pedantic(
+        lambda: estimator.estimate_batch(candidates, R=config.r_pair),
+        rounds=1,
+        iterations=1,
     )

@@ -39,7 +39,15 @@ __all__ = ["ContractRule", "REQUIRED_CONTRACTS"]
 
 #: rel-path suffix -> function/method names that must carry @contract.
 REQUIRED_CONTRACTS: Dict[str, Tuple[str, ...]] = {
-    "core/walks.py": ("step", "walk_matrix", "walk_matrix_multi"),
+    "core/walks.py": (
+        "step",
+        "step_given",
+        "walk_matrix",
+        "walk_matrix_seeded",
+        "walk_matrix_multi",
+        "segment_collisions",
+        "segment_self_collisions",
+    ),
     "core/bounds.py": ("compute_gamma",),
 }
 

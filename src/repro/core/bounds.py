@@ -43,7 +43,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.traversal import UNREACHABLE, bfs_distances
 from repro.core.config import SimRankConfig
 from repro.core.linear import DiagonalLike, resolve_diagonal
-from repro.core.walks import WalkEngine
+from repro.core.walks import FlatSketch, WalkEngine, segment_self_collisions
 from repro.utils.contracts import contract
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -128,15 +128,13 @@ def compute_alpha_beta(
     T = config.T
     R = config.r_alphabeta
     engine = WalkEngine(graph, ensure_rng(seed))
-    walks = engine.walk_matrix(u, R, T)
+    sketch = FlatSketch(engine.walk_matrix(u, R, T))
 
     alpha = np.zeros((d_max + 1, T))
     for t in range(T):
-        row = walks[t]
-        alive = row[row >= 0]
-        if alive.size == 0:
+        vertices, counts = sketch.row(t)
+        if vertices.size == 0:
             continue
-        vertices, counts = np.unique(alive, return_counts=True)
         values = d_vec[vertices] * counts / R
         dist_of = distances[vertices]
         valid = (dist_of != UNREACHABLE) & (dist_of <= d_max)
@@ -219,16 +217,10 @@ def compute_gamma(
         raise VertexError(u, graph.n)
     d_vec = resolve_diagonal(graph.n, config.c, diagonal)
     engine = WalkEngine(graph, ensure_rng(seed))
-    walks = engine.walk_matrix(u, config.r_gamma, config.T)
+    sketch = FlatSketch(engine.walk_matrix(u, config.r_gamma, config.T))
     gamma = np.zeros(config.T)
     for t in range(config.T):
-        row = walks[t]
-        alive = row[row >= 0]
-        if alive.size:
-            vertices, counts = np.unique(alive, return_counts=True)
-            gamma[t] = math.sqrt(
-                float((d_vec[vertices] * (counts / config.r_gamma) ** 2).sum())
-            )
+        gamma[t] = math.sqrt(sketch.self_collision_value(t, d_vec))
     return gamma
 
 
@@ -241,10 +233,10 @@ def compute_gamma_all(
     """Algorithm 3 batched over every vertex (the preprocess step of §7.1).
 
     Runs all n·R walks simultaneously as one flat position array and
-    reduces occupation counts per (source, vertex) key with a single
-    ``np.unique`` per step — O(n R log(nR)) per step but fully
-    vectorised, which is what makes O(n)-style preprocessing practical
-    in Python.
+    reduces occupation counts per (source, vertex) key with one
+    :func:`~repro.core.walks.segment_self_collisions` pass per step —
+    O(n R log(nR)) per step but fully vectorised, which is what makes
+    O(n)-style preprocessing practical in Python.
     """
     config = config or SimRankConfig()
     d_vec = resolve_diagonal(graph.n, config.c, diagonal)
@@ -253,18 +245,9 @@ def compute_gamma_all(
     sources = np.repeat(np.arange(n, dtype=np.int64), R)
     positions = sources.copy()
     gamma = np.zeros((n, T))
-    stride = n + 1
     for t in range(T):
-        alive = positions >= 0
-        if alive.any():
-            keys = sources[alive] * stride + positions[alive]
-            unique_keys, counts = np.unique(keys, return_counts=True)
-            src = unique_keys // stride
-            vert = unique_keys % stride
-            contributions = d_vec[vert] * (counts / R) ** 2
-            sums = np.zeros(n)
-            np.add.at(sums, src, contributions)
-            gamma[:, t] = np.sqrt(sums)
+        sums = segment_self_collisions(positions, sources, d_vec, R, n)
+        gamma[:, t] = np.sqrt(sums)
         if t + 1 < T:
             positions = engine.step(positions)
     return GammaTable(c=config.c, values=gamma)

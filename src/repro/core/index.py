@@ -20,6 +20,7 @@ is a union of short postings.  Total index space is O(nP) plus the O(nT)
 
 from __future__ import annotations
 
+import bisect
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -94,8 +95,6 @@ class CandidateIndex:
         for vertex in cleaned:
             postings = self.inverted.setdefault(vertex, [])
             # Keep postings sorted for deterministic candidate output.
-            import bisect
-
             bisect.insort(postings, u)
 
     def clone(self) -> "CandidateIndex":
@@ -170,6 +169,7 @@ class CandidateIndex:
                 "candidate_rule": self.config.candidate_rule,
                 "fallback_ball_radius": self.config.fallback_ball_radius,
                 "screen_slack": self.config.screen_slack,
+                "kernel": self.config.kernel,
             },
         }
         np.savez_compressed(
@@ -284,6 +284,49 @@ def _invert(signatures: Sequence[Sequence[int]]) -> Dict[int, List[int]]:
     return inverted
 
 
+def _signatures_from_block(
+    bundle: np.ndarray,
+    starts: Sequence[int],
+    config: SimRankConfig,
+) -> List[List[int]]:
+    """Signature sets of a fused Algorithm-4 walk block, fully vectorised.
+
+    ``bundle`` has shape (T, B·P·(1+Q)) — B vertex blocks of P index
+    iterations, each one anchor walk W₀ followed by Q confirmation
+    walks.  The per-p/per-t anchor-vs-checks loop of Algorithm 4 becomes
+    one broadcast comparison over the whole block; the original loop's
+    ``break`` on a dead anchor is equivalent to masking dead anchors
+    out, because a dead walk stays dead.
+    """
+    P, Q, T = config.index_walks, config.index_checks, config.T
+    B = len(starts)
+    shaped = bundle.reshape(T, B, P, 1 + Q)
+    if T > 1:
+        anchors = shaped[1:, :, :, 0]  # (T-1, B, P)
+        checks = shaped[1:, :, :, 1:]  # (T-1, B, P, Q)
+        if config.candidate_rule == "text":
+            # ≥ 2 confirmation walks sit exactly at the (alive) anchor.
+            hits = (checks == anchors[..., None]).sum(axis=-1) >= 2
+        else:
+            # Pseudocode rule: any collision among the Q alive walks —
+            # dead slots sort first and never pair with a live value.
+            ordered = np.sort(checks, axis=-1)
+            hits = ((ordered[..., 1:] == ordered[..., :-1]) & (ordered[..., 1:] >= 0)).any(
+                axis=-1
+            )
+        recorded = hits & (anchors >= 0)
+    else:
+        anchors = np.empty((0, B, P), dtype=np.int64)
+        recorded = np.zeros((0, B, P), dtype=bool)
+    signatures: List[List[int]] = []
+    for b, u in enumerate(starts):
+        found = anchors[:, b, :][recorded[:, b, :]]
+        signature: Set[int] = {int(v) for v in np.unique(found)}
+        signature.add(int(u))
+        signatures.append(sorted(signature))
+    return signatures
+
+
 def signature_for_vertex(
     engine: WalkEngine,
     u: int,
@@ -291,33 +334,15 @@ def signature_for_vertex(
 ) -> List[int]:
     """Algorithm 4's inner loop: the signature set of one vertex.
 
-    All P·(1+Q) walks run as a single vectorised bundle.  The walk's
-    own start vertex (t = 0) is always part of the signature, so a
-    vertex is always its own candidate — harmless (the query drops u
-    itself) and it guarantees non-empty postings.
+    All P·(1+Q) walks run as a single vectorised bundle drawn from the
+    engine's shared stream.  The walk's own start vertex (t = 0) is
+    always part of the signature, so a vertex is always its own
+    candidate — harmless (the query drops u itself) and it guarantees
+    non-empty postings.
     """
     P, Q, T = config.index_walks, config.index_checks, config.T
-    signature: Set[int] = {u}
     bundle = engine.walk_matrix(u, P * (1 + Q), T)
-    for p in range(P):
-        base = p * (1 + Q)
-        w0 = bundle[:, base]
-        checks = bundle[:, base + 1 : base + 1 + Q]
-        for t in range(1, T):
-            anchor = w0[t]
-            if anchor < 0:
-                break
-            row = checks[t]
-            alive = row[row >= 0]
-            if config.candidate_rule == "text":
-                # ≥ 2 confirmation walks sit exactly at the anchor.
-                if int((alive == anchor).sum()) >= 2:
-                    signature.add(int(anchor))
-            else:
-                # Pseudocode rule: any collision among the Q walks.
-                if alive.size >= 2 and len(np.unique(alive)) < alive.size:
-                    signature.add(int(anchor))
-    return sorted(signature)
+    return _signatures_from_block(bundle, [u], config)[0]
 
 
 def build_signatures(
@@ -331,10 +356,45 @@ def build_signatures(
     The subset form is what incremental maintenance uses: after an edge
     update only the vertices whose reverse-walk ball touched the change
     need new signatures.
+
+    Each vertex's P·(1+Q) walks draw from ``derive_seed(seed, 29, u)``,
+    so a vertex's signature is a deterministic function of ``(seed, u)``
+    and independent of which other vertices are (re)built alongside it —
+    incremental rebuilds reproduce exactly what a full build produces.
+    Under ``config.kernel == "array"`` whole blocks of vertices run as
+    one fused walk matrix; the ``"reference"`` kernel walks vertices one
+    by one and yields identical signatures (positionally consumed
+    per-vertex uniform blocks — see ``docs/performance.md``).
     """
-    engine = WalkEngine(graph, ensure_rng(seed))
-    targets = range(graph.n) if vertices is None else vertices
-    return [signature_for_vertex(engine, int(u), config) for u in targets]
+    targets = [int(u) for u in (range(graph.n) if vertices is None else vertices)]
+    base_seed = seed if (seed is None or isinstance(seed, int)) else derive_seed(seed)
+    engine = WalkEngine(graph)
+    P, Q, T = config.index_walks, config.index_checks, config.T
+    width = P * (1 + Q)
+
+    if config.kernel != "array":
+        out: List[List[int]] = []
+        for u in targets:
+            bundle = engine.walk_matrix_seeded(u, width, T, derive_seed(base_seed, 29, u))
+            out.append(_signatures_from_block(bundle, [u], config)[0])
+        return out
+
+    def vertex_uniforms(u: int) -> np.ndarray:
+        return ensure_rng(derive_seed(base_seed, 29, u)).random((T - 1, width))
+
+    signatures: List[List[int]] = []
+    block_size = max(1, 16384 // width)
+    for lo in range(0, len(targets), block_size):
+        block = targets[lo : lo + block_size]
+        starts = np.repeat(np.asarray(block, dtype=np.int64), width)
+        bundle = np.empty((T, starts.size), dtype=np.int64)
+        bundle[0] = starts
+        if T > 1:
+            uniforms = np.concatenate([vertex_uniforms(u) for u in block], axis=1)
+            for t in range(1, T):
+                bundle[t] = engine.step_given(bundle[t - 1], uniforms[t - 1])
+        signatures.extend(_signatures_from_block(bundle, block, config))
+    return signatures
 
 
 def build_index(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass as _dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -27,9 +27,14 @@ from repro.errors import ConfigError, VertexError
 from repro.graph.csr import CSRGraph
 from repro.core.config import SimRankConfig
 from repro.core.linear import resolve_diagonal, DiagonalLike
-from repro.core.walks import PositionSketch, WalkEngine
+from repro.core.walks import (
+    FlatSketch,
+    PositionSketch,
+    WalkEngine,
+    segment_collisions,
+)
 from repro.obs import instrument as obs
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
 
 __all__ = [
@@ -40,6 +45,33 @@ __all__ = [
     "single_pair_with_ci",
     "single_source_simrank",
 ]
+
+
+class Sketch(Protocol):
+    """What the series evaluator needs from a walk sketch.
+
+    Satisfied by both :class:`~repro.core.walks.FlatSketch` (the
+    ``kernel="array"`` implementation) and
+    :class:`~repro.core.walks.PositionSketch` (``kernel="reference"``).
+    The two sides of one collision must be the *same* concrete type —
+    the config's ``kernel`` field picks it once per estimator.
+    """
+
+    T: int
+    R: int
+
+    def collision_value(self, other: Any, t: int, diagonal: np.ndarray) -> float:
+        ...
+
+
+SketchClass = Union[Type[FlatSketch], Type[PositionSketch]]
+
+
+def sketch_class(config: SimRankConfig) -> SketchClass:
+    """The sketch implementation selected by ``config.kernel``."""
+    return FlatSketch if config.kernel == "array" else PositionSketch
+
+
 def required_samples(
     c: float, n: int, T: int, epsilon: float, delta: float = 0.05
 ) -> int:
@@ -85,8 +117,9 @@ def single_pair_simrank(
     samples = R if R is not None else config.r_pair
     d = resolve_diagonal(graph.n, config.c, diagonal)
     engine = WalkEngine(graph, seed)
-    sketch_u = PositionSketch(engine.walk_matrix(u, samples, config.T))
-    sketch_v = PositionSketch(engine.walk_matrix(v, samples, config.T))
+    sketch_cls = sketch_class(config)
+    sketch_u: Sketch = sketch_cls(engine.walk_matrix(u, samples, config.T))
+    sketch_v: Sketch = sketch_cls(engine.walk_matrix(v, samples, config.T))
     if obs.OBS.enabled:
         terms: List[float] = []
         value = _series_from_sketches(sketch_u, sketch_v, config.c, d, terms_out=terms)
@@ -100,8 +133,8 @@ def single_pair_simrank(
 
 
 def _series_from_sketches(
-    sketch_u: PositionSketch,
-    sketch_v: PositionSketch,
+    sketch_u: Sketch,
+    sketch_v: Sketch,
     c: float,
     diagonal: np.ndarray,
     terms_out: Optional[List[float]] = None,
@@ -126,6 +159,20 @@ class SingleSourceEstimator:
     bundles for each candidate — halving the walk cost and, more
     importantly, making the adaptive double-evaluation (R=10 screen,
     R=100 refine) cheap.
+
+    Two evaluation paths exist:
+
+    - :meth:`estimate` — one candidate at a time, bundles drawn from the
+      estimator's shared stream (the original Algorithm 1 draw order);
+    - :meth:`estimate_batch` — all candidates at once.  Each candidate's
+      uniforms come from a *derived* seed (``derive_seed(seed, v, R)``),
+      so its score is a deterministic function of ``(seed, v, R)`` and
+      therefore independent of batch composition and order.  With
+      ``config.kernel == "array"`` the whole batch steps as one fused
+      ``(T, B·R)`` matrix and reduces against the u-sketch with segment
+      sums; the ``"reference"`` kernel walks the same derived-seed
+      bundles one by one through dict sketches and produces scores equal
+      to within float rounding (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -142,9 +189,16 @@ class SingleSourceEstimator:
             raise VertexError(u, graph.n)
         self.u = int(u)
         self.diagonal = resolve_diagonal(graph.n, self.config.c, diagonal)
+        self._sketch_cls = sketch_class(self.config)
         self.engine = WalkEngine(graph, ensure_rng(seed))
-        self._sketch_u = PositionSketch(
+        self._sketch_u: Sketch = self._sketch_cls(
             self.engine.walk_matrix(self.u, self.config.r_pair, self.config.T)
+        )
+        # Canonical int root for per-candidate derived seeds.  Resolved
+        # *after* the u-bundle so a Generator seed feeds the u-walks the
+        # same draws as before this field existed.
+        self._batch_seed: Optional[int] = (
+            seed if (seed is None or isinstance(seed, int)) else derive_seed(seed)
         )
         self.walks_simulated = self.config.r_pair
         if obs.OBS.enabled:
@@ -159,7 +213,9 @@ class SingleSourceEstimator:
         if v == self.u:
             return 1.0
         samples = R if R is not None else self.config.r_pair
-        sketch_v = PositionSketch(self.engine.walk_matrix(v, samples, self.config.T))
+        sketch_v: Sketch = self._sketch_cls(
+            self.engine.walk_matrix(v, samples, self.config.T)
+        )
         self.walks_simulated += samples
         if obs.OBS.enabled:
             terms: List[float] = []
@@ -174,11 +230,108 @@ class SingleSourceEstimator:
             return value
         return _series_from_sketches(self._sketch_u, sketch_v, self.config.c, self.diagonal)
 
+    def estimate_batch(
+        self, candidates: Sequence[int], R: Optional[int] = None
+    ) -> np.ndarray:
+        """Scores for all ``candidates`` at once, aligned with the input.
+
+        Every candidate gets its own R-walk bundle seeded by
+        ``derive_seed(seed, v, R)``; self-candidates score 1.0 without
+        simulation.  Under ``kernel="array"`` the bundles run fused (one
+        position row per step for the whole batch) — the vectorised pass
+        behind Algorithm 5's screen and refine phases.
+        """
+        samples = R if R is not None else self.config.r_pair
+        cand = np.asarray([int(v) for v in candidates], dtype=np.int64)
+        if cand.size and (cand.min() < 0 or cand.max() >= self.graph.n):
+            offender = int(cand[(cand < 0) | (cand >= self.graph.n)][0])
+            raise VertexError(offender, self.graph.n)
+        scores = np.ones(cand.size)
+        others_idx = np.flatnonzero(cand != self.u)
+        if others_idx.size == 0:
+            return scores
+        others = cand[others_idx]
+        if self.config.kernel == "array":
+            values, meetings = self._batch_array(others, samples)
+        else:
+            values, meetings = self._batch_reference(others, samples)
+        scores[others_idx] = values
+        self.walks_simulated += int(others.size) * samples
+        if obs.OBS.enabled:
+            obs.record_walk_batch(int(others.size))
+            obs.record_walk_bundle(
+                walks=int(others.size) * samples,
+                steps=int(others.size) * samples * self.config.T,
+                meetings=meetings,
+            )
+        return scores
+
+    def _candidate_uniforms(self, v: int, samples: int) -> np.ndarray:
+        """The (T-1, R) uniform block owned by candidate ``v``'s bundle."""
+        child = derive_seed(self._batch_seed, int(v), samples)
+        return ensure_rng(child).random((self.config.T - 1, samples))
+
+    def _batch_array(
+        self, others: np.ndarray, samples: int
+    ) -> Tuple[np.ndarray, int]:
+        """Fused kernel: one (B·R)-wide position row stepped T-1 times.
+
+        Per step: one :func:`segment_collisions` against the u-sketch's
+        sorted row, then one :meth:`WalkEngine.step_given` with the
+        candidates' concatenated uniform blocks.  Because uniforms are
+        consumed positionally, the fused trajectories are bit-identical
+        to running each candidate's seeded bundle alone.
+        """
+        T, c = self.config.T, self.config.c
+        B = int(others.size)
+        sketch_u = self._sketch_u
+        assert isinstance(sketch_u, FlatSketch)
+        uniforms = np.concatenate(
+            [self._candidate_uniforms(int(v), samples) for v in others], axis=1
+        ) if T > 1 else np.empty((0, B * samples))
+        positions = np.repeat(others, samples)
+        totals = np.zeros(B)
+        meetings = 0
+        weight = 1.0
+        norm = samples * sketch_u.R
+        for t in range(T):
+            row_vertices, row_counts = sketch_u.row(t)
+            segment_mass = segment_collisions(
+                positions, row_vertices, row_counts, self.diagonal, samples, B
+            )
+            terms = segment_mass * (weight / norm)
+            totals += terms
+            meetings += int(np.count_nonzero(terms > 0.0))
+            weight *= c
+            if t + 1 < T:
+                positions = self.engine.step_given(positions, uniforms[t])
+        return totals, meetings
+
+    def _batch_reference(
+        self, others: np.ndarray, samples: int
+    ) -> Tuple[np.ndarray, int]:
+        """Reference kernel: the same derived-seed bundles, one at a time."""
+        values = np.empty(others.size)
+        meetings = 0
+        for i, v in enumerate(others):
+            child = derive_seed(self._batch_seed, int(v), samples)
+            sketch_v: Sketch = self._sketch_cls(
+                self.engine.walk_matrix_seeded(int(v), samples, self.config.T, child)
+            )
+            terms: List[float] = []
+            values[i] = _series_from_sketches(
+                self._sketch_u, sketch_v, self.config.c, self.diagonal, terms_out=terms
+            )
+            meetings += sum(1 for term in terms if term > 0.0)
+        return values, meetings
+
     def estimate_many(
         self, candidates: Sequence[int], R: Optional[int] = None
     ) -> Dict[int, float]:
-        """Estimate scores for a batch of candidates."""
-        return {int(v): self.estimate(int(v), R=R) for v in candidates}
+        """Estimate scores for a batch of candidates (see :meth:`estimate_batch`)."""
+        cand = [int(v) for v in candidates]
+        scores = self.estimate_batch(cand, R=R)
+        return {v: float(score) for v, score in zip(cand, scores)}
 
 
 @_dataclass

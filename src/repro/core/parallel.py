@@ -125,7 +125,11 @@ def top_k_all_parallel(
     """
     targets = [int(u) for u in (vertices if vertices is not None else range(graph.n))]
     workers = workers or os.cpu_count() or 1
-    base_seed = seed if (seed is None or isinstance(seed, int)) else None
+    # Canonicalise any SeedLike to a stable int before it crosses the
+    # process boundary: a Generator can't be pickled usefully, and
+    # silently mapping it to None (fresh entropy per worker) would break
+    # the documented bit-identical-to-sequential guarantee.
+    base_seed = seed if (seed is None or isinstance(seed, int)) else derive_seed(seed)
     metrics_enabled = obs.OBS.enabled
     if workers <= 1 or len(targets) < 2:
         _initializer(graph, index, config, diagonal, base_seed, k)

@@ -17,6 +17,18 @@ For a query vertex u the phase runs:
    only those whose rough score clears ``screen_slack × cutoff`` are
    re-estimated with the full R=100 bundle.
 
+The scan is *shell-batched*: candidates at the same distance form one
+shell, the pruning cutoff is frozen at the shell boundary (freezing can
+only prune less than the per-candidate evolving cutoff, so it stays
+sound), and the whole shell is bounded, screened, and refined with
+vectorised kernels — ``GammaTable.bound_many`` plus
+``SingleSourceEstimator.estimate_batch``, which fuses all surviving
+bundles into one walk matrix.  θ-termination is still evaluated at every
+shell boundary against the live cutoff, exactly where the sequential
+scan evaluated it.  Batch scores come from per-candidate derived seeds,
+so results are reproducible regardless of shell composition (see
+``docs/performance.md``).
+
 Distances are measured in the *undirected* graph: reverse-walk supports
 satisfy d_und(u, w) ≤ t, so the symmetric triangle inequality makes the
 L1 window of Proposition 4 sound, and co-cited siblings (mutually
@@ -30,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
 
 from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
@@ -184,44 +197,57 @@ def top_k_query(
     def cutoff() -> float:
         return max(config.theta, heap[0][0] if len(heap) >= k else 0.0)
 
-    previous_distance = -1
-    for position, v in enumerate(ordered):
-        d = candidate_distance(v)
-        if l1 is not None and d > previous_distance:
+    position = 0
+    while position < len(ordered):
+        # One shell = the maximal run of candidates at the same distance.
+        d = candidate_distance(ordered[position])
+        end = position
+        while end < len(ordered) and candidate_distance(ordered[end]) == d:
+            end += 1
+        if l1 is not None:
             # New distance shell: if no remaining shell can beat the
             # cutoff, terminate the whole scan (θ-termination of §8).
-            previous_distance = d
             remaining_best = float(l1.beta[min(d, l1.d_max) :].max())
             if remaining_best < cutoff():
                 stats.stopped_early_at_distance = d
                 stats.skipped_by_termination = len(ordered) - position
                 break
-        bound = trivial_bound(config.c, d)
+        shell = np.asarray(ordered[position:end], dtype=np.int64)
+        position = end
+
+        # Cutoff frozen at the shell boundary; all of the shell's prune
+        # and screen/refine decisions use it (sound: frozen ≤ evolving).
+        cut = cutoff()
+        bound = np.full(shell.size, trivial_bound(config.c, d))
         if l1 is not None:
-            bound = min(bound, l1.bound(d))
+            bound = np.minimum(bound, l1.bound(d))
         if gamma is not None:
-            bound = min(bound, gamma.bound(u, v))
-        if bound < cutoff():
-            stats.pruned_by_bound += 1
+            bound = np.minimum(bound, gamma.bound_many(u, shell))
+        survivors = shell[bound >= cut]
+        stats.pruned_by_bound += int(shell.size - survivors.size)
+        if survivors.size == 0:
             continue
 
         if adaptive:
-            rough = estimator.estimate(v, R=config.r_screen)
-            stats.screened += 1
-            if rough < cutoff() * config.screen_slack:
-                score = rough
-            else:
-                score = estimator.estimate(v, R=config.r_pair)
-                stats.refined += 1
+            scores = estimator.estimate_batch(survivors, R=config.r_screen)
+            stats.screened += int(survivors.size)
+            promote = scores >= cut * config.screen_slack
+            if promote.any():
+                scores = scores.copy()
+                scores[promote] = estimator.estimate_batch(
+                    survivors[promote], R=config.r_pair
+                )
+                stats.refined += int(np.count_nonzero(promote))
         else:
-            score = estimator.estimate(v, R=config.r_pair)
-            stats.refined += 1
+            scores = estimator.estimate_batch(survivors, R=config.r_pair)
+            stats.refined += int(survivors.size)
 
-        if score >= config.theta:
-            if len(heap) < k:
-                heapq.heappush(heap, (score, v))
-            elif score > heap[0][0]:
-                heapq.heapreplace(heap, (score, v))
+        for v, score in zip(survivors.tolist(), scores.tolist()):
+            if score >= config.theta:
+                if len(heap) < k:
+                    heapq.heappush(heap, (score, v))
+                elif score > heap[0][0]:
+                    heapq.heapreplace(heap, (score, v))
 
     stats.walks_simulated += estimator.walks_simulated
     result.items = sorted(

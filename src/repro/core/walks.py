@@ -1,4 +1,4 @@
-"""Reverse random-walk engine.
+"""Reverse random-walk engine and the array-native sketch kernels.
 
 Every Monte-Carlo routine in the paper simulates walks that "start from
 a vertex and follow its in-links" (Section 4).  This module owns that
@@ -10,13 +10,28 @@ primitive, vectorised with numpy over whole walk bundles:
 - :class:`WalkEngine` steps arbitrary position arrays, so Algorithm 1
   (pairs of bundles), Algorithm 2/3 (single bundles), and Algorithm 4
   (index walks) all share one code path;
-- :class:`PositionSketch` is the per-step occupation-count view of a
-  bundle, the object both sides of eq. (14) reduce to.
+- :class:`FlatSketch` is the array-native per-step occupation-count view
+  of a bundle — sorted vertex ids and counts in contiguous arrays, the
+  object both sides of eq. (14) reduce to on the hot paths;
+- :class:`PositionSketch` is the original dict-based sketch, retained as
+  the ``kernel="reference"`` implementation so the array kernels stay
+  equivalence-testable forever (see ``docs/performance.md``).
+
+**Seeded bundles.**  :meth:`WalkEngine.walk_matrix` consumes the
+engine's shared stream and draws one uniform per *alive, movable* walk
+per step.  The batch kernels instead use :meth:`WalkEngine.step_given`
+with a pre-drawn ``rng.random((T - 1, R))`` block, consumed
+*positionally* (a dead slot burns its draw).  Positional consumption is
+what makes fusing exact: stacking the per-bundle uniform blocks side by
+side and stepping the fused ``(T, B·R)`` matrix yields bit-identical
+trajectories to stepping each seeded bundle alone, so batch results are
+reproducible from per-candidate derived seeds regardless of batch
+composition.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +41,16 @@ from repro.utils.contracts import contract
 from repro.utils.rng import SeedLike, ensure_rng
 
 
-__all__ = ["DEAD", "WalkEngine", "PositionSketch", "sketch_from_walks"]
+__all__ = [
+    "DEAD",
+    "WalkEngine",
+    "PositionSketch",
+    "FlatSketch",
+    "sketch_from_walks",
+    "run_length_encode",
+    "segment_collisions",
+    "segment_self_collisions",
+]
 #: Marker for a terminated walk (its vertex had no in-links).
 DEAD = -1
 
@@ -49,6 +73,10 @@ class WalkEngine:
         fresh array is returned, inputs are never mutated.  Array-likes
         (lists, scalars) are still coerced, but an ndarray of another
         dtype is rejected — it would silently pay a copy per step.
+
+        Uniforms come from the engine's shared stream and are drawn only
+        for alive, movable walks; use :meth:`step_given` when the draws
+        must be positionally reproducible.
         """
         positions = np.asarray(positions, dtype=np.int64)
         result = np.full(positions.shape, DEAD, dtype=np.int64)
@@ -64,6 +92,38 @@ class WalkEngine:
             landed = self._indices[self._indptr[sources] + offsets]
             alive_idx = np.nonzero(alive)[0]
             result[alive_idx[movable]] = landed
+        return result
+
+    @contract(positions="int64", uniforms="float64", returns="int64")
+    def step_given(self, positions: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Advance walks using caller-supplied uniforms, one per slot.
+
+        Unlike :meth:`step`, every walk slot owns exactly one uniform in
+        ``uniforms`` whether or not it is alive — dead slots burn their
+        draw.  This positionally fixed consumption is what lets a fused
+        ``(T, B·R)`` batch reproduce independently seeded per-candidate
+        bundles exactly (see the module docstring).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        if uniforms.shape != positions.shape:
+            raise ValueError(
+                f"uniforms shape {uniforms.shape} does not match "
+                f"positions shape {positions.shape}"
+            )
+        result = np.full(positions.shape, DEAD, dtype=np.int64)
+        alive = positions >= 0
+        if not alive.any():
+            return result
+        current = positions[alive]
+        degrees = self._degrees[current]
+        movable = degrees > 0
+        if movable.any():
+            alive_idx = np.nonzero(alive)[0]
+            slots = alive_idx[movable]
+            sources = current[movable]
+            offsets = (uniforms[slots] * degrees[movable]).astype(np.int64)
+            result[slots] = self._indices[self._indptr[sources] + offsets]
         return result
 
     @contract(returns="int64[2d]")
@@ -84,6 +144,27 @@ class WalkEngine:
         return out
 
     @contract(returns="int64[2d]")
+    def walk_matrix_seeded(self, start: int, R: int, T: int, seed: SeedLike) -> np.ndarray:
+        """Like :meth:`walk_matrix`, driven by a private seeded stream.
+
+        The whole uniform block is drawn up front as one
+        ``rng.random((T - 1, R))`` call and consumed positionally via
+        :meth:`step_given`.  A block of these bundles fused side by side
+        therefore steps to bit-identical trajectories — the determinism
+        contract of the batch estimators and the batched Algorithm 4.
+        """
+        if not 0 <= start < self.graph.n:
+            raise VertexError(start, self.graph.n)
+        if R < 1 or T < 1:
+            raise ValueError(f"R and T must be >= 1, got R={R}, T={T}")
+        uniforms = ensure_rng(seed).random((T - 1, R))
+        out = np.empty((T, R), dtype=np.int64)
+        out[0] = start
+        for t in range(1, T):
+            out[t] = self.step_given(out[t - 1], uniforms[t - 1])
+        return out
+
+    @contract(returns="int64[2d]")
     def walk_matrix_multi(self, starts: Sequence[int], T: int) -> np.ndarray:
         """One walk per start vertex, as a (T, len(starts)) array.
 
@@ -101,12 +182,109 @@ class WalkEngine:
         return out
 
 
+def run_length_encode(sorted_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct values and run lengths of an already-sorted int64 array.
+
+    Returns ``(values, counts)`` with ``counts`` as float64 — every
+    consumer immediately multiplies counts into a float expression, so
+    encoding them as float64 here avoids a cast per collision.
+    """
+    if sorted_values.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    boundaries = np.empty(sorted_values.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    counts = np.diff(np.append(starts, sorted_values.size)).astype(np.float64)
+    return sorted_values[starts], counts
+
+
+class FlatSketch:
+    """Array-native per-step occupation counts of one walk bundle.
+
+    For a bundle of R walks from u, step t is stored as a slice of two
+    contiguous arrays — sorted distinct vertex ids (int64) and their
+    occupation counts (float64) — built with one ``np.sort`` plus
+    run-length encode per row.  Dividing counts by R gives the empirical
+    estimate of ``P^t e_u`` used on both sides of eq. (14); collision
+    values are computed by a ``searchsorted`` merge of the two sorted
+    id arrays instead of dict probing (the ``kernel="reference"``
+    :class:`PositionSketch` equivalent).
+    """
+
+    __slots__ = ("T", "R", "vertices", "counts", "offsets")
+
+    def __init__(self, walk_matrix: np.ndarray, R: Optional[int] = None) -> None:
+        walk_matrix = np.asarray(walk_matrix, dtype=np.int64)
+        self.T = int(walk_matrix.shape[0])
+        bundle = int(walk_matrix.shape[1])
+        self.R = int(R) if R is not None else bundle
+        vertex_rows: List[np.ndarray] = []
+        count_rows: List[np.ndarray] = []
+        self.offsets = np.zeros(self.T + 1, dtype=np.int64)
+        for t in range(self.T):
+            row = walk_matrix[t]
+            vertices, counts = run_length_encode(np.sort(row[row >= 0]))
+            vertex_rows.append(vertices)
+            count_rows.append(counts)
+            self.offsets[t + 1] = self.offsets[t] + vertices.size
+        self.vertices = (
+            np.concatenate(vertex_rows) if vertex_rows else np.empty(0, dtype=np.int64)
+        )
+        self.counts = (
+            np.concatenate(count_rows) if count_rows else np.empty(0, dtype=np.float64)
+        )
+
+    def row(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vertices, counts)`` views for step t (sorted, distinct)."""
+        lo, hi = int(self.offsets[t]), int(self.offsets[t + 1])
+        return self.vertices[lo:hi], self.counts[lo:hi]
+
+    def alive_fraction(self, t: int) -> float:
+        """Fraction of the bundle still alive at step t."""
+        lo, hi = int(self.offsets[t]), int(self.offsets[t + 1])
+        return float(self.counts[lo:hi].sum()) / self.R
+
+    def collision_value(self, other: "FlatSketch", t: int, diagonal: np.ndarray) -> float:
+        """Estimate of ``(P^t e_u)^T D (P^t e_v)`` — the inner sum of eq. (14).
+
+        Merges the smaller sorted id array into the larger with one
+        ``searchsorted``; O(min support · log(max support)) per step and
+        zero Python-level iteration.
+        """
+        mine_v, mine_c = self.row(t)
+        other_v, other_c = other.row(t)
+        if other_v.size < mine_v.size:
+            mine_v, mine_c, other_v, other_c = other_v, other_c, mine_v, mine_c
+        if mine_v.size == 0 or other_v.size == 0:
+            return 0.0
+        loc = np.minimum(np.searchsorted(other_v, mine_v), other_v.size - 1)
+        matched = other_v[loc] == mine_v
+        if not matched.any():
+            return 0.0
+        hits = mine_v[matched]
+        total = float((diagonal[hits] * mine_c[matched] * other_c[loc[matched]]).sum())
+        return total / (self.R * other.R)
+
+    def self_collision_value(self, t: int, diagonal: np.ndarray) -> float:
+        """Estimate of ``||sqrt(D) P^t e_u||^2`` from one bundle (Algorithm 3)."""
+        vertices, counts = self.row(t)
+        if vertices.size == 0:
+            return 0.0
+        return float((diagonal[vertices] * (counts / self.R) ** 2).sum())
+
+
 class PositionSketch:
-    """Per-step occupation counts of one walk bundle.
+    """Dict-based per-step occupation counts (the ``kernel="reference"`` path).
 
     For a bundle of R walks from u, ``sketch.counts[t]`` maps vertex w to
     ``#{r : u_r^(t) = w}``.  Dividing by R gives the empirical estimate
-    of ``P^t e_u`` used on both sides of eq. (14).
+    of ``P^t e_u`` used on both sides of eq. (14).  The hot paths use
+    :class:`FlatSketch`; this implementation is retained so every array
+    kernel stays equivalence-testable against the original semantics.
     """
 
     def __init__(self, walk_matrix: np.ndarray, R: Optional[int] = None) -> None:
@@ -147,6 +325,76 @@ class PositionSketch:
         for w, count in self.counts[t].items():
             total += diagonal[w] * (count / self.R) ** 2
         return total
+
+
+@contract(positions="int64", sketch_vertices="int64", sketch_counts="float64",
+          diagonal="float64", returns="float64[1d]")
+def segment_collisions(
+    positions: np.ndarray,
+    sketch_vertices: np.ndarray,
+    sketch_counts: np.ndarray,
+    diagonal: np.ndarray,
+    segment_size: int,
+    n_segments: int,
+) -> np.ndarray:
+    """Per-segment collision mass of one fused position row against a sketch row.
+
+    ``positions`` is the step-t row of a fused bundle laid out as
+    ``n_segments`` consecutive blocks of ``segment_size`` walks;
+    ``sketch_vertices``/``sketch_counts`` are one :meth:`FlatSketch.row`.
+    Returns, per segment, ``Σ diagonal[w] · sketch_count[w]`` over the
+    segment's walks that landed on a sketch vertex w — dividing by
+    ``segment_size · sketch.R`` gives eq. (14)'s inner sum for every
+    segment in one pass (the fused screen/refine reduction of
+    Algorithm 5).
+    """
+    if positions.size != segment_size * n_segments:
+        raise ValueError(
+            f"positions has {positions.size} slots, expected "
+            f"{segment_size} x {n_segments}"
+        )
+    if sketch_vertices.size == 0:
+        return np.zeros(n_segments)
+    alive = np.flatnonzero(positions >= 0)
+    if alive.size == 0:
+        return np.zeros(n_segments)
+    landed = positions[alive]
+    loc = np.minimum(np.searchsorted(sketch_vertices, landed), sketch_vertices.size - 1)
+    matched = sketch_vertices[loc] == landed
+    if not matched.any():
+        return np.zeros(n_segments)
+    hits = landed[matched]
+    contributions = diagonal[hits] * sketch_counts[loc[matched]]
+    segments = alive[matched] // segment_size
+    return np.bincount(segments, weights=contributions, minlength=n_segments)
+
+
+@contract(positions="int64", segments="int64", diagonal="float64",
+          returns="float64[1d]")
+def segment_self_collisions(
+    positions: np.ndarray,
+    segments: np.ndarray,
+    diagonal: np.ndarray,
+    R: int,
+    n_segments: int,
+) -> np.ndarray:
+    """Per-segment ``Σ_w diagonal[w] · (count_w / R)²`` — the γ² reduction.
+
+    ``segments[i]`` names the bundle that walk slot i belongs to; all
+    bundles share the sample count R.  One sort + run-length encode over
+    packed (segment, vertex) keys replaces a dict per bundle — the same
+    kernel family as :class:`FlatSketch`, applied to Algorithm 3's
+    whole-graph batch (:func:`repro.core.bounds.compute_gamma_all`).
+    """
+    alive = positions >= 0
+    if not alive.any():
+        return np.zeros(n_segments)
+    stride = np.int64(diagonal.shape[0] + 1)
+    keys = segments[alive] * stride + positions[alive]
+    packed, counts = run_length_encode(np.sort(keys))
+    vertices = packed % stride
+    contributions = diagonal[vertices] * (counts / R) ** 2
+    return np.bincount(packed // stride, weights=contributions, minlength=n_segments)
 
 
 def sketch_from_walks(graph: CSRGraph, start: int, R: int, T: int, seed: SeedLike = None) -> PositionSketch:

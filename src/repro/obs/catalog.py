@@ -46,6 +46,7 @@ WALKS_BUNDLES = ("walks", "bundles_total")
 WALKS_WALKS = ("walks", "walks_total")
 WALKS_STEPS = ("walks", "steps_total")
 WALKS_MEETINGS = ("walks", "meeting_events_total")
+WALKS_BATCH_SIZE = ("walks", "batch_size")  # histogram
 
 # Serving-layer result cache.
 CACHE_HITS = ("cache", "hits_total")
@@ -95,6 +96,7 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     WALKS_WALKS: ("counter", "individual reverse walks simulated"),
     WALKS_STEPS: ("counter", "walk steps requested (walks x T)"),
     WALKS_MEETINGS: ("counter", "series terms with a nonzero collision value"),
+    WALKS_BATCH_SIZE: ("histogram", "candidates scored per fused estimate_batch call"),
     CACHE_HITS: ("counter", "result-cache hits"),
     CACHE_MISSES: ("counter", "result-cache misses"),
     CACHE_EVICTIONS: ("counter", "LRU evictions"),

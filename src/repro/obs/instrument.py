@@ -53,6 +53,7 @@ __all__ = [
     "record_preprocess",
     "record_index",
     "record_walk_bundle",
+    "record_walk_batch",
     "record_cache",
     "merge_worker_snapshot",
     "push_registry",
@@ -219,6 +220,13 @@ def record_walk_bundle(walks: int, steps: int, meetings: int = 0) -> None:
     registry.counter(*catalog.WALKS_STEPS).inc(steps)
     if meetings:
         registry.counter(*catalog.WALKS_MEETINGS).inc(meetings)
+
+
+def record_walk_batch(size: int) -> None:
+    """One fused ``estimate_batch`` call scoring ``size`` candidates."""
+    get_registry().histogram(
+        *catalog.WALKS_BATCH_SIZE, buckets=DEFAULT_SIZE_BUCKETS
+    ).observe(size)
 
 
 def record_cache(event: str, amount: int = 1) -> None:

@@ -150,3 +150,100 @@ class TestPositionSketch:
             assert a.collision_value(b, t, d) == pytest.approx(
                 b.collision_value(a, t, d)
             )
+
+
+class TestStepGiven:
+    def test_positional_uniform_consumption(self, social_graph):
+        """Fusing seeded bundles side by side must reproduce each bundle
+        bit-identically — every slot owns one uniform per step, dead
+        slots burn theirs."""
+        from repro.core.walks import WalkEngine
+
+        engine = WalkEngine(social_graph)
+        R, T = 7, 5
+        singles = [
+            engine.walk_matrix_seeded(v, R, T, seed=100 + v) for v in (0, 3, 9)
+        ]
+        rngs = [np.random.default_rng(100 + v) for v in (0, 3, 9)]
+        uniforms = np.concatenate([rng.random((T - 1, R)) for rng in rngs], axis=1)
+        fused = np.empty((T, 3 * R), dtype=np.int64)
+        fused[0] = np.repeat([0, 3, 9], R)
+        for t in range(1, T):
+            fused[t] = engine.step_given(fused[t - 1], uniforms[t - 1])
+        for i, single in enumerate(singles):
+            np.testing.assert_array_equal(fused[:, i * R : (i + 1) * R], single)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.core.walks import WalkEngine
+
+        engine = WalkEngine(cycle_graph(4))
+        with pytest.raises(ValueError):
+            engine.step_given(np.array([0, 1]), np.array([0.5]))
+
+    def test_walk_matrix_seeded_deterministic(self, social_graph):
+        from repro.core.walks import WalkEngine
+
+        engine = WalkEngine(social_graph)
+        a = engine.walk_matrix_seeded(2, 10, 5, seed=3)
+        b = engine.walk_matrix_seeded(2, 10, 5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFlatKernels:
+    def test_run_length_encode(self):
+        from repro.core.walks import run_length_encode
+
+        values, counts = run_length_encode(np.array([1, 1, 2, 5, 5, 5], dtype=np.int64))
+        np.testing.assert_array_equal(values, [1, 2, 5])
+        np.testing.assert_array_equal(counts, [2.0, 1.0, 3.0])
+        empty_values, empty_counts = run_length_encode(np.empty(0, dtype=np.int64))
+        assert empty_values.size == 0 and empty_counts.size == 0
+
+    def test_segment_collisions_matches_flat_sketch(self, social_graph):
+        from repro.core.walks import FlatSketch, WalkEngine, segment_collisions
+
+        engine = WalkEngine(social_graph, seed=21)
+        R, T = 9, 4
+        u_sketch = FlatSketch(engine.walk_matrix(1, 30, T))
+        bundles = [engine.walk_matrix(v, R, T) for v in (2, 5, 7)]
+        diagonal = np.full(social_graph.n, 0.4)
+        for t in range(T):
+            positions = np.concatenate([b[t] for b in bundles])
+            seg = segment_collisions(
+                positions,
+                *u_sketch.row(t),
+                diagonal,
+                segment_size=R,
+                n_segments=3,
+            )
+            for i, bundle in enumerate(bundles):
+                expected = FlatSketch(bundle).collision_value(u_sketch, t, diagonal)
+                assert seg[i] / (R * u_sketch.R) == pytest.approx(expected, abs=1e-15)
+
+    def test_segment_collisions_rejects_bad_layout(self):
+        from repro.core.walks import segment_collisions
+
+        with pytest.raises(ValueError):
+            segment_collisions(
+                np.zeros(5, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.ones(1),
+                np.ones(3),
+                segment_size=2,
+                n_segments=3,
+            )
+
+    def test_segment_self_collisions_matches_flat_sketch(self, social_graph):
+        from repro.core.walks import FlatSketch, WalkEngine, segment_self_collisions
+
+        engine = WalkEngine(social_graph, seed=22)
+        R, T = 8, 4
+        bundles = [engine.walk_matrix(v, R, T) for v in (0, 4)]
+        diagonal = np.full(social_graph.n, 0.4)
+        segments = np.repeat(np.arange(2, dtype=np.int64), R)
+        for t in range(T):
+            positions = np.concatenate([b[t] for b in bundles])
+            sums = segment_self_collisions(positions, segments, diagonal, R, 2)
+            for i, bundle in enumerate(bundles):
+                expected = FlatSketch(bundle).self_collision_value(t, diagonal)
+                assert sums[i] == pytest.approx(expected, abs=1e-15)

@@ -19,25 +19,46 @@ turns them into machine-checked rules (``repro lint``):
   :func:`repro.utils.contracts.contract`; declarations and call sites
   are cross-validated.
 
-Per-line waivers: ``# repro: noqa R<N> -- reason`` (reason required).
+Behind ``--flow``, the interprocedural rules of
+:mod:`repro.analysis.flow` (call graph + lock model):
+
+- **R6 lock-order** — all code paths must agree on one global lock
+  acquisition order (static deadlock detection).
+- **R7 rng-purity** — a live numpy Generator never crosses a
+  thread/process dispatch boundary; seeds do.
+- **R8 snapshot-escape** — published snapshots never flow into a call
+  that mutates them.
+
+Per-line waivers: ``# repro: noqa R<N> -- reason`` (reason required;
+a waiver that suppresses nothing is itself flagged as stale).
 See ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
 from repro.analysis.findings import Finding, format_findings
+from repro.analysis.flow import flow_rules
 from repro.analysis.rules import Rule, all_rules
-from repro.analysis.runner import DEFAULT_SCOPES, Project, run_lint
+from repro.analysis.runner import (
+    DEFAULT_SCOPES,
+    LintReport,
+    Project,
+    run_analysis,
+    run_lint,
+)
 from repro.analysis.source import SourceFile, load_source
 
 __all__ = [
     "DEFAULT_SCOPES",
     "Finding",
+    "LintReport",
     "Project",
     "Rule",
     "SourceFile",
     "all_rules",
+    "flow_rules",
     "format_findings",
     "load_source",
+    "run_analysis",
     "run_lint",
 ]

@@ -6,13 +6,14 @@ Exit codes: 0 — clean; 1 — findings reported; 2 — usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.analysis.findings import format_findings
+from repro.analysis.findings import Finding, format_findings
 from repro.analysis.rules import all_rules
-from repro.analysis.runner import run_lint
+from repro.analysis.runner import run_analysis
 
 __all__ = ["build_parser", "main"]
 
@@ -23,7 +24,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific static analysis: lock discipline (R1), snapshot "
             "immutability (R2), seeded RNG (R3), hot-path obs guards (R4), "
-            "dtype contracts (R5). See docs/static-analysis.md."
+            "dtype contracts (R5); with --flow also lock-order consistency "
+            "(R6), RNG-stream purity (R7), and snapshot escape analysis (R8). "
+            "See docs/static-analysis.md."
         ),
     )
     parser.add_argument(
@@ -45,6 +48,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory findings are rendered relative to (default: cwd)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural flow rules R6-R8",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format (json: machine-readable finding list)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also report findings waived by `# repro: noqa` directives",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="list the registered rules and exit",
@@ -52,19 +72,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
 
     if options.explain:
-        for rule in all_rules():
+        from repro.analysis.flow import flow_rules
+
+        for rule in [*all_rules(), *flow_rules()]:
             print(f"{rule.id}  {rule.name}: {rule.summary}")
         return 0
 
     only = None
     if options.rules:
+        from repro.analysis.flow import flow_rules
+
         only = [part.strip() for part in options.rules.split(",") if part.strip()]
         known = {rule.id for rule in all_rules()} | {"R0"}
+        known |= {rule.id for rule in flow_rules()}
         unknown = [rule_id for rule_id in only if rule_id not in known]
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(unknown)}")
@@ -75,10 +110,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
 
     root = Path(options.root) if options.root else None
-    findings = run_lint(paths, root=root, only=only)
-    if findings:
-        print(format_findings(findings))
-        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+    report = run_analysis(paths, root=root, only=only, flow=options.flow)
+
+    if options.output_format == "json":
+        payload = {
+            "findings": [_finding_dict(f) for f in report.findings],
+            "suppressed_count": len(report.suppressed),
+            "stale_count": len(report.stale),
+        }
+        if options.show_suppressed:
+            payload["suppressed"] = [_finding_dict(f) for f in report.suppressed]
+        print(json.dumps(payload, indent=2))
+        return 1 if report.findings else 0
+
+    if report.findings:
+        print(format_findings(report.findings))
+    if options.show_suppressed and report.suppressed:
+        print(
+            f"\n{len(report.suppressed)} suppressed finding(s):", file=sys.stderr
+        )
+        for finding in report.suppressed:
+            print(f"  [waived] {finding.render()}", file=sys.stderr)
+    elif report.suppressed:
+        print(
+            f"{len(report.suppressed)} finding(s) suppressed by `# repro: noqa` "
+            "(run with --show-suppressed to list them)",
+            file=sys.stderr,
+        )
+    if report.findings:
+        print(f"\n{len(report.findings)} finding(s).", file=sys.stderr)
         return 1
     return 0
 

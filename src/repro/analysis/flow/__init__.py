@@ -1,0 +1,27 @@
+"""Interprocedural flow rules (R6–R8) of the project linter.
+
+Where ``repro.analysis.rules`` holds the per-file rules, this package
+holds the whole-program ones: a call graph and lock-acquisition model
+(:mod:`~repro.analysis.flow.graph`) feeding lock-order consistency
+(R6), RNG-stream purity across dispatch boundaries (R7), and escape
+analysis for published snapshots (R8).  They run behind
+``repro lint --flow`` — strictly additive to the default rule set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.flow.graph import ProjectIndex, flow_index
+from repro.analysis.rules import Rule
+
+__all__ = ["ProjectIndex", "flow_index", "flow_rules"]
+
+
+def flow_rules() -> List[Rule]:
+    """Fresh instances of the flow rules, in id order."""
+    from repro.analysis.flow.escape import SnapshotEscapeRule
+    from repro.analysis.flow.lockorder import LockOrderRule
+    from repro.analysis.flow.rngflow import RngPurityRule
+
+    return [LockOrderRule(), RngPurityRule(), SnapshotEscapeRule()]

@@ -1,0 +1,169 @@
+"""R6 — lock-order consistency (static deadlock detection).
+
+Two threads deadlock when one acquires lock A then B while the other
+acquires B then A.  The serve layer has exactly this shape available:
+``DynamicSimRankEngine.flush`` holds ``_state_lock`` and (via its flush
+listeners) can reach ``EngineHandle.swap`` which takes the handle's
+``_lock``, while request threads hold snapshots and call back into the
+dynamic engine.  The shipped code is safe because listeners fire
+*outside* the critical section — R6 is the rule that keeps it that way.
+
+The check: every ``with <lock>:`` acquisition is recorded together with
+the locks lexically held at that point, and every call made under a
+held lock contributes the callee's *transitive* acquisitions (computed
+to fixpoint over the project call graph).  That yields a directed
+acquisition-order graph over lock ids; any cycle means two code paths
+disagree about the global order and can deadlock under the right
+interleaving.  Each cycle is reported once, anchored at one witness
+edge, with every participating edge's location in the message.
+
+Reentrant re-acquisition of the *same* lock contributes no edge (the
+shipped RLocks allow it; ordering is about distinct locks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import flow_index
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["LockOrderRule"]
+
+
+class _Edge:
+    """``held -> acquired`` with the program point that witnesses it."""
+
+    __slots__ = ("held", "acquired", "rel", "line", "detail")
+
+    def __init__(self, held: str, acquired: str, rel: str, line: int, detail: str) -> None:
+        self.held = held
+        self.acquired = acquired
+        self.rel = rel
+        self.line = line
+        self.detail = detail
+
+    def describe(self) -> str:
+        return f"`{self.held}` -> `{self.acquired}` ({self.rel}:{self.line}, {self.detail})"
+
+
+class LockOrderRule(Rule):
+    id = "R6"
+    name = "lock-order"
+    summary = (
+        "all code paths must acquire locks in one global order — a cycle in "
+        "the acquisition-order graph is a deadlock waiting for its interleaving"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        index = flow_index(project)
+        transitive = index.transitive_acquisitions()
+
+        edges: Dict[Tuple[str, str], _Edge] = {}
+
+        def add_edge(held: str, acquired: str, rel: str, line: int, detail: str) -> None:
+            if held == acquired:
+                return  # reentrant same-lock; ordering is about distinct locks
+            edges.setdefault((held, acquired), _Edge(held, acquired, rel, line, detail))
+
+        for qual, acquisitions in index.acquisitions.items():
+            info = index.functions[qual]
+            short = qual.split("::", 1)[1]
+            for acq in acquisitions:
+                for held in acq.held:
+                    add_edge(
+                        held,
+                        acq.lock_id,
+                        info.rel,
+                        acq.line,
+                        f"`{short}` acquires it while holding `{held}`",
+                    )
+        for qual, sites in index.calls.items():
+            info = index.functions[qual]
+            short = qual.split("::", 1)[1]
+            for site in sites:
+                if not site.held or site.callee is None:
+                    continue
+                callee_short = site.callee.split("::", 1)[1]
+                for acquired in transitive.get(site.callee, ()):
+                    for held in site.held:
+                        add_edge(
+                            held,
+                            acquired,
+                            info.rel,
+                            site.node.lineno,
+                            f"`{short}` calls `{callee_short}` (which may acquire "
+                            f"it) while holding `{held}`",
+                        )
+
+        succ: Dict[str, Set[str]] = {}
+        for held, acquired in edges:
+            succ.setdefault(held, set()).add(acquired)
+
+        reported: Set[frozenset] = set()
+        for (held, acquired), edge in sorted(
+            edges.items(), key=lambda item: (item[1].rel, item[1].line)
+        ):
+            path = self._find_path(succ, acquired, held)
+            if path is None:
+                continue
+            # path is acquired -> ... -> held; closing edge held -> acquired
+            # completes the cycle.
+            cycle_nodes = frozenset(path)
+            if cycle_nodes in reported:
+                continue
+            reported.add(cycle_nodes)
+            cycle_edges = [edge]
+            for a, b in zip(path, path[1:]):
+                witness = edges.get((a, b))
+                if witness is not None:
+                    cycle_edges.append(witness)
+            rendered = "; ".join(e.describe() for e in cycle_edges)
+            finding = Finding(
+                rule=self.id,
+                path=edge.rel,
+                line=edge.line,
+                col=0,
+                message=(
+                    "lock-order cycle: "
+                    + " -> ".join(f"`{n}`" for n in [held, *path])
+                    + " — two code paths acquire these locks in opposite "
+                    "orders and can deadlock; edges: "
+                    + rendered
+                ),
+            )
+            self._findings.setdefault(edge.rel, []).append(finding)
+
+    @staticmethod
+    def _find_path(
+        succ: Dict[str, Set[str]], start: str, goal: str
+    ) -> Optional[List[str]]:
+        """Shortest ``start -> ... -> goal`` path in the order graph."""
+        if start == goal:
+            return [start]
+        frontier: List[List[str]] = [[start]]
+        seen = {start}
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for path in frontier:
+                for node in sorted(succ.get(path[-1], ())):
+                    if node == goal:
+                        return path + [node]
+                    if node not in seen:
+                        seen.add(node)
+                        next_frontier.append(path + [node])
+            frontier = next_frontier
+        return None
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

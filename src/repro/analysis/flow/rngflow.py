@@ -1,0 +1,258 @@
+"""R7 — RNG-stream purity across thread and process boundaries.
+
+A :class:`numpy.random.Generator` is single-threaded mutable state.
+The parallel layer's contract (PR 4) is that a *seed*, never a live
+generator, crosses a dispatch boundary: ``top_k_all_parallel``
+canonicalises ``SeedLike`` to an int with ``derive_seed`` before
+building ``initargs``, and every worker materialises its own stream.
+Shipping a generator instead compiles and runs — pickling silently
+copies the state, workers draw identical "random" numbers, and the
+variance guarantees of the estimator quietly die.
+
+The static check is interprocedural taint:
+
+- **sources** — calls to ``ensure_rng`` / ``spawn_rngs`` /
+  ``default_rng`` / ``shadow_rng``, and parameters annotated as
+  ``Generator`` (a ``SeedLike`` annotation is *not* a source: that type
+  exists precisely to be canonicalised);
+- **sanitizers** — ``derive_seed(...)`` and ``int(...)``;
+- **sinks** — executor/pool dispatch (``submit``, ``map`` on a
+  pool/executor receiver, ``run_in_executor``, ``apply_async``, ...),
+  ``Thread``/``Process`` construction, and pool ``initargs``.
+
+A finding fires when a tainted expression reaches a sink directly, or
+is passed to a project function whose parameter provably reaches a
+sink (summaries computed to fixpoint over the call graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FunctionInfo, ProjectIndex, flow_index
+from repro.analysis.flow.taint import LocalTaint, TaintDomain
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["RngPurityRule"]
+
+#: attribute calls that hand work to another thread/process.
+_DISPATCH_METHODS = frozenset(
+    {"submit", "apply_async", "map_async", "starmap", "imap", "imap_unordered"}
+)
+#: constructors that start concurrent execution.
+_DISPATCH_CTORS = frozenset(
+    {"Thread", "Process", "ProcessPoolExecutor", "ThreadPoolExecutor", "Pool"}
+)
+
+
+class _RngDomain(TaintDomain):
+    source_calls = frozenset({"ensure_rng", "spawn_rngs", "default_rng", "shadow_rng"})
+    sanitizer_calls = frozenset({"derive_seed", "int"})
+
+
+def _generator_params(info: FunctionInfo) -> Set[str]:
+    """Parameters whose annotation names ``Generator`` explicitly."""
+    return {
+        param
+        for param, classes in info.param_classes.items()
+        if "Generator" in classes
+    }
+
+
+def _dispatch_args(call: ast.Call) -> Optional[Tuple[str, List[ast.expr]]]:
+    """``(description, argument expressions)`` when ``call`` is a
+    thread/process dispatch boundary, else None."""
+    func = call.func
+    exprs: List[ast.expr] = []
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        if method in _DISPATCH_METHODS or method == "run_in_executor":
+            exprs = [*call.args, *(kw.value for kw in call.keywords)]
+            return f".{method}()", exprs
+        if method == "map":
+            chain = attribute_chain(func.value)
+            receiver = (chain[-1] if chain else "").lower()
+            if "pool" in receiver or "executor" in receiver:
+                exprs = [*call.args, *(kw.value for kw in call.keywords)]
+                return ".map()", exprs
+        if method in _DISPATCH_CTORS:
+            name: Optional[str] = method
+        else:
+            return None
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    if name not in _DISPATCH_CTORS:
+        return None
+    exprs = list(call.args)
+    for kw in call.keywords:
+        if kw.arg in ("target", "args", "kwargs", "initargs", "initializer"):
+            exprs.append(kw.value)
+    return f"{name}(...)", exprs
+
+
+def _map_call_args(
+    call: ast.Call, callee: FunctionInfo
+) -> Iterator[Tuple[str, ast.expr]]:
+    """Pair each argument with the callee parameter it binds to."""
+    params = callee.params
+    bound = callee.cls is not None and (
+        isinstance(call.func, ast.Attribute) or callee.name == "__init__"
+    )
+    offset = 1 if bound and params and params[0] in ("self", "cls") else 0
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        index = position + offset
+        if index < len(params):
+            yield params[index], arg
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            yield keyword.arg, keyword.value
+
+
+class RngPurityRule(Rule):
+    id = "R7"
+    name = "rng-purity"
+    summary = (
+        "a live numpy Generator must not cross a thread/process boundary — "
+        "canonicalise to a seed with `derive_seed` and re-materialise in the "
+        "worker"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        index = flow_index(project)
+        domain = _RngDomain()
+        param_sinks = self._param_sink_summaries(index, domain)
+
+        for info in index.iter_functions():
+            seeds = _generator_params(info)
+            taint = LocalTaint(info, domain, seeds)
+            for finding in self._sink_hits(index, info, taint, param_sinks):
+                self._findings.setdefault(info.rel, []).append(finding)
+
+    def _param_sink_summaries(
+        self, index: ProjectIndex, domain: _RngDomain
+    ) -> Dict[str, Set[str]]:
+        """Which parameters of which functions reach a dispatch sink."""
+        summaries: Dict[str, Set[str]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for info in index.iter_functions():
+                known = summaries.setdefault(info.qual, set())
+                for param in info.params:
+                    if param in ("self", "cls") or param in known:
+                        continue
+                    taint = LocalTaint(info, domain, {param}, use_sources=False)
+                    if self._reaches_sink(index, info, taint, summaries):
+                        known.add(param)
+                        changed = True
+        return summaries
+
+    def _reaches_sink(
+        self,
+        index: ProjectIndex,
+        info: FunctionInfo,
+        taint: LocalTaint,
+        param_sinks: Dict[str, Set[str]],
+    ) -> bool:
+        for site in index.calls.get(info.qual, ()):
+            dispatch = _dispatch_args(site.node)
+            if dispatch is not None and any(
+                taint.expr_tainted(expr) for expr in dispatch[1]
+            ):
+                return True
+            if site.callee is None:
+                continue
+            callee = index.functions.get(site.callee)
+            if callee is None:
+                continue
+            sink_params = param_sinks.get(site.callee, set())
+            for param, arg in _map_call_args(site.node, callee):
+                if param in sink_params and taint.expr_tainted(arg):
+                    return True
+        return False
+
+    def _sink_hits(
+        self,
+        index: ProjectIndex,
+        info: FunctionInfo,
+        taint: LocalTaint,
+        param_sinks: Dict[str, Set[str]],
+    ) -> Iterator[Finding]:
+        if not taint.tainted and not self._has_source_call(index, info, taint):
+            return
+        short = info.qual.split("::", 1)[1]
+        for site in index.calls.get(info.qual, ()):
+            dispatch = _dispatch_args(site.node)
+            if dispatch is not None:
+                desc, exprs = dispatch
+                if any(taint.expr_tainted(expr) for expr in exprs):
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                        message=(
+                            f"seeded Generator flows into `{desc}` in `{short}` — "
+                            "a live RNG stream must not cross a thread/process "
+                            "boundary; pass `derive_seed(...)` and re-materialise "
+                            "in the worker (RNG-stream purity)"
+                        ),
+                    )
+                continue
+            if site.callee is None:
+                continue
+            callee = index.functions.get(site.callee)
+            if callee is None:
+                continue
+            sink_params = param_sinks.get(site.callee, set())
+            if not sink_params:
+                continue
+            callee_short = site.callee.split("::", 1)[1]
+            for param, arg in _map_call_args(site.node, callee):
+                if param in sink_params and taint.expr_tainted(arg):
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel,
+                        line=site.node.lineno,
+                        col=site.node.col_offset,
+                        message=(
+                            f"seeded Generator passed to `{callee_short}(..., "
+                            f"{param}=...)`, whose `{param}` reaches a "
+                            "thread/process dispatch — canonicalise with "
+                            "`derive_seed(...)` before the call (RNG-stream "
+                            "purity)"
+                        ),
+                    )
+
+    @staticmethod
+    def _has_source_call(
+        index: ProjectIndex, info: FunctionInfo, taint: LocalTaint
+    ) -> bool:
+        """Whether any dispatch argument is a direct source call —
+        covers `pool.submit(f, ensure_rng(seed))` with no named binding."""
+        for site in index.calls.get(info.qual, ()):
+            if taint.domain.is_source_call(site.node):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

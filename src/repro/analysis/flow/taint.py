@@ -1,0 +1,157 @@
+"""Per-function taint propagation shared by R7 and R8.
+
+Both flow rules reduce to the same local question — *which names in
+this function can hold a value of interest* — differing only in what
+creates such a value (a ``default_rng``/``ensure_rng`` call vs a
+``handle.current()`` read), what launders it (``derive_seed``/``int``
+vs ``.clone()``), and what consumes it (a dispatch boundary vs a
+mutating call).  :class:`TaintDomain` carries those three deltas;
+:class:`LocalTaint` is the fixpoint engine.
+
+Propagation is syntactic and deliberately shallow: names, attribute
+projections (``snap.engine.index`` is tainted when ``snap`` is),
+subscripts, tuple packing/unpacking, conditional expressions, loop
+targets, walrus bindings.  Calls do not propagate taint through their
+return value unless the domain says the call *is* a source — the same
+precision-over-recall bargain the resolution layer makes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set, Union
+
+from repro.analysis.flow.graph import FunctionInfo
+
+__all__ = ["TaintDomain", "LocalTaint", "call_name"]
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The bare name a call is made through (``f`` or ``obj.f`` -> ``f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class TaintDomain:
+    """What creates, launders, and never carries taint for one rule."""
+
+    #: call names whose result is tainted.
+    source_calls: frozenset = frozenset()
+    #: call names whose result is clean even with tainted arguments.
+    sanitizer_calls: frozenset = frozenset()
+
+    def is_source_call(self, call: ast.Call) -> bool:
+        return call_name(call) in self.source_calls
+
+    def is_source_expr(self, expr: ast.expr) -> bool:
+        """Non-call source expressions (e.g. a ``._snapshot`` read)."""
+        del expr
+        return False
+
+    def owned_names(self, info: FunctionInfo) -> Set[str]:
+        """Names exempt from taint (blessed locals); default none."""
+        del info
+        return set()
+
+
+class LocalTaint:
+    """Tainted-name fixpoint over one function body."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        domain: TaintDomain,
+        seeds: Set[str],
+        use_sources: bool = True,
+    ) -> None:
+        self.info = info
+        self.domain = domain
+        #: when False, domain sources do not seed taint — used for the
+        #: param-summary passes, where exactly one param is the source.
+        self.use_sources = use_sources
+        self._owned = domain.owned_names(info)
+        self.tainted: Set[str] = set(seeds) - self._owned
+        self._fixpoint()
+
+    # ------------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        bindings = self._collect_bindings()
+        changed = True
+        while changed:
+            changed = False
+            for targets, value in bindings:
+                if not self.expr_tainted(value):
+                    continue
+                for name in targets:
+                    if name not in self._owned and name not in self.tainted:
+                        self.tainted.add(name)
+                        changed = True
+
+    def _collect_bindings(self) -> "list[tuple[list, ast.expr]]":
+        bindings = []
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Assign):
+                names = []
+                for target in node.targets:
+                    names.extend(_target_names(target))
+                bindings.append((names, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bindings.append((_target_names(node.target), node.value))
+            elif isinstance(node, ast.NamedExpr):
+                bindings.append((_target_names(node.target), node.value))
+            elif isinstance(node, ast.For):
+                bindings.append((_target_names(node.target), node.iter))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        bindings.append(
+                            (_target_names(item.optional_vars), item.context_expr)
+                        )
+        return bindings
+
+    # ------------------------------------------------------------------
+
+    def expr_tainted(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in self.domain.sanitizer_calls:
+                return False
+            return self.use_sources and self.domain.is_source_call(expr)
+        if isinstance(expr, ast.Attribute):
+            if self.use_sources and self.domain.is_source_expr(expr):
+                return True
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.Subscript):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.Await):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tainted(expr.body) or self.expr_tainted(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_tainted(elt) for elt in expr.elts)
+        if isinstance(expr, ast.BoolOp):
+            return any(self.expr_tainted(value) for value in expr.values)
+        return False
+
+
+def _target_names(target: ast.expr) -> "list[str]":
+    """Name targets of an assignment (tuple unpacking is coarse: all)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for elt in target.elts:
+            names.extend(_target_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []

@@ -21,15 +21,33 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import Rule, all_rules
 from repro.analysis.source import SourceFile, load_source
 
-__all__ = ["DEFAULT_SCOPES", "Project", "discover_files", "run_lint", "scope_match"]
+__all__ = [
+    "DEFAULT_SCOPES",
+    "LintReport",
+    "Project",
+    "discover_files",
+    "run_analysis",
+    "run_lint",
+    "scope_match",
+]
 
 #: rule id -> path globs the rule applies to (posix, repo-relative).
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "R1": ("serve/*.py", "core/dynamic.py", "workloads.py"),
-    "R2": ("core/*.py", "serve/*.py", "workloads.py"),
-    "R3": ("core/*.py", "baselines/*.py", "graph/generators.py"),
+    "R2": ("core/*.py", "serve/*.py", "workloads.py", "experiments/*.py"),
+    "R3": (
+        "core/*.py",
+        "baselines/*.py",
+        "graph/generators.py",
+        "experiments/*.py",
+    ),
     "R4": ("core/query.py", "core/walks.py", "core/montecarlo.py"),
     "R5": ("*.py",),
+    # Flow rules (R6-R8) are whole-program: prepare() analyses every
+    # parsed file; the scope only controls where findings may land.
+    "R6": ("*.py",),
+    "R7": ("*.py",),
+    "R8": ("*.py",),
 }
 
 #: directories never worth parsing.
@@ -89,27 +107,57 @@ def load_project(paths: Iterable[Path], root: Optional[Path] = None) -> Project:
     return project
 
 
-def run_lint(
+@dataclass
+class LintReport:
+    """Everything one lint invocation learned.
+
+    ``findings`` is what the CLI prints and gates on (stale-noqa R0
+    findings included); ``suppressed`` is what per-line waivers hid
+    (``--show-suppressed``); ``stale`` is the subset of ``findings``
+    flagging noqa directives that suppressed nothing.
+    """
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    stale: List[Finding]
+
+
+def run_analysis(
     paths: Iterable[Path],
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     only: Optional[Iterable[str]] = None,
     scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
-) -> List[Finding]:
-    """Run the project linter and return sorted, unsuppressed findings.
+    flow: bool = False,
+) -> LintReport:
+    """Run the project linter and return the full :class:`LintReport`.
 
     ``only`` restricts to a set of rule ids; ``scopes`` overrides
     :data:`DEFAULT_SCOPES` (useful in tests to point one rule at a
-    fixture file regardless of its name).
+    fixture file regardless of its name); ``flow`` adds the
+    whole-program rules R6-R8 (:func:`repro.analysis.flow.flow_rules`).
     """
+    from repro.analysis.flow import flow_rules
+
     project = load_project(paths, root)
     scope_map = DEFAULT_SCOPES if scopes is None else scopes
-    active = list(all_rules()) if rules is None else list(rules)
+    if rules is None:
+        active = list(all_rules())
+        if flow:
+            active.extend(flow_rules())
+    else:
+        active = list(rules)
+    # Stale-noqa detection needs the full default rule set: under a
+    # restricted run, a waiver for an unrun rule is dormant, not stale.
+    full_run = rules is None and only is None
     if only is not None:
         wanted = set(only)
         active = [rule for rule in active if rule.id in wanted]
 
     findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    #: rel -> lines whose noqa directive suppressed at least one finding.
+    used_waivers: Dict[str, set] = {}
     for source in project.sources:
         if source.syntax_error is not None:
             exc = source.syntax_error
@@ -147,7 +195,58 @@ def run_lint(
             if not scope_match(source.rel, patterns):
                 continue
             for finding in rule.check(project, source):
-                if not source.suppressed(finding):
+                if source.suppressed(finding):
+                    suppressed.append(finding)
+                    used_waivers.setdefault(source.rel, set()).add(finding.line)
+                else:
                     findings.append(finding)
 
-    return sorted(findings, key=Finding.sort_key)
+    stale: List[Finding] = []
+    if full_run:
+        active_ids = {rule.id for rule in active}
+        for source in project.sources:
+            if source.syntax_error is not None:
+                continue
+            for line in source.suppressions.lines():
+                if line in used_waivers.get(source.rel, ()):
+                    continue
+                named = source.suppressions.rules_on(line)
+                if named is not None and not named <= active_ids:
+                    continue  # waives a rule that did not run (e.g. R6-R8 without --flow)
+                stale.append(
+                    Finding(
+                        rule="R0",
+                        path=source.rel,
+                        line=line,
+                        col=0,
+                        message=(
+                            "stale `# repro: noqa` — it suppresses nothing on "
+                            "this line; remove the waiver"
+                        ),
+                    )
+                )
+        findings.extend(stale)
+
+    return LintReport(
+        findings=sorted(findings, key=Finding.sort_key),
+        suppressed=sorted(suppressed, key=Finding.sort_key),
+        stale=sorted(stale, key=Finding.sort_key),
+    )
+
+
+def run_lint(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    only: Optional[Iterable[str]] = None,
+    scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
+    flow: bool = False,
+) -> List[Finding]:
+    """Run the project linter and return sorted, unsuppressed findings.
+
+    Thin wrapper over :func:`run_analysis` for callers that only need
+    the gating finding list.
+    """
+    return run_analysis(
+        paths, root=root, rules=rules, only=only, scopes=scopes, flow=flow
+    ).findings

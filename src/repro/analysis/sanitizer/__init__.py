@@ -1,0 +1,86 @@
+"""Runtime concurrency & determinism sanitizer (``REPRO_SANITIZE=1``).
+
+The static rules (R1, R6–R8) prove what they can from source; this
+package checks the remaining gap at runtime, the way ThreadSanitizer
+does for C++: by interposing on the primitives themselves.
+
+Two checkers, both zero-cost when disabled (the factories in
+:mod:`repro.utils.sync` and the hooks in :mod:`repro.utils.rng` hand
+out plain primitives unless the switch is on):
+
+- **lock order** (:mod:`.locks`) — every sanitized lock acquisition
+  maintains the thread's acquisition stack and a global lock-order DAG;
+  an acquisition that would close a cycle raises
+  :class:`SanitizerError` naming both acquisition stacks, *before*
+  blocking, so provoked inversions fail fast instead of deadlocking;
+- **RNG streams** (:mod:`.rng`) — seeded generators are shadowed with
+  consumption accounting: cross-thread draws on one instance and
+  divergent consumption of one derived child seed are violations.
+
+Enable with the environment variable (read at process start, so worker
+processes inherit it), programmatically via :func:`enable`, or for a
+test run via the bundled pytest plugin: ``pytest --sanitize``.
+
+Locks and generators created *before* enabling stay unsanitized — turn
+the switch on before constructing the objects under test (the pytest
+plugin enables during ``pytest_configure``, ahead of collection).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sanitizer.errors import SanitizerError
+from repro.analysis.sanitizer.locks import (
+    MONITOR,
+    LockOrderMonitor,
+    SanitizedLock,
+    SanitizedRLock,
+)
+from repro.analysis.sanitizer.rng import (
+    SHADOW_REGISTRY,
+    RngShadowRegistry,
+    ShadowGenerator,
+    shadow_rng,
+)
+from repro.utils import sync as _sync
+
+__all__ = [
+    "MONITOR",
+    "SHADOW_REGISTRY",
+    "LockOrderMonitor",
+    "RngShadowRegistry",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "SanitizerError",
+    "ShadowGenerator",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "shadow_rng",
+]
+
+
+def enable() -> None:
+    """Turn the sanitizer on: locks and generators created from now on
+    through the project factories are order-/consumption-checked."""
+    _sync._set_active(True)
+
+
+def disable() -> None:
+    """Turn the sanitizer off (existing proxies keep reporting)."""
+    _sync._set_active(False)
+
+
+def is_enabled() -> bool:
+    return _sync.sanitizer_active()
+
+
+def reset() -> None:
+    """Forget recorded lock-order edges and RNG accounting.
+
+    Call between tests: edges are per lock *instance*, so state from a
+    finished test can only leak (never alias), but unbounded growth and
+    confusing reports are worth preventing.
+    """
+    MONITOR.reset()
+    SHADOW_REGISTRY.reset()

@@ -1,0 +1,42 @@
+"""The sanitizer's violation type.
+
+:class:`SanitizerError` deliberately does **not** inherit from
+:class:`repro.errors.ReproError`: the serve layer converts ``ReproError``
+into a polite bad-request response, and a concurrency-invariant
+violation must never be downgraded to one — it should blow up the test
+(or the request) loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SanitizerError"]
+
+
+class SanitizerError(Exception):
+    """A runtime concurrency/determinism invariant was violated.
+
+    Carries the two conflicting stacks (formatted tracebacks) so the
+    report names both sides of the conflict: for a lock-order inversion,
+    where each of the two orders was established; for an RNG violation,
+    the first and the offending consumption site.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        first_stack: Optional[str] = None,
+        second_stack: Optional[str] = None,
+    ) -> None:
+        self.first_stack = first_stack or ""
+        self.second_stack = second_stack or ""
+        parts = [message]
+        if self.first_stack:
+            parts.append("--- first acquisition stack ---\n" + self.first_stack.rstrip())
+        if self.second_stack:
+            parts.append(
+                "--- conflicting acquisition stack ---\n" + self.second_stack.rstrip()
+            )
+        super().__init__("\n".join(parts))
+        self.message = message

@@ -1,0 +1,257 @@
+"""Order-recording lock proxies and the global lock-order DAG.
+
+This is a vector-clock-lite take on dynamic deadlock detection (in the
+spirit of ThreadSanitizer's lock-order checker): every sanitized lock
+acquisition consults the acquiring thread's *acquisition stack* (the
+locks it already holds) and records a directed edge ``held -> wanted``
+in a process-global lock-order DAG.  Before the edge is recorded, the
+monitor checks whether the reverse direction is already reachable —
+if ``wanted ->* held`` exists, some execution established the opposite
+order, and the two orders together form a potential deadlock.  The
+check runs at *acquisition attempt* time, before blocking on the inner
+lock, so a provoked inversion raises :class:`SanitizerError` (naming
+both acquisition stacks) instead of actually deadlocking the test run.
+
+Identity is per lock *instance* (like a real dynamic race detector):
+two unrelated ``EngineHandle`` objects never alias.  Locks are labelled
+with the name passed to :func:`repro.utils.sync.make_lock` so reports
+read ``EngineHandle._lock -> DynamicSimRankEngine._state_lock`` rather
+than raw ids.
+
+Also caught, beyond ABBA inversions:
+
+- same-thread re-acquisition of a *non-reentrant* lock (a guaranteed
+  self-deadlock);
+- longer cycles (A -> B -> C -> A) — reachability is transitive over
+  every recorded edge, whichever threads recorded them.
+
+Reentrant (:class:`SanitizedRLock`) re-acquisition by the holding
+thread records no edge — by definition it cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.sanitizer.errors import SanitizerError
+
+__all__ = ["LockOrderMonitor", "MONITOR", "SanitizedLock", "SanitizedRLock"]
+
+
+def _capture_stack() -> str:
+    """The current stack, rendered, minus the sanitizer's own frames."""
+    frames = [
+        frame
+        for frame in traceback.extract_stack()
+        if "analysis/sanitizer" not in frame.filename.replace("\\", "/")
+    ]
+    return "".join(traceback.format_list(frames[-12:]))
+
+
+class _Edge:
+    """One recorded ``held -> wanted`` order, with its witness stacks."""
+
+    __slots__ = ("held_name", "wanted_name", "held_stack", "wanted_stack", "thread")
+
+    def __init__(
+        self,
+        held_name: str,
+        wanted_name: str,
+        held_stack: str,
+        wanted_stack: str,
+        thread: str,
+    ) -> None:
+        self.held_name = held_name
+        self.wanted_name = wanted_name
+        self.held_stack = held_stack
+        self.wanted_stack = wanted_stack
+        self.thread = thread
+
+
+class LockOrderMonitor:
+    """Per-thread acquisition stacks + the global lock-order DAG."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._local = threading.local()
+        #: (id(held), id(wanted)) -> first witness of that order.
+        self._edges: Dict[Tuple[int, int], _Edge] = {}
+        #: adjacency over lock ids, for reachability.
+        self._succ: Dict[int, Set[int]] = {}
+        #: id -> lock, keeps instances alive so ids are never reused.
+        self._registry: Dict[int, "SanitizedLock"] = {}
+
+    # -- per-thread state ----------------------------------------------
+
+    def _held(self) -> "List[Tuple[SanitizedLock, str]]":
+        stack = getattr(self._local, "held", None)
+        if stack is None:
+            stack = []
+            self._local.held = stack
+        return stack
+
+    def held_names(self) -> List[str]:
+        """Names of the locks the calling thread currently holds."""
+        return [lock.name for lock, _ in self._held()]
+
+    # -- the DAG --------------------------------------------------------
+
+    def _reachable(self, start: int, goal: int) -> bool:
+        """Whether ``goal`` is reachable from ``start`` over recorded edges."""
+        seen: Set[int] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._succ.get(node, ()))
+        return False
+
+    def _witness(self, start: int, goal: int) -> Optional[_Edge]:
+        """An edge on some recorded ``start ->* goal`` path (for reports)."""
+        seen: Set[int] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ in self._succ.get(node, ()):
+                if succ == goal or self._reachable(succ, goal):
+                    return self._edges.get((node, succ))
+        return None
+
+    def before_acquire(self, lock: "SanitizedLock") -> str:
+        """Check the would-be edges; raises on inversion or self-deadlock.
+
+        Returns the captured acquisition stack (threaded through to
+        :meth:`after_acquire` so it is captured exactly once).
+        """
+        held = self._held()
+        stack = _capture_stack()
+        for held_lock, held_stack in held:
+            if held_lock is lock:
+                if lock.reentrant:
+                    return stack
+                raise SanitizerError(
+                    f"self-deadlock: thread {threading.current_thread().name!r} "
+                    f"re-acquired non-reentrant lock `{lock.name}` it already "
+                    "holds",
+                    first_stack=held_stack,
+                    second_stack=stack,
+                )
+        with self._mu:
+            for held_lock, held_stack in held:
+                a, b = id(held_lock), id(lock)
+                if (a, b) in self._edges:
+                    continue
+                if self._reachable(b, a):
+                    reverse = self._witness(b, a)
+                    detail = (
+                        f" (reverse order `{reverse.held_name}` -> "
+                        f"`{reverse.wanted_name}` recorded on thread "
+                        f"{reverse.thread!r})"
+                        if reverse is not None
+                        else ""
+                    )
+                    raise SanitizerError(
+                        "lock-order inversion: acquiring "
+                        f"`{lock.name}` while holding `{held_lock.name}` "
+                        f"contradicts the recorded order `{lock.name}` ->* "
+                        f"`{held_lock.name}`{detail}",
+                        first_stack=reverse.wanted_stack if reverse else "",
+                        second_stack=stack,
+                    )
+                self._registry[a] = held_lock
+                self._registry[b] = lock
+                self._edges[(a, b)] = _Edge(
+                    held_lock.name,
+                    lock.name,
+                    held_stack,
+                    stack,
+                    threading.current_thread().name,
+                )
+                self._succ.setdefault(a, set()).add(b)
+        return stack
+
+    def after_acquire(self, lock: "SanitizedLock", stack: str) -> None:
+        self._held().append((lock, stack))
+
+    def on_release(self, lock: "SanitizedLock") -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] is lock:
+                del held[index]
+                return
+
+    # -- introspection / lifecycle -------------------------------------
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """The recorded acquisition orders, as (held, wanted) name pairs."""
+        with self._mu:
+            return [(e.held_name, e.wanted_name) for e in self._edges.values()]
+
+    def reset(self) -> None:
+        """Forget every recorded edge (between tests; held stacks stay)."""
+        with self._mu:
+            self._edges.clear()
+            self._succ.clear()
+            self._registry.clear()
+
+
+#: The process-global monitor every sanitized lock reports to.
+MONITOR = LockOrderMonitor()
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock`` that reports to a :class:`LockOrderMonitor`."""
+
+    reentrant = False
+
+    def __init__(self, name: str = "lock", monitor: Optional[LockOrderMonitor] = None) -> None:
+        self.name = name
+        self.monitor = monitor or MONITOR
+        self._inner = self._make_inner()
+
+    def _make_inner(self):  # type: ignore[no-untyped-def]
+        return threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = self.monitor.before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self.monitor.after_acquire(self, stack)
+        return acquired
+
+    def release(self) -> None:
+        self.monitor.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SanitizedRLock(SanitizedLock):
+    """Drop-in ``threading.RLock``; re-acquisition records no edge."""
+
+    reentrant = True
+
+    def _make_inner(self):  # type: ignore[no-untyped-def]
+        return threading.RLock()
+
+    def locked(self) -> bool:  # pragma: no cover - parity with RLock
+        raise AttributeError("RLock has no locked()")

@@ -1,0 +1,54 @@
+"""Pytest integration: ``pytest --sanitize``.
+
+Registered from the repository's root ``tests/conftest.py`` via
+``pytest_plugins``.  With ``--sanitize`` (or ``REPRO_SANITIZE=1`` in
+the environment) the whole run executes under the runtime sanitizer:
+every lock created through :func:`repro.utils.sync.make_lock` is an
+order-recording proxy and every generator from
+:func:`repro.utils.rng.ensure_rng` is a consumption-accounting shadow.
+An autouse fixture resets the recorded state between tests so edges
+from one test's lock instances never clutter another's report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.analysis import sanitizer
+
+__all__ = ["pytest_addoption", "pytest_configure"]
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "run under the repro runtime sanitizer: lock-order recording "
+            "with deadlock detection and RNG consumption accounting "
+            "(see docs/static-analysis.md)"
+        ),
+    )
+
+
+def pytest_configure(config: "pytest.Config") -> None:
+    if config.getoption("--sanitize"):
+        sanitizer.enable()
+
+
+def pytest_report_header(config: "pytest.Config") -> "list[str]":
+    if sanitizer.is_enabled():
+        return ["repro sanitizer: ON (lock-order DAG + RNG shadow accounting)"]
+    return []
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_isolation() -> Iterator[None]:
+    """Per-test reset of the global monitor/registry when sanitizing."""
+    if sanitizer.is_enabled():
+        sanitizer.reset()
+    yield

@@ -230,6 +230,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--rules", args.rules]
     if args.root:
         argv += ["--root", args.root]
+    if args.flow:
+        argv.append("--flow")
+    if args.output_format != "text":
+        argv += ["--format", args.output_format]
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
     if args.explain:
         argv.append("--explain")
     return lint_main(argv)
@@ -351,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(fn=cmd_info)
 
     p_lint = sub.add_parser(
-        "lint", help="run the project-specific static-analysis rules R1-R5"
+        "lint", help="run the project-specific static-analysis rules R1-R8"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -359,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule ids to run")
     p_lint.add_argument("--root", default=None, metavar="DIR",
                         help="directory findings are rendered relative to")
+    p_lint.add_argument("--flow", action="store_true",
+                        help="also run the interprocedural flow rules R6-R8")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format", help="output format")
+    p_lint.add_argument("--show-suppressed", action="store_true",
+                        help="also report findings waived by `# repro: noqa`")
     p_lint.add_argument("--explain", action="store_true",
                         help="list the registered rules and exit")
     p_lint.set_defaults(fn=cmd_lint)

@@ -23,7 +23,6 @@ callers never see a stale index.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
@@ -39,6 +38,7 @@ from repro.errors import VertexError
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import distance_ball
 from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.sync import make_rlock
 
 
 __all__ = ["FlushStats", "DynamicSimRankEngine"]
@@ -76,7 +76,7 @@ class DynamicSimRankEngine:
         self._seed = seed
         # RLock, not Lock: defensive against a listener (fired by flush)
         # re-entering an accessor on the same thread.
-        self._state_lock = threading.RLock()
+        self._state_lock = make_rlock("DynamicSimRankEngine._state_lock")
         self._edges: Set[Tuple[int, int]] = set(map(tuple, graph.edge_array().tolist()))  # locked-by: _state_lock
         self._n = graph.n
         self._engine = SimRankEngine(graph, self.config, seed=seed).preprocess()  # locked-by: _state_lock

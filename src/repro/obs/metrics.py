@@ -24,9 +24,10 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type, TypeVar
+
+from repro.utils.sync import make_lock
 
 __all__ = [
     "Snapshot",
@@ -64,7 +65,7 @@ class Counter:
         self.subsystem = subsystem
         self.name = name
         self.value: float = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter._lock")
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -84,7 +85,7 @@ class Gauge:
         self.name = name
         self.value: float = 0.0
         self.updated: bool = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gauge._lock")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -128,7 +129,7 @@ class Histogram:
         self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 for +Inf
         self.sum: float = 0.0
         self.count: int = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram._lock")
 
     def observe(self, value: float) -> None:
         """Record one observation (bucket upper bounds are inclusive)."""
@@ -176,7 +177,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
         self._metrics: Dict[Tuple[str, str], object] = {}
 
     # ------------------------------------------------------------------

@@ -27,6 +27,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import ContextManager, Dict, Iterator, List, Optional
 
+from repro.utils.sync import make_lock
+
 
 __all__ = ["Span", "Tracer", "render_spans"]
 @dataclass
@@ -65,7 +67,7 @@ class Tracer:
         self.capacity = capacity
         self._buffer: List[Optional[Span]] = [None] * capacity
         self._next = 0  # total spans ever written; write slot = _next % capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
         self._local = threading.local()
 
     # ------------------------------------------------------------------

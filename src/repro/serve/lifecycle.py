@@ -19,13 +19,13 @@ This relies on ``flush`` never mutating the outgoing engine's index
 
 from __future__ import annotations
 
-import threading
 from typing import Optional
 
 from repro.core.dynamic import DynamicSimRankEngine, FlushStats
 from repro.core.engine import SimRankEngine
 from repro.core.query import TopKResult
 from repro.obs import instrument as obs
+from repro.utils.sync import make_lock
 from repro.workloads import CachedSimRankEngine
 
 
@@ -69,7 +69,7 @@ class EngineHandle:
         if not engine.is_preprocessed:
             engine.preprocess()
         self._cache_capacity = cache_capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("EngineHandle._lock")
         self._snapshot = self._make_snapshot(engine, epoch=0)  # locked-by: _lock
         self._dynamic: Optional[DynamicSimRankEngine] = None
         self._listener = None

@@ -13,6 +13,8 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.utils.sync import sanitizer_active
+
 SeedLike = Union[None, int, np.random.Generator]
 
 
@@ -21,10 +23,17 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
 
     An existing generator is returned unchanged (so callers can thread a
     single generator through a pipeline); integers and ``None`` construct a
-    fresh PCG64 generator.
+    fresh PCG64 generator.  Under ``REPRO_SANITIZE=1`` the constructed
+    generator is a consumption-accounting shadow over the *same* bit
+    generator — identical stream, recorded draws (see
+    :mod:`repro.analysis.sanitizer.rng`).
     """
     if isinstance(seed, np.random.Generator):
         return seed
+    if sanitizer_active():
+        from repro.analysis.sanitizer.rng import shadow_rng
+
+        return shadow_rng(seed)
     return np.random.default_rng(seed)
 
 
@@ -55,6 +64,12 @@ def derive_seed(seed: SeedLike, *salt: int) -> Optional[int]:
     if seed is None:
         return None
     if isinstance(seed, np.random.Generator):
-        return int(seed.integers(2**63))
-    mixed = np.random.SeedSequence(entropy=seed, spawn_key=tuple(salt))
-    return int(mixed.generate_state(1, dtype=np.uint64)[0])
+        child = int(seed.integers(2**63))
+    else:
+        mixed = np.random.SeedSequence(entropy=seed, spawn_key=tuple(salt))
+        child = int(mixed.generate_state(1, dtype=np.uint64)[0])
+    if sanitizer_active():
+        from repro.analysis.sanitizer.rng import note_derived_seed
+
+        note_derived_seed(child)
+    return child

@@ -1,0 +1,63 @@
+"""Lock construction with an optional runtime-sanitizer indirection.
+
+Every lock that guards cross-thread state in this codebase is created
+through :func:`make_lock` / :func:`make_rlock` instead of calling
+``threading.Lock()`` directly.  In normal operation the factories return
+the plain stdlib primitives — zero overhead, identical semantics.  Under
+``REPRO_SANITIZE=1`` (or after
+:func:`repro.analysis.sanitizer.enable`) they return order-recording
+proxies from :mod:`repro.analysis.sanitizer.locks`, which maintain
+per-thread acquisition stacks and a global lock-order DAG so that
+lock-order inversions raise
+:class:`~repro.analysis.sanitizer.SanitizerError` instead of
+deadlocking.  See ``docs/static-analysis.md``.
+
+The sanitizer switch lives here (not in ``repro.analysis``) so the hot
+paths — :func:`repro.utils.rng.ensure_rng` checks it per call — pay one
+module-global read, and so ``repro.utils`` never imports the analysis
+package unless sanitizing is actually on.  The ``REPRO_SANITIZE``
+environment variable is read once at import time (worker processes
+re-import, so it propagates across ``multiprocessing`` boundaries);
+in-process toggling goes through :func:`_set_active`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import ContextManager
+
+__all__ = ["make_lock", "make_rlock", "sanitizer_active"]
+
+#: Truthy values for the REPRO_SANITIZE environment variable.
+_active: bool = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def sanitizer_active() -> bool:
+    """Whether sanitized primitives should be handed out right now."""
+    return _active
+
+
+def _set_active(value: bool) -> None:
+    """Flip the process-wide switch (called by ``repro.analysis.sanitizer``)."""
+    global _active
+    _active = bool(value)
+
+
+def make_lock(name: str = "lock") -> "ContextManager[bool]":
+    """A mutex: ``threading.Lock()``, or an order-recording proxy when
+    sanitizing.  ``name`` labels the lock in sanitizer reports."""
+    if _active:
+        from repro.analysis.sanitizer.locks import SanitizedLock
+
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str = "lock") -> "ContextManager[bool]":
+    """Like :func:`make_lock` but reentrant (``threading.RLock()``)."""
+    if _active:
+        from repro.analysis.sanitizer.locks import SanitizedRLock
+
+        return SanitizedRLock(name)
+    return threading.RLock()

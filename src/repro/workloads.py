@@ -15,7 +15,6 @@ result cache absorbs.  This module provides:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional
@@ -28,6 +27,7 @@ from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.obs import instrument as obs
 from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.sync import make_lock
 
 
 def uniform_workload(
@@ -124,7 +124,7 @@ class CachedSimRankEngine:
         self._engine = engine
         self._capacity = capacity
         self._store: "OrderedDict[tuple, TopKResult]" = OrderedDict()  # locked-by: _lock
-        self._lock = threading.Lock()
+        self._lock = make_lock("CachedSimRankEngine._lock")
         self.stats = CacheStats()
 
     @property

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 from pathlib import Path
 
 import pytest
 
-from repro.analysis import all_rules, run_lint
+from repro.analysis import all_rules, flow_rules, run_analysis, run_lint
 from repro.analysis.cli import main as lint_main
 from repro.cli import main as repro_main
 
@@ -67,7 +69,107 @@ def test_repro_lint_subcommand(write_tree, capsys):
     assert repro_main(["lint", str(root), "--rules", "R1"]) == 0
 
 
+def test_json_format(write_tree, capsys):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    code = lint_main([str(root), "--root", str(root), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["suppressed_count"] == 0
+    [finding] = [f for f in payload["findings"] if f["rule"] == "R3"]
+    assert finding["path"] == "core/mc.py"
+    assert finding["line"] == 3
+    assert isinstance(finding["col"], int)
+    assert finding["message"]
+
+
+def test_json_format_clean_tree(write_tree, capsys):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert lint_main([str(root), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"findings": [], "suppressed_count": 0, "stale_count": 0}
+
+
+def test_show_suppressed_lists_waived_findings(write_tree, capsys):
+    root = write_tree(
+        {
+            "core/mc.py": (
+                "import numpy as np\n\n"
+                "x = np.random.rand(3)  # repro: noqa R3 -- fixture\n"
+            )
+        }
+    )
+    assert lint_main([str(root), "--root", str(root)]) == 0
+    err = capsys.readouterr().err
+    assert "1 finding(s) suppressed" in err
+
+    assert lint_main([str(root), "--root", str(root), "--show-suppressed"]) == 0
+    err = capsys.readouterr().err
+    assert "[waived]" in err
+    assert "core/mc.py:3:" in err
+
+
+def test_stale_noqa_is_flagged(write_tree, capsys):
+    root = write_tree(
+        {"core/ok.py": "VALUE = 1  # repro: noqa R3 -- was needed once\n"}
+    )
+    code = lint_main([str(root), "--root", str(root)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "stale" in out
+    assert "R0" in out
+
+
+def test_stale_noqa_skipped_for_unrun_rules(write_tree):
+    # A waiver naming a flow rule is dormant (not stale) without --flow.
+    root = write_tree(
+        {"core/ok.py": "VALUE = 1  # repro: noqa R6 -- guards a flow finding\n"}
+    )
+    report = run_analysis([root], root=root)
+    assert report.stale == []
+    report_flow = run_analysis([root], root=root, flow=True)
+    assert [f.rule for f in report_flow.stale] == ["R0"]
+
+
+def test_flow_flag_through_repro_cli(write_tree, capsys):
+    root = write_tree(
+        {
+            "serve/worker.py": (
+                "import threading\n\n\n"
+                "class W:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n\n"
+                "    def f(self):\n"
+                "        with self._a:\n"
+                "            with self._b:\n"
+                "                return 1\n\n"
+                "    def g(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                return 2\n"
+            )
+        }
+    )
+    assert repro_main(["lint", str(root), "--root", str(root)]) == 0
+    capsys.readouterr()
+    assert repro_main(["lint", str(root), "--root", str(root), "--flow"]) == 1
+    assert "R6" in capsys.readouterr().out
+
+
+def test_explain_includes_flow_rules(capsys):
+    assert lint_main(["--explain"]) == 0
+    out = capsys.readouterr().out
+    for rule in flow_rules():
+        assert rule.id in out
+
+
 def test_shipped_tree_is_clean():
-    """Meta-test: the repository's own source passes its own linter."""
-    findings = run_lint([REPO_SRC], root=REPO_SRC.parent)
-    assert findings == [], "\n".join(f.render() for f in findings)
+    """Meta-test: the repository's own source passes its own linter,
+    including the interprocedural flow rules."""
+    report = run_analysis([REPO_SRC], root=REPO_SRC.parent, flow=True)
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+    # No dormant waivers either: every noqa in the tree suppresses
+    # something even with the full rule set active.
+    assert report.stale == []

@@ -265,10 +265,20 @@ def test_r3_from_import_of_draw(lint_tree):
 
 def test_r3_ignores_out_of_scope_modules(lint_tree):
     findings = lint_tree(
-        {"experiments/plots.py": "import random\n"},
+        {"obs/plots.py": "import random\n"},
         only=["R3"],
     )
     assert findings == []
+
+
+def test_r3_covers_experiments_modules(lint_tree):
+    # experiments/ produces the paper's figures — unseeded randomness
+    # there silently breaks reproduction, so it joined the R3 scope.
+    findings = lint_tree(
+        {"experiments/plots.py": "import random\n"},
+        only=["R3"],
+    )
+    assert rules_of(findings) == ["R3"]
 
 
 # ----------------------------------------------------------------------
@@ -466,10 +476,14 @@ def test_r5_matching_call_site_is_clean(lint_tree):
 
 
 def test_r0_noqa_without_reason(lint_tree):
+    # A reasonless waiver on a clean line draws two R0s: no reason
+    # recorded, and the waiver is stale (it suppresses nothing).
     findings = lint_tree(
         {"core/x.py": "VALUE = 1  # repro: noqa R3\n"},
     )
-    assert rules_of(findings) == ["R0"]
+    assert rules_of(findings) == ["R0", "R0"]
+    assert any("without a `-- reason`" in f.message for f in findings)
+    assert any("stale" in f.message for f in findings)
 
 
 def test_r0_prose_mention_is_not_a_directive(lint_tree):

@@ -5,6 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+# ``pytest --sanitize`` — run the suite under the runtime concurrency
+# sanitizer (lock-order DAG + RNG shadow accounting); see
+# docs/static-analysis.md.
+pytest_plugins = ["repro.analysis.sanitizer.pytest_plugin"]
+
 from repro.core.config import SimRankConfig
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import (

@@ -9,11 +9,14 @@ concurrent readers are scoring against.
 
 R8 closes the gap with whole-program taint:
 
-- **sources** — results of ``.current()`` calls, reads of a
-  ``._snapshot`` attribute, and parameters annotated with a snapshot
-  type (``EngineSnapshot``, ``CandidateIndex``, ``FlatSketch``,
-  ``GammaTable``); attribute projections propagate (``snap.engine``,
-  ``snap.index.signatures`` are as published as ``snap``);
+- **sources** — results of ``.current()`` and shared-memory
+  ``.attach()`` calls, reads of a ``._snapshot`` attribute, and
+  parameters annotated with a snapshot type (``EngineSnapshot``,
+  ``CandidateIndex``, ``BufferBackedCandidateIndex``, ``FlatSketch``,
+  ``GammaTable``, ``SharedArrayBundle``); attribute projections
+  propagate (``snap.engine``, ``snap.index.signatures`` are as
+  published as ``snap``, and ``bundle.arrays`` is as shared as the
+  segment it maps);
 - **blessed copies** — ``.clone()`` results and snapshot-class
   constructor calls are clean (they are the sanctioned write path);
 - **sinks** — passing a tainted value to a project function whose
@@ -46,12 +49,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SnapshotEscapeRule", "SNAPSHOT_CLASSES"]
 
-#: types whose instances are published, immutable serving state.
-SNAPSHOT_CLASSES = ("EngineSnapshot", "CandidateIndex", "FlatSketch", "GammaTable")
+#: types whose instances are published, immutable serving state.  The
+#: shard additions extend the rule across process boundaries: a
+#: ``SharedArrayBundle`` (and the buffer-backed index built over one)
+#: maps memory owned by another process's epoch, so mutating it — or
+#: letting it outlive its epoch — has the same blast radius as writing
+#: into a published snapshot.
+SNAPSHOT_CLASSES = (
+    "EngineSnapshot",
+    "CandidateIndex",
+    "BufferBackedCandidateIndex",
+    "FlatSketch",
+    "GammaTable",
+    "SharedArrayBundle",
+)
 
 
 class _SnapshotDomain(TaintDomain):
-    source_calls = frozenset({"current"})
+    source_calls = frozenset({"current", "attach"})
     sanitizer_calls = frozenset({"clone", "cls", *SNAPSHOT_CLASSES})
 
     def is_source_expr(self, expr: ast.expr) -> bool:
@@ -165,8 +180,9 @@ class SnapshotEscapeRule(Rule):
     name = "snapshot-escape"
     summary = (
         "a published snapshot (EngineSnapshot/CandidateIndex/FlatSketch/"
-        "GammaTable) must not escape into a call that mutates it — patch a "
-        "`.clone()` and publish a new snapshot instead"
+        "GammaTable) or shared-memory attachment (SharedArrayBundle) must "
+        "not escape into a call that mutates it — patch a `.clone()` and "
+        "publish a new snapshot instead"
     )
 
     def __init__(self) -> None:

@@ -40,8 +40,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SnapshotImmutabilityRule"]
 
-#: Classes whose instances are the protected snapshot state.
-OWNER_CLASSES = ("CandidateIndex", "EngineSnapshot", "GammaTable")
+#: Classes whose instances are the protected snapshot state.  Their own
+#: method bodies are the blessed mutation API — this includes the
+#: buffer-backed index's lazy legacy-view cache (``__getattr__``).
+OWNER_CLASSES = (
+    "CandidateIndex",
+    "BufferBackedCandidateIndex",
+    "EngineSnapshot",
+    "GammaTable",
+)
 
 #: Attribute names that hold index payload (unique enough project-wide).
 PAYLOAD_ATTRS = ("signatures", "inverted")

@@ -202,14 +202,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window_ms / 1000.0,
         workers=args.serve_workers,
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
+        shards=args.shards,
     )
     server = SimRankServer(dynamic, serve_config)
 
     async def _run() -> None:
         port = await server.start()
+        backend = (
+            f"{serve_config.shards}-shard scatter-gather"
+            if serve_config.shards
+            else "single-process"
+        )
         print(
             f"serving on {serve_config.host}:{port} "
-            "(NDJSON protocol; HTTP GET /healthz /metrics)",
+            f"({backend}; NDJSON protocol; HTTP GET /healthz /metrics)",
             flush=True,
         )
         await server.wait_stopped()
@@ -342,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how long the batcher lingers to fill a batch")
     p_serve.add_argument("--serve-workers", type=int, default=4,
                          help="executor threads answering queries")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="serve through N sharded worker processes "
+                              "(0 = single-process backend)")
     p_serve.add_argument("--cache-capacity", type=int, default=1024,
                          help="per-snapshot LRU result cache size (0 disables)")
     p_serve.set_defaults(fn=cmd_serve)

@@ -122,6 +122,17 @@ class SimRankEngine:
         return self
 
     @property
+    def seed(self) -> SeedLike:
+        """The base seed every preprocess/query stream derives from.
+
+        Exposed so coordinating layers (:mod:`repro.shard`) can replay
+        the exact per-query seed derivations — ``derive_seed(seed, 11, u)``
+        for top-k, ``derive_seed(seed, 13, u, v)`` for single-pair — in
+        another process and land on bit-identical walk streams.
+        """
+        return self._seed
+
+    @property
     def index(self) -> CandidateIndex:
         """The preprocess artefact; raises if :meth:`preprocess` has not run."""
         if self._index is None:

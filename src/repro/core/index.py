@@ -24,7 +24,7 @@ import bisect
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 __all__ = [
     "INDEX_FORMAT_VERSION",
     "CandidateIndex",
+    "BufferBackedCandidateIndex",
     "signature_for_vertex",
     "build_signatures",
     "build_index",
@@ -139,6 +140,72 @@ class CandidateIndex:
         return signature_bytes + inverted_bytes + self.gamma.nbytes()
 
     # ------------------------------------------------------------------
+    # Zero-copy buffer export / attach
+    # ------------------------------------------------------------------
+
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """Pack the index payload into six flat arrays (one-time copy).
+
+        The inverse of :meth:`from_buffers`; together they form the
+        shared-memory transport contract of :mod:`repro.shard`.  Postings
+        are concatenated in ascending-key order and each posting list is
+        itself sorted, so the packed form reproduces :meth:`candidates`
+        output exactly.  ``gamma`` is the live γ-table array (no copy).
+        """
+        flat_signatures = np.array(
+            [v for s in self.signatures for v in s], dtype=np.int64
+        )
+        signature_offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in self.signatures], out=signature_offsets[1:])
+        keys = sorted(self.inverted)
+        posting_keys = np.asarray(keys, dtype=np.int64)
+        posting_offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+        np.cumsum([len(self.inverted[key]) for key in keys], out=posting_offsets[1:])
+        postings = np.array(
+            [u for key in keys for u in self.inverted[key]], dtype=np.int64
+        )
+        return {
+            "signature_offsets": signature_offsets,
+            "signatures": flat_signatures,
+            "posting_keys": posting_keys,
+            "posting_offsets": posting_offsets,
+            "postings": postings,
+            "gamma": self.gamma.values,
+        }
+
+    @classmethod
+    def from_buffers(
+        cls,
+        config: SimRankConfig,
+        n: int,
+        buffers: Dict[str, np.ndarray],
+        build_seconds: float = 0.0,
+    ) -> "BufferBackedCandidateIndex":
+        """Reconstruct a queryable index over existing arrays, copying none.
+
+        Returns a :class:`BufferBackedCandidateIndex` whose
+        :meth:`candidates` runs directly on the packed arrays — this is
+        how shard workers answer queries out of a shared-memory segment
+        owned by another process.
+        """
+        try:
+            return BufferBackedCandidateIndex(
+                config=config,
+                n=int(n),
+                signature_offsets=buffers["signature_offsets"],
+                signature_flat=buffers["signatures"],
+                posting_keys=buffers["posting_keys"],
+                posting_offsets=buffers["posting_offsets"],
+                postings=buffers["postings"],
+                gamma=GammaTable(c=config.c, values=buffers["gamma"]),
+                build_seconds=build_seconds,
+            )
+        except KeyError as exc:
+            raise SerializationError(
+                f"index buffer set is missing array {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
 
@@ -231,6 +298,146 @@ class CandidateIndex:
             build_seconds=float(meta.get("build_seconds", 0.0)),
         )
         return index
+
+
+class BufferBackedCandidateIndex(CandidateIndex):
+    """A read-only :class:`CandidateIndex` view over packed flat arrays.
+
+    Built by :meth:`CandidateIndex.from_buffers`, typically over arrays
+    attached from a :class:`multiprocessing.shared_memory` segment that
+    another process owns.  :meth:`candidates` is answered array-natively
+    (binary search over the posting keys, one ``np.unique`` merge) so no
+    per-vertex Python lists need to exist; the list/dict ``signatures``
+    and ``inverted`` attributes materialize lazily — and privately —
+    only if legacy code touches them.
+
+    Mutation (:meth:`replace_signature`) is refused: the backing arrays
+    may be shared read-only across processes.  :meth:`clone` (inherited)
+    materializes an ordinary mutable :class:`CandidateIndex`, which is
+    exactly the clone-then-patch path the dynamic engine needs.
+    """
+
+    _signature_offsets: np.ndarray
+    _signature_flat: np.ndarray
+    _posting_keys: np.ndarray
+    _posting_offsets: np.ndarray
+    _postings: np.ndarray
+
+    def __init__(
+        self,
+        config: SimRankConfig,
+        n: int,
+        signature_offsets: np.ndarray,
+        signature_flat: np.ndarray,
+        posting_keys: np.ndarray,
+        posting_offsets: np.ndarray,
+        postings: np.ndarray,
+        gamma: GammaTable,
+        build_seconds: float = 0.0,
+    ) -> None:
+        if signature_offsets.ndim != 1 or signature_offsets.shape[0] != n + 1:
+            raise SerializationError(
+                f"index buffers are inconsistent: expected {n + 1} signature "
+                f"offsets for n={n}, got shape {signature_offsets.shape}"
+            )
+        if posting_offsets.ndim != 1 or posting_offsets.shape[0] != posting_keys.shape[0] + 1:
+            raise SerializationError(
+                "index buffers are inconsistent: posting_offsets must have "
+                f"{posting_keys.shape[0] + 1} entries, got shape {posting_offsets.shape}"
+            )
+        self.config = config
+        self.n = int(n)
+        self.gamma = gamma
+        self.build_seconds = float(build_seconds)
+        self._signature_offsets = signature_offsets
+        self._signature_flat = signature_flat
+        self._posting_keys = posting_keys
+        self._posting_offsets = posting_offsets
+        self._postings = postings
+
+    def candidates(self, u: int, include_self: bool = False) -> List[int]:
+        """Array-native Algorithm 5 line 2 over the packed postings."""
+        if not 0 <= u < self.n:
+            raise VertexError(u, self.n)
+        offsets = self._signature_offsets
+        signature = self._signature_flat[offsets[u] : offsets[u + 1]]
+        if signature.size == 0:
+            return []
+        keys = self._posting_keys
+        positions = np.searchsorted(keys, signature)
+        parts: List[np.ndarray] = []
+        for position, vertex in zip(positions.tolist(), signature.tolist()):
+            if position < keys.shape[0] and int(keys[position]) == vertex:
+                lo = self._posting_offsets[position]
+                hi = self._posting_offsets[position + 1]
+                parts.append(self._postings[lo:hi])
+        if not parts:
+            return []
+        merged = np.unique(np.concatenate(parts))
+        if not include_self:
+            merged = merged[merged != u]
+        return [int(v) for v in merged.tolist()]
+
+    def replace_signature(self, u: int, new_signature: Sequence[int]) -> None:
+        raise TypeError(
+            "BufferBackedCandidateIndex is read-only (its arrays may be "
+            "shared across processes); clone() it to get a mutable index"
+        )
+
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """The backing arrays themselves — re-export is copy-free."""
+        return {
+            "signature_offsets": self._signature_offsets,
+            "signatures": self._signature_flat,
+            "posting_keys": self._posting_keys,
+            "posting_offsets": self._posting_offsets,
+            "postings": self._postings,
+            "gamma": self.gamma.values,
+        }
+
+    def signature_size_stats(self) -> Dict[str, float]:
+        sizes = np.diff(self._signature_offsets).astype(np.float64)
+        if sizes.size == 0:
+            return {"mean": 0.0, "max": 0.0, "empty_fraction": 1.0}
+        return {
+            "mean": float(sizes.mean()),
+            "max": float(sizes.max()),
+            "empty_fraction": float((sizes == 0).mean()),
+        }
+
+    def nbytes(self) -> int:
+        return int(self._signature_flat.nbytes + self._postings.nbytes) + self.gamma.nbytes()
+
+    def __getattr__(self, name: str) -> Any:
+        # Lazy bridge for legacy list/dict access; query paths never hit it.
+        if name == "signatures":
+            offsets = self._signature_offsets
+            flat = self._signature_flat
+            signatures = [
+                [int(v) for v in flat[offsets[u] : offsets[u + 1]]]
+                for u in range(self.n)
+            ]
+            self.signatures = signatures
+            return signatures
+        if name == "inverted":
+            keys = self._posting_keys
+            offsets = self._posting_offsets
+            inverted = {
+                int(keys[i]): [int(u) for u in self._postings[offsets[i] : offsets[i + 1]]]
+                for i in range(keys.shape[0])
+            }
+            self.inverted = inverted
+            return inverted
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferBackedCandidateIndex(n={self.n}, "
+            f"signature_entries={int(self._signature_flat.shape[0])}, "
+            f"posting_entries={int(self._postings.shape[0])})"
+        )
 
 
 def _validate_index_arrays(

@@ -238,6 +238,48 @@ class FlatSketch:
             np.concatenate(count_rows) if count_rows else np.empty(0, dtype=np.float64)
         )
 
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """The three backing arrays, by reference (no copies).
+
+        Together with :meth:`from_buffers` this is the zero-copy
+        transport form used by :mod:`repro.shard` to place a query
+        sketch (or any precomputed bundle digest) in shared memory.
+        """
+        return {
+            "vertices": self.vertices,
+            "counts": self.counts,
+            "offsets": self.offsets,
+        }
+
+    @classmethod
+    def from_buffers(
+        cls, T: int, R: int, buffers: Dict[str, np.ndarray]
+    ) -> "FlatSketch":
+        """Reconstruct a sketch over existing arrays, copying none.
+
+        Bypasses ``__init__`` (which encodes from a walk matrix) and
+        binds the slots directly to the given arrays, so the result
+        shares memory with ``buffers``.
+        """
+        try:
+            vertices = buffers["vertices"]
+            counts = buffers["counts"]
+            offsets = buffers["offsets"]
+        except KeyError as exc:
+            raise ValueError(f"sketch buffer set is missing array {exc}") from exc
+        if offsets.ndim != 1 or offsets.shape[0] != int(T) + 1:
+            raise ValueError(
+                f"sketch offsets must have T + 1 = {int(T) + 1} entries, "
+                f"got shape {offsets.shape}"
+            )
+        sketch = cls.__new__(cls)
+        sketch.T = int(T)
+        sketch.R = int(R)
+        sketch.vertices = vertices
+        sketch.counts = counts
+        sketch.offsets = offsets
+        return sketch
+
     def row(self, t: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(vertices, counts)`` views for step t (sorted, distinct)."""
         lo, hi = int(self.offsets[t]), int(self.offsets[t + 1])

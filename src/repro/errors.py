@@ -60,3 +60,16 @@ class ServerOverloadedError(ServeError):
 
 class DeadlineExceededError(ServeError):
     """The request's deadline passed before the server could execute it."""
+
+
+class ShardError(ReproError):
+    """A scatter-gather operation against a :class:`repro.shard.ShardPool`
+    failed (a worker replied with an error, or the pool is closed)."""
+
+
+class ShardCrashError(ShardError):
+    """A shard worker process died while requests were outstanding."""
+
+
+class ShardTimeoutError(ShardError):
+    """A shard worker did not reply within the pool's gather timeout."""

@@ -24,7 +24,7 @@ are zero; the corresponding walk terminates, see
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -217,6 +217,45 @@ class CSRGraph:
             + self._in_indptr.nbytes
             + self._in_indices.nbytes
         )
+
+    # ------------------------------------------------------------------
+    # Zero-copy buffer export / attach
+    # ------------------------------------------------------------------
+
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """The four adjacency arrays as read-only views (no copies).
+
+        Together with :meth:`from_buffers` this is the shared-memory
+        transport contract of :mod:`repro.shard`: an exporter lays these
+        arrays into one segment and a worker reconstructs the graph over
+        attached views without duplicating the O(n + m) payload.
+        """
+        return {
+            "out_indptr": self._out_indptr,
+            "out_indices": self._out_indices,
+            "in_indptr": self._in_indptr,
+            "in_indices": self._in_indices,
+        }
+
+    @classmethod
+    def from_buffers(cls, n: int, buffers: Dict[str, np.ndarray]) -> "CSRGraph":
+        """Rebuild a graph over existing arrays without copying them.
+
+        The arrays must be C-contiguous int64 (what :meth:`to_buffers`
+        and the shared-memory attach path produce); the constructor's
+        ``ascontiguousarray`` then aliases rather than copies, so the
+        result shares memory with ``buffers`` — the zero-copy attach.
+        """
+        try:
+            return cls(
+                int(n),
+                buffers["out_indptr"],
+                buffers["out_indices"],
+                buffers["in_indptr"],
+                buffers["in_indices"],
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"graph buffer set is missing array {exc}") from exc
 
     # ------------------------------------------------------------------
     # Binary serialization

@@ -72,6 +72,18 @@ SERVE_BATCH_SIZE = ("serve", "batch_size")  # histogram
 SERVE_SWAPS = ("serve", "engine_swaps_total")
 SERVE_REQUEST_LATENCY = ("serve", "request_latency_seconds")  # histogram
 
+# Sharded backend (repro.shard).
+SHARD_QUERIES = ("shard", "queries_total")
+SHARD_FANOUT = ("shard", "fanout")  # histogram: workers scattered per query
+SHARD_SCATTER_LATENCY = ("shard", "scatter_latency_seconds")  # histogram
+SHARD_EPOCH = ("shard", "epoch")  # gauge: pool's current published epoch
+SHARD_WORKERS_MIN_EPOCH = ("shard", "workers_min_epoch")  # gauge
+SHARD_WORKER_CRASHES = ("shard", "worker_crashes_total")
+
+# Derived at export time: how far the slowest worker trails the
+# published epoch (0 in steady state; >0 flags a stuck/restarting shard).
+SHARD_EPOCH_LAG = ("shard", "epoch_lag")
+
 #: key -> (metric kind, one-line meaning); drives docs and sanity tests.
 CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     QUERY_CANDIDATES: ("counter", "candidates enumerated across all queries"),
@@ -111,6 +123,13 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     SERVE_BATCH_SIZE: ("histogram", "top-k requests grouped per micro-batch"),
     SERVE_SWAPS: ("counter", "zero-downtime engine snapshot swaps published"),
     SERVE_REQUEST_LATENCY: ("histogram", "queue + execution latency per served request"),
+    SHARD_QUERIES: ("counter", "scatter-gather top-k queries answered by the shard pool"),
+    SHARD_FANOUT: ("histogram", "shard workers scattered to per query"),
+    SHARD_SCATTER_LATENCY: ("histogram", "scatter + gather + replay-merge latency per query"),
+    SHARD_EPOCH: ("gauge", "current published shard-pool epoch"),
+    SHARD_WORKERS_MIN_EPOCH: ("gauge", "lowest epoch any live shard worker is serving"),
+    SHARD_WORKER_CRASHES: ("counter", "shard worker processes that died unexpectedly"),
+    SHARD_EPOCH_LAG: ("gauge", "epoch - workers_min_epoch, derived at export time"),
 }
 
 

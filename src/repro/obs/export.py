@@ -166,24 +166,37 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 def with_derived(snapshot: Snapshot) -> Snapshot:
-    """A copy of ``snapshot`` with ratio gauges computed from its counters.
+    """A copy of ``snapshot`` with derived gauges computed at export time.
 
-    Currently one ratio: ``query.prune_rate`` =
-    ``query.pruned_by_bound_total / query.candidates_total`` — the
-    ROADMAP signal for an adaptive P/Q tuner, surfaced in the
-    ``--metrics summary`` table and on the serve ``/metrics`` endpoint
-    so consumers never recompute it from raw counters.  Emitted only
-    once at least one candidate was enumerated.
+    - ``query.prune_rate`` = ``query.pruned_by_bound_total /
+      query.candidates_total`` — the ROADMAP signal for an adaptive P/Q
+      tuner; emitted only once at least one candidate was enumerated.
+    - ``shard.epoch_lag`` = ``shard.epoch - shard.workers_min_epoch`` —
+      how far the slowest shard worker trails the published epoch (0 in
+      steady state); emitted whenever the shard gauges are present.
+
+    Surfaced in the ``--metrics summary`` table and on the serve
+    ``/metrics`` endpoint so consumers never recompute ratios from raw
+    values.  Returns ``snapshot`` unchanged when nothing derivable is
+    present.
     """
     counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    new_gauges: Dict[str, float] = {}
     candidates = counters.get("query.candidates_total", 0.0)
-    if candidates <= 0:
+    if candidates > 0:
+        new_gauges["query.prune_rate"] = (
+            counters.get("query.pruned_by_bound_total", 0.0) / candidates
+        )
+    if "shard.epoch" in gauges and "shard.workers_min_epoch" in gauges:
+        new_gauges["shard.epoch_lag"] = (
+            gauges["shard.epoch"] - gauges["shard.workers_min_epoch"]
+        )
+    if not new_gauges:
         return snapshot
     derived = dict(snapshot)
-    derived["gauges"] = dict(snapshot.get("gauges", {}))
-    derived["gauges"]["query.prune_rate"] = (
-        counters.get("query.pruned_by_bound_total", 0.0) / candidates
-    )
+    derived["gauges"] = dict(gauges)
+    derived["gauges"].update(new_gauges)
     return derived
 
 

@@ -65,6 +65,9 @@ __all__ = [
     "record_serve_batch",
     "record_serve_swap",
     "set_serve_queue_depth",
+    "record_shard_query",
+    "record_shard_crash",
+    "set_shard_epochs",
 ]
 
 
@@ -307,3 +310,33 @@ def record_serve_swap() -> None:
 def set_serve_queue_depth(depth: int) -> None:
     """Current admission-queue occupancy."""
     get_registry().gauge(*catalog.SERVE_QUEUE_DEPTH).set(depth)
+
+
+# ---------------------------------------------------------------------------
+# Sharded-backend hooks (repro.shard)
+# ---------------------------------------------------------------------------
+
+def record_shard_query(fanout: int, seconds: float) -> None:
+    """One scatter-gather query: workers fanned to + end-to-end latency."""
+    registry = get_registry()
+    registry.counter(*catalog.SHARD_QUERIES).inc()
+    registry.histogram(
+        *catalog.SHARD_FANOUT, buckets=DEFAULT_SIZE_BUCKETS
+    ).observe(fanout)
+    registry.histogram(*catalog.SHARD_SCATTER_LATENCY).observe(seconds)
+
+
+def record_shard_crash() -> None:
+    """A shard worker process died outside of an orderly shutdown."""
+    get_registry().counter(*catalog.SHARD_WORKER_CRASHES).inc()
+
+
+def set_shard_epochs(current: int, workers_min: int) -> None:
+    """Published pool epoch and the slowest live worker's epoch.
+
+    The exporters derive ``shard_epoch_lag = current - workers_min``
+    from these two gauges (see :func:`repro.obs.export.with_derived`).
+    """
+    registry = get_registry()
+    registry.gauge(*catalog.SHARD_EPOCH).set(current)
+    registry.gauge(*catalog.SHARD_WORKERS_MIN_EPOCH).set(workers_min)

@@ -144,5 +144,19 @@ class EngineHandle:
         self._dynamic = None
         self._listener = None
 
+    def shard_status(self) -> Optional[list]:
+        """Per-shard health rows, or None for a single-process handle.
+
+        Overridden by :class:`repro.shard.lifecycle.ShardHandle`; kept
+        here so the server can ask any handle uniformly.
+        """
+        return None
+
+    def close(self) -> None:
+        """Release everything the handle owns (just detach here;
+        :class:`~repro.shard.lifecycle.ShardHandle` also stops its
+        worker pool)."""
+        self.detach()
+
     def __repr__(self) -> str:
         return f"EngineHandle(epoch={self.epoch}, dynamic={self._dynamic is not None})"

@@ -65,6 +65,7 @@ class ServeConfig:
     workers: int = 4  # executor threads answering queries
     cache_capacity: Optional[int] = 1024  # per-snapshot LRU; None/0 = no cache
     default_timeout: Optional[float] = None  # per-request deadline (seconds)
+    shards: int = 0  # >0 = scatter-gather across that many worker processes
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -81,6 +82,8 @@ class ServeConfig:
             raise ConfigError(f"batch_window must be >= 0, got {self.batch_window}")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
 
 
 class SimRankServer:
@@ -99,13 +102,29 @@ class SimRankServer:
         self.config = config or ServeConfig()
         if isinstance(engine, DynamicSimRankEngine):
             self.dynamic: Optional[DynamicSimRankEngine] = engine
-            self.handle = EngineHandle.from_dynamic(
-                engine, cache_capacity=self.config.cache_capacity
-            )
+            base: SimRankEngine = engine.engine
         else:
             self.dynamic = None
+            base = engine
+        if self.config.shards > 0:
+            # Imported lazily: the shard package drags in multiprocessing
+            # machinery the single-process server never needs.
+            from repro.shard.lifecycle import ShardHandle
+
+            self.handle: EngineHandle = ShardHandle(
+                base,
+                n_shards=self.config.shards,
+                cache_capacity=self.config.cache_capacity,
+            )
+            if self.dynamic is not None:
+                self.handle.attach(self.dynamic)
+        elif self.dynamic is not None:
+            self.handle = EngineHandle.from_dynamic(
+                self.dynamic, cache_capacity=self.config.cache_capacity
+            )
+        else:
             self.handle = EngineHandle(
-                engine, cache_capacity=self.config.cache_capacity
+                base, cache_capacity=self.config.cache_capacity
             )
         self.registry = MetricsRegistry()
         self.port: Optional[int] = None
@@ -193,7 +212,7 @@ class SimRankServer:
         waiting = {t for t in self._conn_tasks if t is not current}
         if waiting:
             await asyncio.wait(waiting, timeout=5.0)
-        self.handle.detach()
+        self.handle.close()
         obs.pop_registry(self.registry)
         if not self._obs_was_enabled:
             obs.disable()
@@ -359,7 +378,7 @@ class SimRankServer:
         """The ``/healthz`` payload."""
         latency = self.registry.get("serve", "request_latency_seconds")
         snapshot = self.handle.current()
-        return {
+        payload: protocol.Message = {
             "status": "ok" if not self._stopping else "stopping",
             "epoch": snapshot.epoch,
             "vertices": snapshot.engine.graph.n,
@@ -372,6 +391,10 @@ class SimRankServer:
                 latency.quantile(0.95) * 1000.0 if latency is not None else 0.0
             ),
         }
+        shard_rows = self.handle.shard_status()
+        if shard_rows is not None:
+            payload["shards"] = shard_rows
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus exposition of the server's registry (+ derived gauges)."""

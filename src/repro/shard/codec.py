@@ -1,0 +1,113 @@
+"""Engine ⇄ flat-array codec for the shared-memory transport.
+
+``engine_to_arrays`` flattens a preprocessed :class:`SimRankEngine`
+into a named dict of numpy arrays (graph CSR, packed candidate index,
+γ table, diagonal) plus a small picklable meta dict; ``engine_from_arrays``
+rebuilds a queryable engine over those arrays **without copying them** —
+the graph aliases the views directly and the index is a
+:class:`~repro.core.index.BufferBackedCandidateIndex`.  The meta dict
+mirrors the config payload of :meth:`CandidateIndex.save`, so the two
+serialization paths cannot drift apart silently (both go through
+:func:`config_to_dict`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.core.config import SimRankConfig
+from repro.core.engine import SimRankEngine
+from repro.core.index import CandidateIndex
+from repro.errors import ShardError
+from repro.graph.csr import CSRGraph
+
+
+__all__ = ["config_to_dict", "engine_to_arrays", "engine_from_arrays"]
+
+_GRAPH_PREFIX = "graph."
+_INDEX_PREFIX = "index."
+
+
+def config_to_dict(config: SimRankConfig) -> Dict[str, Any]:
+    """The full constructor-kwargs form of a config (JSON/pickle safe)."""
+    return {
+        "c": config.c,
+        "T": config.T,
+        "r_pair": config.r_pair,
+        "r_screen": config.r_screen,
+        "r_alphabeta": config.r_alphabeta,
+        "r_gamma": config.r_gamma,
+        "index_walks": config.index_walks,
+        "index_checks": config.index_checks,
+        "k": config.k,
+        "theta": config.theta,
+        "d_max": config.d_max,
+        "candidate_rule": config.candidate_rule,
+        "fallback_ball_radius": config.fallback_ball_radius,
+        "screen_slack": config.screen_slack,
+        "kernel": config.kernel,
+    }
+
+
+def engine_to_arrays(
+    engine: SimRankEngine, seed: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Flatten a preprocessed engine into (arrays, meta).
+
+    ``seed`` is the canonical integer base seed workers must derive
+    query streams from (the pool fixes it; see
+    :meth:`repro.shard.pool.ShardPool.publish`).
+    """
+    if not engine.is_preprocessed:
+        raise ShardError("engine must be preprocessed before sharding")
+    arrays: Dict[str, np.ndarray] = {}
+    for key, array in engine.graph.to_buffers().items():
+        arrays[_GRAPH_PREFIX + key] = array
+    for key, array in engine.index.to_buffers().items():
+        arrays[_INDEX_PREFIX + key] = array
+    arrays["diagonal"] = engine.diagonal
+    meta = {
+        "n": engine.graph.n,
+        "seed": int(seed),
+        "config": config_to_dict(engine.config),
+        "build_seconds": engine.index.build_seconds,
+    }
+    return arrays, meta
+
+
+def engine_from_arrays(
+    arrays: Dict[str, np.ndarray], meta: Dict[str, Any]
+) -> SimRankEngine:
+    """Rebuild a queryable engine over existing arrays (zero-copy).
+
+    The result answers ``top_k`` / ``single_pair`` bit-identically to
+    the exporting engine (same config, same seed, same index payload);
+    only the diagonal vector is copied (``resolve_diagonal`` copies
+    defensively — n floats, negligible).
+    """
+    try:
+        n = int(meta["n"])
+        seed = meta["seed"]
+        config = SimRankConfig(**meta["config"])
+        build_seconds = float(meta.get("build_seconds", 0.0))
+    except KeyError as exc:
+        raise ShardError(f"engine meta is missing field {exc}") from exc
+    graph_buffers = {
+        key[len(_GRAPH_PREFIX):]: array
+        for key, array in arrays.items()
+        if key.startswith(_GRAPH_PREFIX)
+    }
+    index_buffers = {
+        key[len(_INDEX_PREFIX):]: array
+        for key, array in arrays.items()
+        if key.startswith(_INDEX_PREFIX)
+    }
+    graph = CSRGraph.from_buffers(n, graph_buffers)
+    index = CandidateIndex.from_buffers(
+        config, n, index_buffers, build_seconds=build_seconds
+    )
+    engine = SimRankEngine(graph, config, diagonal=arrays["diagonal"], seed=seed)
+    engine._index = index
+    return engine

@@ -1,0 +1,222 @@
+"""One shared-memory segment per epoch, holding all engine arrays.
+
+:class:`SharedArrayBundle` packs a named dict of numpy arrays into a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment
+(64-byte-aligned offsets, one `memcpy` per array at export) and hands
+workers a picklable manifest from which they attach **views** — no
+per-worker copy of the O(n + m) payload ever exists.
+
+Lifetime rules (enforced, not just documented):
+
+- attached views are read-only; a worker cannot corrupt the segment;
+- :meth:`close` checks — by refcount — that no external reference to a
+  view survives before unmapping.  numpy releases its ``Py_buffer``
+  export right after construction, so ``mmap.close()`` would happily
+  unmap under a live view and the next read would segfault; the
+  refcount check is what actually catches the "shared-memory handle
+  outliving its epoch" bug the runtime sanitizer hunts.  Under
+  ``REPRO_SANITIZE`` a caught escape raises a
+  :class:`~repro.analysis.sanitizer.errors.SanitizerError` naming the
+  segment; in production the segment is parked in a process-lifetime
+  registry instead (never unmapped, so the escaped view stays valid —
+  a bounded leak, not a crash).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.utils.sync import sanitizer_active
+
+
+__all__ = ["SharedArrayBundle"]
+
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class SharedArrayBundle:
+    """A named set of numpy arrays living in one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: Optional[shared_memory.SharedMemory],
+        arrays: Dict[str, np.ndarray],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.arrays = arrays
+        self.leaked = False
+
+    # ------------------------------------------------------------------
+    # Export (owner side)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def export(
+        cls, arrays: Dict[str, np.ndarray], name_hint: str = "repro-shard"
+    ) -> "SharedArrayBundle":
+        """Copy ``arrays`` into a fresh segment owned by the caller.
+
+        The returned bundle's ``arrays`` are views into the segment (the
+        caller's originals are untouched); :meth:`manifest` describes
+        the layout for :meth:`attach` in another process.
+        """
+        layout: List[Tuple[str, np.ndarray, int]] = []
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = _aligned(offset)
+            layout.append((key, array, offset))
+            offset += array.nbytes
+        total = max(1, offset)
+        shm = shared_memory.SharedMemory(
+            create=True, size=total, name=_unique_name(name_hint)
+        )
+        views: Dict[str, np.ndarray] = {}
+        for key, array, start in layout:
+            view: np.ndarray = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=start
+            )
+            view[...] = array
+            view.setflags(write=False)
+            views[key] = view
+        bundle = cls(shm, views, owner=True)
+        bundle._layout = [
+            (key, str(array.dtype), list(array.shape), start)
+            for key, array, start in layout
+        ]
+        return bundle
+
+    def manifest(self) -> Dict[str, Any]:
+        """Picklable attach instructions: segment name + array layout."""
+        if self._shm is None:
+            raise ShardError("bundle is closed; no manifest available")
+        if not self._owner:
+            raise ShardError("only the exporting side can produce a manifest")
+        return {"segment": self._shm.name, "layout": list(self._layout)}
+
+    # ------------------------------------------------------------------
+    # Attach (worker side)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, manifest: Dict[str, Any]) -> "SharedArrayBundle":
+        """Map an exported segment and rebuild read-only array views."""
+        try:
+            segment = manifest["segment"]
+            layout = manifest["layout"]
+        except KeyError as exc:
+            raise ShardError(f"bundle manifest is missing field {exc}") from exc
+        # Pre-3.13 the resource tracker registers *attached* segments too
+        # and would unlink them when this process exits, yanking the
+        # memory out from under every other attacher; worse, spawn
+        # children share the parent's tracker process, so a child-side
+        # unregister would steal the owner's registration (bpo-39959).
+        # Only the exporter may own the name: suppress registration for
+        # the duration of the attach.
+        original_register = resource_tracker.register
+
+        def _skip_shared_memory(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=segment)
+        except FileNotFoundError as exc:
+            raise ShardError(f"shared segment {segment!r} does not exist") from exc
+        finally:
+            resource_tracker.register = original_register
+        views: Dict[str, np.ndarray] = {}
+        for key, dtype, shape, start in layout:
+            view = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=start
+            )
+            view.setflags(write=False)
+            views[key] = view
+        return cls(shm, views, owner=False)
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (owner also unlinks the segment).
+
+        Refuses — loudly under the sanitizer — if numpy views into the
+        segment are still referenced somewhere: a handle outliving its
+        epoch is exactly the leak the epoch protocol exists to prevent.
+        Unmapping under a live view would not fail, it would make the
+        next read a segfault, so escaped segments are instead parked
+        (mapped forever) and flagged via :attr:`leaked`.
+        """
+        if self._shm is None:
+            return
+        escaped: List[str] = []
+        for key in list(self.arrays):
+            view = self.arrays[key]
+            # Expected references: the ``arrays`` dict, the local
+            # ``view``, and getrefcount's own argument.  Anything above
+            # three means someone outside still holds the view.
+            if sys.getrefcount(view) > 3:
+                escaped.append(key)
+            del view
+        if escaped:
+            if sanitizer_active():
+                from repro.analysis.sanitizer.errors import SanitizerError
+
+                raise SanitizerError(
+                    f"shared segment {self._shm.name!r} closed while numpy "
+                    f"views into it are still alive ({', '.join(escaped)}) "
+                    "— a shard handle outlived its epoch"
+                )
+            # Production: park the segment so the escaped views stay
+            # valid for the rest of the process; still unlink so the
+            # name is reclaimed.
+            self.leaked = True
+            _LEAKED_SEGMENTS.append(self._shm)
+        self.arrays.clear()
+        if not self.leaked:
+            self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def nbytes(self) -> int:
+        """Total payload bytes currently mapped."""
+        return sum(int(a.nbytes) for a in self.arrays.values())
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self.arrays)} arrays"
+        role = "owner" if self._owner else "attached"
+        return f"SharedArrayBundle({role}, {state})"
+
+
+# Segments whose views escaped their epoch: kept mapped for the rest of
+# the process so the escaped views never dangle (see ``close``).
+_LEAKED_SEGMENTS: List[shared_memory.SharedMemory] = []
+
+_counter = [0]
+
+
+def _unique_name(hint: str) -> str:
+    _counter[0] += 1
+    return f"{hint}-{os.getpid()}-{_counter[0]}"

@@ -1,0 +1,456 @@
+"""`ShardPool` — worker processes, epoch lifecycle, scatter-gather.
+
+One pool owns N spawned workers (spawn, not fork: the parent runs a
+threaded server) connected by duplex pipes.  Each *publish* exports the
+engine's arrays into a fresh shared-memory segment, broadcasts the
+manifest, and waits for every worker to attach before the epoch becomes
+current — so a query never races a half-loaded epoch.  Workers retain
+the previous epoch too; a published epoch E is *released* (views
+dropped, segment unlinked) only once E+2 exists and every in-flight
+query pinned to E has drained.  That is the zero-downtime contract:
+swaps and flushes never invalidate a snapshot someone is reading.
+
+Failure policy: a dead worker fails its pending queries with
+:class:`ShardCrashError` immediately (the per-worker reader thread sees
+EOF on the pipe) and every later query fails fast — a clean error,
+never a hang, and never a silently *partial* top-k, which would break
+the bit-identity contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.engine import SimRankEngine
+from repro.core.query import TopKResult
+from repro.errors import (
+    ShardCrashError,
+    ShardError,
+    ShardTimeoutError,
+    VertexError,
+)
+from repro.obs import instrument as obs
+from repro.shard.codec import engine_to_arrays
+from repro.shard.memory import SharedArrayBundle
+from repro.shard.merge import replay_merge
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import worker_main
+from repro.utils.sync import make_lock
+
+
+__all__ = ["ShardPool"]
+
+
+class _Worker:
+    """Parent-side state of one shard worker process."""
+
+    def __init__(self, pool: "ShardPool", shard_id: int) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self.pool = pool
+        self.shard_id = shard_id
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(child_conn, shard_id),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.alive = True
+        self.pending: Dict[int, Future] = {}  # locked-by: _lock
+        self._lock = make_lock(f"shard._Worker[{shard_id}]._lock")
+        self.reader = threading.Thread(
+            target=self._read_loop, name=f"repro-shard-reader-{shard_id}", daemon=True
+        )
+        self.reader.start()
+
+    def request(self, msg: Dict[str, Any]) -> Future:
+        """Send one message; the returned future resolves with the reply."""
+        future: Future = Future()
+        msg_id = next(self.pool._ids)
+        msg = dict(msg, id=msg_id)
+        with self._lock:
+            if not self.alive:
+                future.set_exception(
+                    ShardCrashError(f"shard {self.shard_id} worker is dead")
+                )
+                return future
+            self.pending[msg_id] = future
+            try:
+                self.conn.send(msg)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                self.pending.pop(msg_id, None)
+                future.set_exception(
+                    ShardCrashError(f"shard {self.shard_id} pipe broken: {exc}")
+                )
+        return future
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                reply = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            future = None
+            with self._lock:
+                future = self.pending.pop(reply.get("id", -1), None)
+            if future is None:
+                continue
+            if reply.get("ok"):
+                future.set_result(reply.get("result"))
+            else:
+                future.set_exception(
+                    ShardError(f"shard {self.shard_id}: {reply.get('error')}")
+                )
+        # Pipe is gone: clean shutdown or a crash.
+        crashed = False
+        with self._lock:
+            if self.alive and not self.pool._closing:
+                crashed = True
+            self.alive = False
+            drained = list(self.pending.values())
+            self.pending.clear()
+        for future in drained:
+            future.set_exception(
+                ShardCrashError(
+                    f"shard {self.shard_id} worker died with requests in flight"
+                )
+            )
+        if crashed and obs.OBS.enabled:
+            obs.record_shard_crash()
+
+
+class ShardPool:
+    """A pool of shard workers serving one engine, epoch by epoch.
+
+    ``ShardPool(engine, n_shards)`` spawns the workers and publishes the
+    engine as epoch 0; ``publish(new_engine)`` rolls all workers to a
+    new epoch without dropping a query.  Requires an integer (or None)
+    engine seed, like :meth:`SimRankEngine.top_k_all_parallel` — with
+    ``None`` the pool fixes a random integer seed at publish time so all
+    shards still derive identical streams (answers are then
+    deterministic per pool, though not reproducible across runs).
+    """
+
+    def __init__(
+        self,
+        engine: SimRankEngine,
+        n_shards: int,
+        gather_timeout: float = 60.0,
+    ) -> None:
+        if n_shards < 1:
+            raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+        if engine.seed is not None and not isinstance(engine.seed, int):
+            raise ValueError("ShardPool needs an integer (or None) engine seed")
+        if not engine.is_preprocessed:
+            engine.preprocess()
+        self.n_shards = n_shards
+        self.gather_timeout = gather_timeout
+        self._fallback_seed = int.from_bytes(os.urandom(4), "little")
+        self._ids = itertools.count(1)
+        self._closing = False
+        self._lock = make_lock("ShardPool._lock")
+        self._epochs: Dict[int, Dict[str, Any]] = {}  # locked-by: _lock
+        self._current_epoch: Optional[int] = None  # locked-by: _lock
+        self.engine = engine  # the latest published (local) engine
+        self.plan = ShardPlan(n=engine.graph.n, n_shards=n_shards)
+        self.workers = [_Worker(self, i) for i in range(n_shards)]
+        try:
+            self.publish(engine, epoch=0)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            if self._current_epoch is None:
+                raise ShardError("pool has no published epoch")
+            return self._current_epoch
+
+    def publish(self, engine: SimRankEngine, epoch: Optional[int] = None) -> int:
+        """Export ``engine`` to shared memory and roll every worker to it.
+
+        Blocks until all workers have attached; only then does the new
+        epoch become current.  Older epochs are swept (released on the
+        workers, unlinked here) once they fall two generations behind
+        and their in-flight queries drain.
+        """
+        if self._closing:
+            raise ShardError("pool is closed")
+        if engine.seed is not None and not isinstance(engine.seed, int):
+            raise ValueError("ShardPool needs an integer (or None) engine seed")
+        seed = engine.seed if isinstance(engine.seed, int) else self._fallback_seed
+        with self._lock:
+            if epoch is None:
+                epoch = 0 if self._current_epoch is None else self._current_epoch + 1
+            if epoch in self._epochs:
+                raise ShardError(f"epoch {epoch} is already published")
+        arrays, meta = engine_to_arrays(engine, seed)
+        bundle = SharedArrayBundle.export(arrays)
+        plan = ShardPlan(n=engine.graph.n, n_shards=self.n_shards)
+        msg = {
+            "op": "load_epoch",
+            "epoch": epoch,
+            "manifest": bundle.manifest(),
+            "meta": meta,
+            "plan": plan.to_manifest(),
+        }
+        try:
+            self._gather([w.request(msg) for w in self.workers], "load_epoch")
+        except ShardError:
+            bundle.close()
+            raise
+        with self._lock:
+            self._epochs[epoch] = {"bundle": bundle, "inflight": 0, "plan": plan}
+            self._current_epoch = epoch
+            self.engine = engine
+            self.plan = plan
+        self._sweep_releases()
+        self._record_epoch_gauges()
+        return epoch
+
+    def _pin(self, epoch: Optional[int]) -> int:
+        with self._lock:
+            if self._current_epoch is None:
+                raise ShardError("pool has no published epoch")
+            pinned = self._current_epoch if epoch is None else epoch
+            state = self._epochs.get(pinned)
+            if state is None:
+                raise ShardError(
+                    f"epoch {pinned} is no longer resident (current is "
+                    f"{self._current_epoch}); the snapshot outlived the "
+                    "pool's two-epoch retention window"
+                )
+            state["inflight"] += 1
+            return pinned
+
+    def _unpin(self, epoch: int) -> None:
+        with self._lock:
+            state = self._epochs.get(epoch)
+            if state is not None:
+                state["inflight"] -= 1
+        self._sweep_releases()
+
+    def _sweep_releases(self) -> None:
+        """Release every epoch ≥2 generations old with no in-flight pins."""
+        to_release: List[int] = []
+        with self._lock:
+            if self._current_epoch is None:
+                return
+            for e, state in list(self._epochs.items()):
+                if e <= self._current_epoch - 2 and state["inflight"] == 0:
+                    to_release.append(e)
+        for e in to_release:
+            with self._lock:
+                state = self._epochs.pop(e, None)
+            if state is None:
+                continue
+            futures = [
+                w.request({"op": "release_epoch", "epoch": e})
+                for w in self.workers
+                if w.alive
+            ]
+            try:
+                self._gather(futures, "release_epoch")
+            finally:
+                state["bundle"].close()
+
+    # ------------------------------------------------------------------
+    # Query plane
+    # ------------------------------------------------------------------
+
+    def top_k(
+        self,
+        u: int,
+        k: Optional[int] = None,
+        epoch: Optional[int] = None,
+        use_l1: bool = True,
+        use_l2: bool = True,
+        adaptive: bool = True,
+        extra_candidates: Optional[Sequence[int]] = None,
+        timings_out: Optional[Dict[str, Any]] = None,
+    ) -> TopKResult:
+        """Scatter a top-k query to every shard and replay-merge the answer.
+
+        Bit-identical to ``engine.top_k(u, k)`` on the published engine
+        (same integer seed), including the stats counters; see
+        :mod:`repro.shard.merge`.
+        """
+        start = time.perf_counter()
+        n = self.plan.n
+        if not 0 <= int(u) < n:
+            raise VertexError(int(u), n)
+        resolved_k = k if k is not None else self.engine.config.k
+        if resolved_k < 1:
+            raise ValueError(f"k must be >= 1, got {resolved_k}")
+        pinned = self._pin(epoch)
+        try:
+            msg = {
+                "op": "query",
+                "epoch": pinned,
+                "u": int(u),
+                "k": resolved_k,
+                "use_l1": use_l1,
+                "use_l2": use_l2,
+                "adaptive": adaptive,
+                "extra_candidates": (
+                    list(extra_candidates) if extra_candidates is not None else None
+                ),
+            }
+            results = self._gather(
+                [w.request(msg) for w in self.workers], "query"
+            )
+            merged = replay_merge(
+                int(u),
+                resolved_k,
+                self.engine.config,
+                results,
+                use_l1=use_l1,
+                adaptive=adaptive,
+            )
+        finally:
+            self._unpin(pinned)
+        elapsed = time.perf_counter() - start
+        merged.stats.elapsed_seconds = elapsed
+        if timings_out is not None:
+            timings_out["wall_seconds"] = elapsed
+            timings_out["busy_seconds"] = [
+                float(r["busy_seconds"]) for r in results
+            ]
+        if obs.OBS.enabled:
+            obs.record_query(merged.stats)
+            obs.record_shard_query(fanout=len(self.workers), seconds=elapsed)
+        return merged
+
+    def single_pair(self, u: int, v: int, epoch: Optional[int] = None) -> float:
+        """Route ``s(u, v)`` to the shard that owns ``u``."""
+        n = self.plan.n
+        for vertex in (u, v):
+            if not 0 <= int(vertex) < n:
+                raise VertexError(int(vertex), n)
+        if int(u) == int(v):
+            return 1.0
+        pinned = self._pin(epoch)
+        try:
+            worker = self.workers[self.plan.shard_of(int(u))]
+            future = worker.request(
+                {"op": "pair", "epoch": pinned, "u": int(u), "v": int(v)}
+            )
+            (value,) = self._gather([future], "pair")
+        finally:
+            self._unpin(pinned)
+        return float(value)
+
+    # ------------------------------------------------------------------
+    # Health / shutdown
+    # ------------------------------------------------------------------
+
+    def health(self, timeout: float = 2.0) -> List[Dict[str, Any]]:
+        """Liveness + loaded epochs per shard (never raises for a dead one)."""
+        rows: List[Dict[str, Any]] = []
+        futures = []
+        for w in self.workers:
+            futures.append(w.request({"op": "health"}) if w.alive else None)
+        for w, future in zip(self.workers, futures):
+            row: Dict[str, Any] = {"shard": w.shard_id, "alive": False, "epoch": None}
+            if future is not None:
+                try:
+                    info = future.result(timeout=timeout)
+                    epochs = info.get("epochs", [])
+                    row["alive"] = True
+                    row["epoch"] = max(epochs) if epochs else None
+                except Exception:
+                    pass
+            rows.append(row)
+        self._record_epoch_gauges(rows)
+        return rows
+
+    def _record_epoch_gauges(
+        self, rows: Optional[List[Dict[str, Any]]] = None
+    ) -> None:
+        if not obs.OBS.enabled:
+            return
+        with self._lock:
+            current = self._current_epoch
+        if current is None:
+            return
+        if rows is None:
+            # Cheap local view: a live worker is always at the current
+            # epoch once publish() returned (publish blocks on acks).
+            worker_epochs = [current for w in self.workers if w.alive]
+        else:
+            worker_epochs = [
+                int(r["epoch"]) for r in rows if r["alive"] and r["epoch"] is not None
+            ]
+        floor = min(worker_epochs) if worker_epochs else current
+        obs.set_shard_epochs(current=current, workers_min=floor)
+
+    def close(self) -> None:
+        """Stop every worker and unlink every segment (idempotent)."""
+        if self._closing:
+            return
+        self._closing = True
+        stop_futures = [
+            w.request({"op": "stop"}) for w in self.workers if w.alive
+        ]
+        for future in stop_futures:
+            try:
+                future.result(timeout=5.0)
+            except Exception:
+                pass
+        for w in self.workers:
+            w.process.join(timeout=5.0)
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=5.0)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+        with self._lock:
+            states = list(self._epochs.values())
+            self._epochs.clear()
+        for state in states:
+            state["bundle"].close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ShardPool(n_shards={self.n_shards}, "
+                f"epoch={self._current_epoch}, closed={self._closing})"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _gather(self, futures: Sequence[Future], what: str) -> List[Any]:
+        """Wait for all futures under one deadline; first error wins."""
+        deadline = time.monotonic() + self.gather_timeout
+        results: List[Any] = []
+        for future in futures:
+            remaining = deadline - time.monotonic()
+            try:
+                results.append(future.result(timeout=max(0.0, remaining)))
+            except (_FutureTimeoutError, TimeoutError):
+                raise ShardTimeoutError(
+                    f"{what} did not complete within {self.gather_timeout:.1f}s"
+                ) from None
+        return results

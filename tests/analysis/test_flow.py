@@ -368,6 +368,46 @@ def test_r8_clone_path_is_clean(lint_tree):
     assert lint_tree({"serve/updates.py": blessed}, only=["R8"], flow=True) == []
 
 
+def test_r8_attached_bundle_is_a_source(lint_tree):
+    # The shard-boundary extension: a shared-memory attach maps another
+    # process's epoch, so mutating what it returns is an escape too.
+    shard = """
+        def scrub(bundle):
+            bundle.arrays.clear()
+
+
+        def worker_load(manifest):
+            bundle = SharedArrayBundle.attach(manifest)
+            scrub(bundle)
+    """
+    findings = lint_tree({"shard/worker.py": shard}, only=["R8"], flow=True)
+    assert rules_of(findings) == ["R8"]
+    assert "scrub" in findings[0].message
+
+
+def test_r8_shared_bundle_annotation_taints_param(lint_tree):
+    annotated = """
+        def drop_views(arrays):
+            arrays.clear()
+
+
+        def release(bundle: "SharedArrayBundle"):
+            drop_views(bundle.arrays)
+    """
+    findings = lint_tree({"shard/pool.py": annotated}, only=["R8"], flow=True)
+    assert rules_of(findings) == ["R8"]
+
+
+def test_r8_readonly_attach_use_is_clean(lint_tree):
+    clean = """
+        def worker_load(manifest):
+            bundle = SharedArrayBundle.attach(manifest)
+            total = sum(a.nbytes for a in bundle.arrays.values())
+            return bundle, total
+    """
+    assert lint_tree({"shard/worker.py": clean}, only=["R8"], flow=True) == []
+
+
 # ----------------------------------------------------------------------
 # Integration: flow rules stay out of default runs, respect waivers
 # ----------------------------------------------------------------------

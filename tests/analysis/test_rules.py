@@ -190,6 +190,25 @@ def test_r2_owner_class_body_exempt(lint_tree):
     assert findings == []
 
 
+def test_r2_buffer_backed_index_cache_is_exempt(lint_tree):
+    # The lazy legacy-view cache inside BufferBackedCandidateIndex is
+    # that owner class's own mutation API, same as CandidateIndex's.
+    findings = lint_tree(
+        {
+            "core/index.py": '''
+            class BufferBackedCandidateIndex:
+                def __getattr__(self, name):
+                    if name == "signatures":
+                        self.signatures = self._materialize_signatures()
+                        return self.signatures
+                    raise AttributeError(name)
+            '''
+        },
+        only=["R2"],
+    )
+    assert findings == []
+
+
 def test_r2_mutating_container_call_on_payload(lint_tree):
     findings = lint_tree(
         {

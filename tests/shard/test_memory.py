@@ -1,0 +1,117 @@
+"""SharedArrayBundle: the one-segment-per-epoch shared-memory transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer.errors import SanitizerError
+from repro.errors import ShardError
+from repro.shard.memory import SharedArrayBundle
+
+
+@pytest.fixture
+def arrays():
+    return {
+        "a": np.arange(17, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 9),
+        "c": np.zeros(0, dtype=np.float64),  # empty arrays must survive
+    }
+
+
+class TestExportAttach:
+    def test_round_trip_values(self, arrays):
+        owner = SharedArrayBundle.export(arrays)
+        try:
+            attached = SharedArrayBundle.attach(owner.manifest())
+            try:
+                assert set(attached.arrays) == set(arrays)
+                for key, array in arrays.items():
+                    np.testing.assert_array_equal(attached.arrays[key], array)
+                    assert attached.arrays[key].dtype == array.dtype
+            finally:
+                attached.arrays.clear()
+                attached.close()
+        finally:
+            owner.arrays.clear()
+            owner.close()
+
+    def test_originals_untouched_and_views_read_only(self, arrays):
+        before = {k: v.copy() for k, v in arrays.items()}
+        owner = SharedArrayBundle.export(arrays)
+        try:
+            for key, view in owner.arrays.items():
+                assert not view.flags.writeable
+                assert not np.shares_memory(view, arrays[key])
+            for key in arrays:
+                np.testing.assert_array_equal(arrays[key], before[key])
+            attached = SharedArrayBundle.attach(owner.manifest())
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    attached.arrays["a"][0] = 99
+            finally:
+                attached.arrays.clear()
+                attached.close()
+        finally:
+            owner.arrays.clear()
+            owner.close()
+
+    def test_alignment(self, arrays):
+        owner = SharedArrayBundle.export(arrays)
+        try:
+            manifest = owner.manifest()
+            for _key, _dtype, _shape, offset in manifest["layout"]:
+                assert offset % 64 == 0
+        finally:
+            owner.arrays.clear()
+            owner.close()
+
+    def test_attach_missing_segment_is_shard_error(self, arrays):
+        owner = SharedArrayBundle.export(arrays)
+        manifest = owner.manifest()
+        owner.arrays.clear()
+        owner.close()  # owner unlinks; the name is gone
+        with pytest.raises(ShardError):
+            SharedArrayBundle.attach(manifest)
+
+    def test_bad_manifest_is_shard_error(self):
+        with pytest.raises(ShardError):
+            SharedArrayBundle.attach({"layout": []})
+
+
+class TestLifetime:
+    def test_close_is_idempotent_and_blocks_manifest(self, arrays):
+        owner = SharedArrayBundle.export(arrays)
+        owner.arrays.clear()
+        owner.close()
+        owner.close()
+        assert owner.closed
+        with pytest.raises(ShardError):
+            owner.manifest()
+
+    def test_close_with_live_views_leaks_in_production(self, arrays, monkeypatch):
+        monkeypatch.setattr("repro.shard.memory.sanitizer_active", lambda: False)
+        owner = SharedArrayBundle.export(arrays)
+        survivor = owner.arrays["a"]  # a handle that outlives the epoch
+        owner.close()
+        assert owner.leaked  # flagged, not crashed
+        assert owner.closed
+        assert int(survivor[3]) == 3  # view stays valid until GC'd
+
+    def test_close_with_live_views_trips_sanitizer(self, arrays, monkeypatch):
+        monkeypatch.setattr("repro.shard.memory.sanitizer_active", lambda: True)
+        owner = SharedArrayBundle.export(arrays)
+        survivor = owner.arrays["a"]
+        with pytest.raises(SanitizerError, match="outlived its epoch"):
+            owner.close()
+        del survivor
+        owner.arrays.clear()
+        owner.close()
+
+    def test_nbytes(self, arrays):
+        owner = SharedArrayBundle.export(arrays)
+        try:
+            assert owner.nbytes() == sum(a.nbytes for a in arrays.values())
+        finally:
+            owner.arrays.clear()
+            owner.close()

@@ -16,7 +16,6 @@ slower than the reference path.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -30,6 +29,7 @@ from repro.core.index import build_signatures
 from repro.core.linear import resolve_diagonal, single_pair_series, single_source_series
 from repro.core.montecarlo import SingleSourceEstimator, single_pair_simrank
 from repro.core.walks import FlatSketch, PositionSketch, WalkEngine, segment_collisions
+from repro.utils.bench import write_sidecar
 
 
 @pytest.fixture(scope="module")
@@ -289,7 +289,7 @@ class TestKernelComparison:
             "timings_seconds": timings,
             "speedups": speedups,
         }
-        SIDECAR_PATH.write_text(json.dumps(sidecar, indent=2) + "\n")
+        write_sidecar(SIDECAR_PATH, "kernels", sidecar)
 
         # Regression gate: the array path must never lose to reference,
         # and the fused estimator carries the PR's >= 5x acceptance bar.

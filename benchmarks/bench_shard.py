@@ -29,7 +29,6 @@ queries and therefore noisier timings).
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Dict, List
@@ -39,6 +38,7 @@ import numpy as np
 from repro.core.engine import SimRankEngine
 from repro.graph.generators import copying_web_graph
 from repro.shard.pool import ShardPool
+from repro.utils.bench import write_sidecar
 
 SIDECAR_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
 
@@ -117,7 +117,7 @@ class TestShardThroughput:
             "throughput_qps": throughput,
             "speedups": speedups,
         }
-        SIDECAR_PATH.write_text(json.dumps(sidecar, indent=2) + "\n")
+        write_sidecar(SIDECAR_PATH, "shard", sidecar)
 
         assert speedups["2"] >= (1.0 if quick else 1.2)
         assert speedups["4"] >= (1.3 if quick else 1.7)

@@ -203,6 +203,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.serve_workers,
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
         shards=args.shards,
+        autotune=args.autotune,
+        control_interval=args.control_interval,
+        slo_p99_ms=args.slo_p99_ms,
     )
     server = SimRankServer(dynamic, serve_config)
 
@@ -213,9 +216,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if serve_config.shards
             else "single-process"
         )
+        autotune = (
+            f"; autotune on (SLO p99 {serve_config.slo_p99_ms:g} ms)"
+            if serve_config.autotune
+            else ""
+        )
         print(
             f"serving on {serve_config.host}:{port} "
-            f"({backend}; NDJSON protocol; HTTP GET /healthz /metrics)",
+            f"({backend}; NDJSON protocol; HTTP GET /healthz /metrics{autotune})",
             flush=True,
         )
         await server.wait_stopped()
@@ -224,6 +232,63 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("interrupted; shutting down")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Offline knob tuning: hill-climb P/Q + batch window, emit the sidecar.
+
+    Starts from the profile's static defaults, keeps only improving
+    moves on the p99-at-fixed-accuracy objective, and writes a
+    ``BENCH_tune.json`` (schema'd via :mod:`repro.utils.bench`) with
+    the defaults-vs-tuned comparison per workload shape.
+    """
+    from repro.control.offline import WORKLOAD_SHAPES, tune_offline
+    from repro.graph.generators import copying_web_graph
+    from repro.utils.bench import write_sidecar
+
+    shapes = tuple(s.strip() for s in args.shapes.split(",") if s.strip())
+    unknown = set(shapes) - set(WORKLOAD_SHAPES)
+    if unknown:
+        print(
+            f"error: unknown workload shapes {sorted(unknown)}; "
+            f"choose from {WORKLOAD_SHAPES}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.graph:
+        graph = _load_graph(args.graph, args.directed)
+    else:
+        n = args.n if args.n is not None else (150 if args.quick else 400)
+        graph = copying_web_graph(n, seed=args.seed)
+        print(f"tuning against a generated web graph (n={graph.n}, m={graph.m})")
+    payload = tune_offline(
+        graph,
+        base=_config_from_args(args),
+        shapes=shapes,
+        quick=args.quick,
+        seed=args.seed,
+        include_serving=args.tune_serve,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    write_sidecar(args.out, "tune", payload)
+    table = Table(
+        ["workload", "default p99 (ms)", "tuned p99 (ms)", "accuracy", "knobs"],
+        title="offline tune",
+    )
+    for shape, entry in payload["workloads"].items():
+        knobs = ", ".join(
+            f"{name}={value:g}" for name, value in sorted(entry["knobs"].items())
+        )
+        table.add_row([
+            shape,
+            f"{entry['default']['p99_ms']:.2f}",
+            f"{entry['tuned']['p99_ms']:.2f}",
+            f"{entry['tuned']['accuracy']:.3f}",
+            knobs,
+        ])
+    print(table.render())
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -353,7 +418,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = single-process backend)")
     p_serve.add_argument("--cache-capacity", type=int, default=1024,
                          help="per-snapshot LRU result cache size (0 disables)")
+    p_serve.add_argument("--autotune", action="store_true",
+                         help="run the feedback controller that adapts batch "
+                              "and walk-budget knobs toward the SLO "
+                              "(docs/tuning.md)")
+    p_serve.add_argument("--control-interval", type=float, default=1.0,
+                         help="seconds between controller ticks")
+    p_serve.add_argument("--slo-p99-ms", type=float, default=250.0,
+                         help="guarded p99 latency objective for --autotune")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="offline hill-climb of index (P/Q) and batch-window knobs",
+    )
+    common(p_tune, graph_required=False)
+    p_tune.add_argument("--out", default="BENCH_tune.json",
+                        help="sidecar output path (default: BENCH_tune.json)")
+    p_tune.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer queries, shallower climb")
+    p_tune.add_argument("--n", type=int, default=None,
+                        help="generated seed-graph size when --graph is "
+                             "omitted (default 150 quick / 400 full)")
+    p_tune.add_argument("--shapes", default="uniform,hub",
+                        help="comma-separated workload shapes to tune")
+    p_tune.add_argument("--no-serve", dest="tune_serve", action="store_false",
+                        help="skip the live-server batch-window measurement")
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_pair = sub.add_parser("pair", help="single-pair SimRank score")
     common(p_pair)

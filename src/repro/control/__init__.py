@@ -1,0 +1,40 @@
+"""repro.control — the self-tuning feedback loop over the serve stack.
+
+Two halves, one contract (:data:`repro.core.config.TUNABLES` — every
+knob the subsystem may move, with validated bounds and step sizes):
+
+- :mod:`repro.control.controller` — the **live** controller: reads
+  windowed metric deltas (:class:`repro.obs.window.MetricsWindow`),
+  moves one knob per tick by one bounded hysteretic step, and rolls a
+  step back automatically when an SLO guard (p99 latency, error rate,
+  shed rate) regresses during its probation window.  Wired into
+  :class:`repro.serve.server.SimRankServer` by ``serve --autotune``.
+- :mod:`repro.control.offline` — the **offline** tuner (``repro
+  tune``): hill-climbs the rebuild-requiring knobs (P/Q of Algorithm 4)
+  plus the serving batch window against a recorded workload, emitting
+  ``BENCH_tune.json`` with the §8-defaults-vs-tuned comparison.
+
+See ``docs/tuning.md`` for the knob table, the guard semantics, and
+the observable ``control_*`` metric series.
+"""
+
+from repro.control.controller import Controller, ControllerConfig
+from repro.control.offline import (
+    WORKLOAD_SHAPES,
+    evaluate_config,
+    hill_climb,
+    make_workload,
+    tune_offline,
+    tune_serving_window,
+)
+
+__all__ = [
+    "Controller",
+    "ControllerConfig",
+    "WORKLOAD_SHAPES",
+    "evaluate_config",
+    "hill_climb",
+    "make_workload",
+    "tune_offline",
+    "tune_serving_window",
+]

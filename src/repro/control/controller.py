@@ -1,0 +1,312 @@
+"""The feedback controller: windowed metrics in, bounded knob steps out.
+
+One :class:`Controller` owns a :class:`~repro.obs.window.MetricsWindow`
+and a :class:`~repro.serve.tunables.TunableSet` and runs a synchronous
+:meth:`Controller.tick` per control interval (the serve layer drives it
+from an asyncio task; tests drive it directly with synthetic
+snapshots).  Each tick:
+
+1. diff the registry snapshot into window deltas (rates and quantiles
+   over the *last interval only* — lifetime aggregates would let an old
+   good hour mask a bad minute);
+2. check the **SLO guards** (p99 latency, error rate, shed rate).  A
+   trip during the probation window of the most recent step rolls that
+   step back immediately and freezes the controller for a cooldown;
+3. otherwise update the hysteresis streaks and, only after
+   ``hysteresis`` consecutive windows agree, move **one knob by one
+   bounded step** (the :class:`~repro.core.config.TunableSpec` step,
+   clamped) — protective moves (shrink the batch window, cut the walk
+   budget, raise the screen threshold) when latency crowds the SLO,
+   opportunistic moves (grow the batch, spend walks on accuracy) when
+   there is ample headroom.
+
+Every decision is observable: ``control_*`` counters and per-knob
+gauges (:mod:`repro.obs.catalog`), plus :meth:`Controller.status` for
+the ``/healthz`` controller section.  The controller never *creates*
+settings — it only walks the validated tunable grid — so the worst
+possible outcome of a broken feedback signal is a clamped knob plus a
+rollback, never an unbounded excursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.obs import instrument as obs
+from repro.obs.window import MetricsWindow, WindowStats
+from repro.serve.tunables import TunableSet
+
+__all__ = ["ControllerConfig", "Controller"]
+
+# Snapshot keys the controller reads (subsystem.name, as exported by
+# MetricsRegistry.snapshot()).
+_LATENCY = "serve.request_latency_seconds"
+_REQUESTS = "serve.requests_total"
+_ERRORS = "serve.errors_total"
+_SHED = "serve.requests_shed_total"
+_BATCH = "serve.batch_size"
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Targets and temperament of one :class:`Controller`.
+
+    ``slo_p99_ms`` is the guarded objective; the two fractions split
+    its headroom into three bands — protect above
+    ``protect_fraction * slo``, relax below ``relax_fraction * slo``,
+    and leave the knobs alone in between (the dead band that keeps the
+    loop from oscillating around a boundary).
+    """
+
+    slo_p99_ms: float = 250.0
+    max_error_rate: float = 0.01
+    max_shed_rate: float = 0.05
+    protect_fraction: float = 0.8
+    relax_fraction: float = 0.5
+    hysteresis: int = 2  # consecutive agreeing windows before a step
+    cooldown_ticks: int = 3  # freeze after any step or rollback
+    guard_ticks: int = 3  # probation window in which a step can roll back
+    min_requests: int = 4  # windows thinner than this are ignored
+    fill_target: float = 0.8  # batch fill ratio required to grow max_batch
+
+    def __post_init__(self) -> None:
+        if self.slo_p99_ms <= 0:
+            raise ConfigError(f"slo_p99_ms must be > 0, got {self.slo_p99_ms}")
+        for name in ("max_error_rate", "max_shed_rate", "fill_target"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.relax_fraction < self.protect_fraction <= 1.0:
+            raise ConfigError(
+                "need 0 < relax_fraction < protect_fraction <= 1, got "
+                f"{self.relax_fraction} / {self.protect_fraction}"
+            )
+        for name in ("hysteresis", "cooldown_ticks", "guard_ticks", "min_requests"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+
+@dataclass
+class _PendingStep:
+    """A step still inside its rollback probation window."""
+
+    knob: str
+    previous: float
+    ticks_left: int
+
+
+class Controller:
+    """Hysteretic single-knob-per-tick feedback controller.
+
+    Not thread-safe by design: exactly one driver calls :meth:`tick`
+    (the server's control task, or a test).  The *effects* — tunable
+    applies — go through the :class:`TunableSet`'s locked apply path,
+    so concurrent readers (batcher loop, engine-handle listener) are
+    safe.
+    """
+
+    def __init__(self, config: ControllerConfig, tunables: TunableSet) -> None:
+        self.config = config
+        self.tunables = tunables
+        self.window = MetricsWindow()
+        self.ticks = 0
+        self.steps_total = 0
+        self.rollbacks_total = 0
+        self.guard_trips_total = 0
+        self.last_action = "idle"
+        self._hot_streak = 0
+        self._cold_streak = 0
+        self._cooldown = 0
+        self._pending: Optional[_PendingStep] = None
+        # Publish the starting point so /metrics has every knob gauge
+        # from the first scrape, before any step happens.
+        if obs.OBS.enabled:
+            for name, value in tunables.current().items():
+                obs.set_control_knob(name, value)
+
+    # ------------------------------------------------------------------
+    # The control loop body
+    # ------------------------------------------------------------------
+
+    def tick(self, snapshot: Dict[str, Any]) -> str:
+        """One control interval; returns the action taken (for logs/tests).
+
+        Actions: ``"idle"`` (thin window / dead band), ``"cooldown"``,
+        ``"rollback:<knob>"``, ``"step:<knob>:up|down"``, ``"guard"``
+        (tripped with nothing to roll back).
+        """
+        self.ticks += 1
+        stats = self.window.advance(snapshot)
+        if obs.OBS.enabled:
+            obs.record_control_tick()
+
+        requests = stats.delta(_REQUESTS)
+        if requests < self.config.min_requests:
+            # Too little traffic to read anything into; age the pending
+            # step's probation anyway so a quiet server still commits.
+            self._age_pending()
+            self._tick_cooldown()
+            return self._done("idle")
+
+        p99_ms = stats.quantile(_LATENCY, 0.99) * 1000.0
+        error_rate = stats.ratio(_ERRORS, _REQUESTS)
+        shed = stats.delta(_SHED)
+        shed_rate = shed / (requests + shed) if (requests + shed) > 0 else 0.0
+
+        reason = self._guard_reason(p99_ms, error_rate, shed_rate)
+        if reason is not None:
+            self.guard_trips_total += 1
+            if obs.OBS.enabled:
+                obs.record_control_guard_trip(reason)
+            if self._pending is not None:
+                return self._done(self._rollback())
+            # Nothing to roll back: treat the trip as a maximally hot
+            # window so the protective path reacts without waiting out
+            # the full hysteresis.
+            self._hot_streak = self.config.hysteresis
+            self._cold_streak = 0
+            if self._cooldown > 0:
+                self._tick_cooldown()
+                return self._done("cooldown")
+            return self._done(self._protect() or "guard")
+
+        self._age_pending()
+        if self._cooldown > 0:
+            self._tick_cooldown()
+            return self._done("cooldown")
+
+        slo = self.config.slo_p99_ms
+        if p99_ms > self.config.protect_fraction * slo:
+            self._hot_streak += 1
+            self._cold_streak = 0
+        elif p99_ms < self.config.relax_fraction * slo:
+            self._cold_streak += 1
+            self._hot_streak = 0
+        else:
+            self._hot_streak = 0
+            self._cold_streak = 0
+            return self._done("idle")
+
+        if self._hot_streak >= self.config.hysteresis:
+            return self._done(self._protect() or "idle")
+        if self._cold_streak >= self.config.hysteresis:
+            return self._done(self._relax(stats) or "idle")
+        return self._done("idle")
+
+    # ------------------------------------------------------------------
+    # Decision helpers
+    # ------------------------------------------------------------------
+
+    def _guard_reason(
+        self, p99_ms: float, error_rate: float, shed_rate: float
+    ) -> Optional[str]:
+        if p99_ms > self.config.slo_p99_ms:
+            return "p99"
+        if error_rate > self.config.max_error_rate:
+            return "error"
+        if shed_rate > self.config.max_shed_rate:
+            return "shed"
+        return None
+
+    def _protect(self) -> Optional[str]:
+        """One latency-reducing step, in fixed priority order."""
+        for knob, direction in (
+            ("batch_window", "down"),  # stop lingering first: pure latency
+            ("r_pair", "down"),  # then cheapen the refine stage
+            ("screen_slack", "up"),  # finally promote fewer candidates
+        ):
+            action = self._try_step(knob, direction)
+            if action is not None:
+                return action
+        return None
+
+    def _relax(self, stats: WindowStats) -> Optional[str]:
+        """One throughput/accuracy step, gated on actual pressure."""
+        # Growing max_batch only helps if batches are actually filling;
+        # an empty queue with a bigger cap is pure no-op.
+        fill = 0.0
+        cap = self.tunables.get("max_batch") if "max_batch" in self.tunables.names() else 0.0
+        if cap > 0:
+            fill = stats.mean(_BATCH) / cap
+        order = (
+            [("max_batch", "up")] if fill >= self.config.fill_target else []
+        ) + [("r_pair", "up"), ("screen_slack", "down")]
+        for knob, direction in order:
+            action = self._try_step(knob, direction)
+            if action is not None:
+                return action
+        return None
+
+    def _try_step(self, knob: str, direction: str) -> Optional[str]:
+        if knob not in self.tunables.names():
+            return None
+        spec = self.tunables.spec(knob)
+        current = self.tunables.get(knob)
+        target = spec.up(current) if direction == "up" else spec.down(current)
+        if target == current:  # already pinned at the bound
+            return None
+        previous = self.tunables.apply(knob, target)
+        self.steps_total += 1
+        self._pending = _PendingStep(
+            knob=knob, previous=previous, ticks_left=self.config.guard_ticks
+        )
+        self._cooldown = self.config.cooldown_ticks
+        self._hot_streak = 0
+        self._cold_streak = 0
+        if obs.OBS.enabled:
+            obs.record_control_step(knob, target)
+        return f"step:{knob}:{direction}"
+
+    def _rollback(self) -> str:
+        assert self._pending is not None
+        pending = self._pending
+        self._pending = None
+        self.tunables.apply(pending.knob, pending.previous)
+        self.rollbacks_total += 1
+        self._cooldown = self.config.cooldown_ticks
+        self._hot_streak = 0
+        self._cold_streak = 0
+        if obs.OBS.enabled:
+            obs.record_control_rollback(pending.knob, pending.previous)
+        return f"rollback:{pending.knob}"
+
+    def _age_pending(self) -> None:
+        if self._pending is None:
+            return
+        self._pending.ticks_left -= 1
+        if self._pending.ticks_left <= 0:
+            self._pending = None  # survived probation: the step commits
+
+    def _tick_cooldown(self) -> None:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+
+    def _done(self, action: str) -> str:
+        self.last_action = action
+        return action
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/healthz`` controller section (plain JSON-able dict)."""
+        return {
+            "ticks": self.ticks,
+            "knobs": self.tunables.current(),
+            "steps_total": self.steps_total,
+            "rollbacks_total": self.rollbacks_total,
+            "guard_trips_total": self.guard_trips_total,
+            "last_action": self.last_action,
+            "cooldown": self._cooldown,
+            "pending_step": self._pending.knob if self._pending else None,
+            "slo_p99_ms": self.config.slo_p99_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Controller(ticks={self.ticks}, steps={self.steps_total}, "
+            f"rollbacks={self.rollbacks_total}, last={self.last_action!r})"
+        )

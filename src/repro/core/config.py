@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.utils.validation import check_fraction, check_positive_int
 
 
-__all__ = ["SimRankConfig"]
+__all__ = ["SimRankConfig", "TunableSpec", "TUNABLES", "ENGINE_TUNABLES"]
 @dataclass(frozen=True)
 class SimRankConfig:
     """Frozen bundle of every parameter the paper's algorithms take."""
@@ -140,3 +140,120 @@ class SimRankConfig:
     def with_(self, **overrides: object) -> "SimRankConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Tunable metadata (the repro.control contract)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TunableSpec:
+    """Bounds and step metadata of one runtime-adjustable parameter.
+
+    The self-tuning controller (:mod:`repro.control`) only ever moves a
+    knob by the spec's step — multiplicatively (``mode="mul"``) or
+    additively (``mode="add"``) — and clamps every result to
+    ``[minimum, maximum]``, so a runaway feedback loop is bounded by
+    construction.  ``scope`` says *where* a change takes effect:
+
+    - ``"batcher"`` — applied live inside the serve loop (micro-batch
+      size/window);
+    - ``"engine"`` — applied live through the engine handle (walk
+      budget R, the screen/refine split);
+    - ``"index"`` — requires an index rebuild, so only the offline
+      ``repro tune`` mode moves it (P/Q of Algorithm 4).
+    """
+
+    name: str
+    scope: str  # "batcher" | "engine" | "index"
+    minimum: float
+    maximum: float
+    step: float
+    mode: str = "mul"  # "mul" (step is a factor > 1) or "add" (an increment)
+    integer: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("batcher", "engine", "index"):
+            raise ValueError(f"unknown tunable scope {self.scope!r}")
+        if self.mode not in ("mul", "add"):
+            raise ValueError(f"unknown tunable step mode {self.mode!r}")
+        if self.minimum > self.maximum:
+            raise ValueError(
+                f"tunable {self.name}: minimum {self.minimum} > maximum {self.maximum}"
+            )
+        if self.mode == "mul" and self.step <= 1.0:
+            raise ValueError(f"tunable {self.name}: mul step must be > 1, got {self.step}")
+        if self.mode == "add" and self.step <= 0.0:
+            raise ValueError(f"tunable {self.name}: add step must be > 0, got {self.step}")
+
+    def clamp(self, value: float) -> float:
+        """``value`` forced into the spec's bounds (and integer grid)."""
+        clamped = min(self.maximum, max(self.minimum, float(value)))
+        return float(round(clamped)) if self.integer else clamped
+
+    def validate(self, value: float) -> float:
+        """``value`` if in bounds, else raise (the apply-path check)."""
+        v = float(value)
+        if not self.minimum <= v <= self.maximum:
+            raise ValueError(
+                f"tunable {self.name}: {v} outside [{self.minimum}, {self.maximum}]"
+            )
+        return float(round(v)) if self.integer else v
+
+    def up(self, value: float) -> float:
+        """One step upward from ``value``, clamped."""
+        raised = value * self.step if self.mode == "mul" else value + self.step
+        if self.integer and round(raised) == round(value):
+            raised = value + 1.0
+        return self.clamp(raised)
+
+    def down(self, value: float) -> float:
+        """One step downward from ``value``, clamped."""
+        lowered = value / self.step if self.mode == "mul" else value - self.step
+        if self.integer and round(lowered) == round(value):
+            lowered = value - 1.0
+        return self.clamp(lowered)
+
+
+#: Every parameter the controller/tuner may move, with validated bounds.
+TUNABLES: Dict[str, TunableSpec] = {
+    spec.name: spec
+    for spec in (
+        TunableSpec(
+            name="max_batch", scope="batcher", minimum=1, maximum=256,
+            step=2.0, mode="mul", integer=True,
+            description="top-k requests grouped per micro-batch",
+        ),
+        TunableSpec(
+            name="batch_window", scope="batcher", minimum=0.0005, maximum=0.1,
+            step=1.5, mode="mul",
+            description="seconds the batcher lingers to fill a batch",
+        ),
+        TunableSpec(
+            name="r_pair", scope="engine", minimum=20, maximum=400,
+            step=1.5, mode="mul", integer=True,
+            description="refine-stage walk budget R (accuracy vs latency)",
+        ),
+        TunableSpec(
+            name="screen_slack", scope="engine", minimum=0.1, maximum=1.0,
+            step=0.1, mode="add",
+            description="screen/refine promotion split (screen >= theta*slack refines)",
+        ),
+        TunableSpec(
+            name="index_walks", scope="index", minimum=2, maximum=40,
+            step=2.0, mode="add", integer=True,
+            description="P of Algorithm 4 (index iterations; rebuild required)",
+        ),
+        TunableSpec(
+            name="index_checks", scope="index", minimum=1, maximum=20,
+            step=1.0, mode="add", integer=True,
+            description="Q of Algorithm 4 (confirmation walks; rebuild required)",
+        ),
+    )
+}
+
+#: The subset safe to apply to a *live* engine (no index rebuild needed).
+ENGINE_TUNABLES = frozenset(
+    name for name, spec in TUNABLES.items() if spec.scope == "engine"
+)

@@ -17,6 +17,7 @@ single-pair / single-source / all-vertices entry points of Section 2.
 
 from __future__ import annotations
 
+import copy
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
@@ -151,6 +152,32 @@ class SimRankEngine:
     def save_index(self, path: Union[str, Path]) -> None:
         """Persist the candidate index for later :meth:`load_index`."""
         self.index.save(path)
+
+    def with_config(self, **overrides: object) -> "SimRankEngine":
+        """A zero-copy engine view with query-time config fields replaced.
+
+        Shares the graph, the preprocessed index, the diagonal, and the
+        seed with this engine — only the :class:`SimRankConfig` changes,
+        so the view costs one shallow copy.  Restricted to fields that
+        do **not** invalidate the preprocess artefact (the walk budgets,
+        the θ threshold, the screen/refine split, and the answer size);
+        anything structural (``c``, ``T``, ``index_walks``, ...) needs a
+        fresh engine and a rebuild.
+
+        This is how the serve layer applies live tunables: the handle
+        republishes a snapshot around a view instead of mutating the
+        (shared, possibly concurrently-read) engine in place.
+        """
+        allowed = {"r_pair", "r_screen", "theta", "screen_slack", "k"}
+        illegal = set(overrides) - allowed
+        if illegal:
+            raise ValueError(
+                f"with_config can only replace query-time fields {sorted(allowed)}; "
+                f"got {sorted(illegal)} (rebuild the engine for structural changes)"
+            )
+        view = copy.copy(self)
+        view.config = self.config.with_(**overrides)
+        return view
 
     def load_index(self, path: Union[str, Path]) -> "SimRankEngine":
         """Load a previously saved index (replaces config with the saved one).

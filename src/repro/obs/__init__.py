@@ -19,6 +19,8 @@ Layout:
 - :mod:`repro.obs.export` — JSON-lines and Prometheus text exposition;
 - :mod:`repro.obs.instrument` — the pipeline hooks and the global
   on/off switch;
+- :mod:`repro.obs.window` — ``MetricsWindow``, snapshot-diffing
+  rate/quantile views for the self-tuning controller;
 - :mod:`repro.obs.catalog` — the catalogue of every emitted metric.
 
 See ``docs/observability.md`` for the metric catalogue.
@@ -39,6 +41,7 @@ from repro.obs.instrument import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import Span, Tracer, render_spans
+from repro.obs.window import MetricsWindow, WindowStats
 
 __all__ = [
     "OBS",
@@ -46,8 +49,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsWindow",
     "Span",
     "Tracer",
+    "WindowStats",
     "catalog",
     "collecting",
     "disable",

@@ -84,6 +84,29 @@ SHARD_WORKER_CRASHES = ("shard", "worker_crashes_total")
 # published epoch (0 in steady state; >0 flags a stuck/restarting shard).
 SHARD_EPOCH_LAG = ("shard", "epoch_lag")
 
+# Self-tuning controller (repro.control) — every decision the control
+# loop makes is itself observable, so the loop can be audited with the
+# same tooling it consumes.
+CONTROL_TICKS = ("control", "ticks_total")
+CONTROL_STEPS = ("control", "steps_total")
+CONTROL_ROLLBACKS = ("control", "rollbacks_total")
+CONTROL_GUARD_TRIPS = ("control", "guard_trips_total")
+CONTROL_GUARD_P99 = ("control", "guard_p99_trips_total")
+CONTROL_GUARD_SHED = ("control", "guard_shed_trips_total")
+CONTROL_GUARD_ERRORS = ("control", "guard_error_trips_total")
+CONTROL_KNOB_MAX_BATCH = ("control", "knob_max_batch")  # gauge
+CONTROL_KNOB_BATCH_WINDOW = ("control", "knob_batch_window_seconds")  # gauge
+CONTROL_KNOB_R_PAIR = ("control", "knob_r_pair")  # gauge
+CONTROL_KNOB_SCREEN_SLACK = ("control", "knob_screen_slack")  # gauge
+
+#: knob name -> its current-value gauge key (drives the per-tick export).
+CONTROL_KNOB_GAUGES: Dict[str, Tuple[str, str]] = {
+    "max_batch": CONTROL_KNOB_MAX_BATCH,
+    "batch_window": CONTROL_KNOB_BATCH_WINDOW,
+    "r_pair": CONTROL_KNOB_R_PAIR,
+    "screen_slack": CONTROL_KNOB_SCREEN_SLACK,
+}
+
 #: key -> (metric kind, one-line meaning); drives docs and sanity tests.
 CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     QUERY_CANDIDATES: ("counter", "candidates enumerated across all queries"),
@@ -130,6 +153,17 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     SHARD_WORKERS_MIN_EPOCH: ("gauge", "lowest epoch any live shard worker is serving"),
     SHARD_WORKER_CRASHES: ("counter", "shard worker processes that died unexpectedly"),
     SHARD_EPOCH_LAG: ("gauge", "epoch - workers_min_epoch, derived at export time"),
+    CONTROL_TICKS: ("counter", "controller evaluation ticks completed"),
+    CONTROL_STEPS: ("counter", "bounded knob steps the controller applied"),
+    CONTROL_ROLLBACKS: ("counter", "steps reverted after a guarded SLO regressed"),
+    CONTROL_GUARD_TRIPS: ("counter", "windows in which any SLO guard was breached"),
+    CONTROL_GUARD_P99: ("counter", "guard trips attributed to the p99 latency SLO"),
+    CONTROL_GUARD_SHED: ("counter", "guard trips attributed to the shed-rate bound"),
+    CONTROL_GUARD_ERRORS: ("counter", "guard trips attributed to the error-rate bound"),
+    CONTROL_KNOB_MAX_BATCH: ("gauge", "live value of the micro-batcher max_batch knob"),
+    CONTROL_KNOB_BATCH_WINDOW: ("gauge", "live value of the batch linger window (seconds)"),
+    CONTROL_KNOB_R_PAIR: ("gauge", "live value of the refine walk budget R knob"),
+    CONTROL_KNOB_SCREEN_SLACK: ("gauge", "live value of the screen/refine split knob"),
 }
 
 

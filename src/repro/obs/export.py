@@ -169,31 +169,36 @@ def with_derived(snapshot: Snapshot) -> Snapshot:
     """A copy of ``snapshot`` with derived gauges computed at export time.
 
     - ``query.prune_rate`` = ``query.pruned_by_bound_total /
-      query.candidates_total`` — the ROADMAP signal for an adaptive P/Q
-      tuner; emitted only once at least one candidate was enumerated.
+      query.candidates_total`` — the signal the ``repro.control`` tuner
+      reads; **0.0 before the first candidate is enumerated** (never a
+      NaN or a division by zero on an empty window).
     - ``shard.epoch_lag`` = ``shard.epoch - shard.workers_min_epoch`` —
-      how far the slowest shard worker trails the published epoch (0 in
-      steady state); emitted whenever the shard gauges are present.
+      how far the slowest shard worker trails the published epoch; 0 in
+      steady state and **0.0 when no shard backend is attached** (a
+      single-process server exports the gauge too, so dashboards and
+      the controller read one name regardless of ``--shards``).
 
     Surfaced in the ``--metrics summary`` table and on the serve
     ``/metrics`` endpoint so consumers never recompute ratios from raw
-    values.  Returns ``snapshot`` unchanged when nothing derivable is
-    present.
+    values.  Both gauges are emitted unconditionally — a scrape of a
+    just-booted server (no queries yet, no shard pool) sees explicit
+    zeros instead of missing series.
     """
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
     new_gauges: Dict[str, float] = {}
     candidates = counters.get("query.candidates_total", 0.0)
-    if candidates > 0:
-        new_gauges["query.prune_rate"] = (
-            counters.get("query.pruned_by_bound_total", 0.0) / candidates
-        )
+    new_gauges["query.prune_rate"] = (
+        counters.get("query.pruned_by_bound_total", 0.0) / candidates
+        if candidates > 0
+        else 0.0
+    )
     if "shard.epoch" in gauges and "shard.workers_min_epoch" in gauges:
         new_gauges["shard.epoch_lag"] = (
             gauges["shard.epoch"] - gauges["shard.workers_min_epoch"]
         )
-    if not new_gauges:
-        return snapshot
+    else:
+        new_gauges["shard.epoch_lag"] = 0.0
     derived = dict(snapshot)
     derived["gauges"] = dict(gauges)
     derived["gauges"].update(new_gauges)

@@ -68,6 +68,11 @@ __all__ = [
     "record_shard_query",
     "record_shard_crash",
     "set_shard_epochs",
+    "record_control_tick",
+    "record_control_step",
+    "record_control_rollback",
+    "record_control_guard_trip",
+    "set_control_knob",
 ]
 
 
@@ -340,3 +345,43 @@ def set_shard_epochs(current: int, workers_min: int) -> None:
     registry = get_registry()
     registry.gauge(*catalog.SHARD_EPOCH).set(current)
     registry.gauge(*catalog.SHARD_WORKERS_MIN_EPOCH).set(workers_min)
+
+
+# ---------------------------------------------------------------------------
+# Self-tuning-controller hooks (repro.control)
+# ---------------------------------------------------------------------------
+
+def record_control_tick() -> None:
+    """One controller evaluation tick completed (decision or no-op)."""
+    get_registry().counter(*catalog.CONTROL_TICKS).inc()
+
+
+def record_control_step(knob: str, value: float) -> None:
+    """One bounded knob step applied; also refreshes the knob gauge."""
+    get_registry().counter(*catalog.CONTROL_STEPS).inc()
+    set_control_knob(knob, value)
+
+
+def record_control_rollback(knob: str, value: float) -> None:
+    """A step was reverted after a guarded SLO regressed behind it."""
+    get_registry().counter(*catalog.CONTROL_ROLLBACKS).inc()
+    set_control_knob(knob, value)
+
+
+def record_control_guard_trip(reason: str) -> None:
+    """An SLO guard breached this window: ``"p99"``, ``"shed"``, ``"error"``."""
+    key = {
+        "p99": catalog.CONTROL_GUARD_P99,
+        "shed": catalog.CONTROL_GUARD_SHED,
+        "error": catalog.CONTROL_GUARD_ERRORS,
+    }[reason]
+    registry = get_registry()
+    registry.counter(*catalog.CONTROL_GUARD_TRIPS).inc()
+    registry.counter(*key).inc()
+
+
+def set_control_knob(knob: str, value: float) -> None:
+    """Export the current value of a live tunable as a gauge."""
+    key = catalog.CONTROL_KNOB_GAUGES.get(knob)
+    if key is not None:
+        get_registry().gauge(*key).set(value)

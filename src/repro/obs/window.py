@@ -1,0 +1,181 @@
+"""`MetricsWindow` — snapshot-diffing windowed views over a registry.
+
+Every metric in :mod:`repro.obs.metrics` is a *lifetime* aggregate: a
+counter only ever grows, a histogram accumulates every observation
+since the registry was created.  A feedback controller cannot act on
+lifetime aggregates — after an hour of traffic the p99 of the lifetime
+latency histogram barely moves when the last ten seconds regress, which
+is exactly the regression a controller must catch.  The controller
+therefore consumes *windows*: the delta between two successive registry
+snapshots.
+
+:meth:`MetricsWindow.advance` takes the current snapshot, diffs it
+against the previous one, stores the new baseline, and returns a
+:class:`WindowStats` holding only what happened in between:
+
+- **counters** — the per-window increment.  Deltas are clamped at zero,
+  so a registry swap/reset (the server installs a fresh registry per
+  lifetime; tests call ``reset()``) can never produce a negative rate:
+  the first window after a reset reports the new lifetime value, which
+  is exactly the traffic since the reset.
+- **histograms** — per-bucket count deltas (clamped the same way), so
+  :meth:`WindowStats.quantile` is the quantile *of the window*, not of
+  the process lifetime.  A bucket-layout change (different bounds)
+  also re-baselines rather than producing garbage diffs.
+- **gauges** — passed through at their latest value (a gauge is already
+  a point-in-time reading).
+
+The window object owns no locks of its own: snapshots are immutable
+plain dicts produced under the registry's internal locks, and a window
+is advanced from exactly one consumer (the controller tick).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Snapshot
+
+__all__ = ["HistogramWindow", "WindowStats", "MetricsWindow"]
+
+
+class HistogramWindow:
+    """One histogram's per-window bucket deltas with quantile support."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, buckets: List[float], counts: List[int], total: float, count: int
+    ) -> None:
+        self.buckets = buckets
+        self.counts = counts
+        self.sum = total
+        self.count = count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile of the window's observations.
+
+        Mirrors :meth:`repro.obs.metrics.Histogram.quantile` (upper
+        bound of the bucket holding the q-th observation), but over the
+        window's delta counts only.  Returns 0.0 for an empty window.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, c in zip(self.buckets, self.counts):
+            running += c
+            if running >= target:
+                return bound
+        return self.buckets[-1]
+
+
+class WindowStats:
+    """What happened between two registry snapshots.
+
+    Accessors take ``"subsystem.name"`` keys (the snapshot key form) and
+    return zero-valued defaults for metrics absent from the window, so
+    controller rules never need existence checks.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: Dict[str, float],
+        gauges: Dict[str, float],
+        histograms: Dict[str, HistogramWindow],
+    ) -> None:
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+    def delta(self, key: str) -> float:
+        """The counter's increment over the window (0.0 if absent)."""
+        return self.counters.get(key, 0.0)
+
+    def gauge(self, key: str, default: float = 0.0) -> float:
+        """The gauge's latest value (``default`` if never set)."""
+        return self.gauges.get(key, default)
+
+    def count(self, key: str) -> int:
+        """Observations the histogram recorded inside the window."""
+        hist = self.histograms.get(key)
+        return hist.count if hist is not None else 0
+
+    def mean(self, key: str) -> float:
+        """Mean of the histogram's window observations (0.0 if empty)."""
+        hist = self.histograms.get(key)
+        return hist.mean if hist is not None else 0.0
+
+    def quantile(self, key: str, q: float) -> float:
+        """Windowed bucket-resolution quantile (0.0 for an empty window)."""
+        hist = self.histograms.get(key)
+        return hist.quantile(q) if hist is not None else 0.0
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``delta(numerator) / delta(denominator)``, 0.0 on an empty base."""
+        base = self.delta(denominator)
+        return self.delta(numerator) / base if base > 0 else 0.0
+
+
+class MetricsWindow:
+    """Successive-snapshot differ: each ``advance`` yields one window.
+
+    The baseline starts empty, so the first ``advance`` reports the
+    lifetime values — i.e. everything since the registry was created,
+    which for a freshly started server is the first real window.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Optional[Snapshot] = None
+
+    def advance(self, snapshot: Snapshot) -> WindowStats:
+        """Diff ``snapshot`` against the stored baseline and replace it."""
+        previous = self._previous if self._previous is not None else {}
+        self._previous = snapshot
+
+        prev_counters = previous.get("counters", {})
+        counters: Dict[str, float] = {}
+        for key, value in snapshot.get("counters", {}).items():
+            delta = float(value) - float(prev_counters.get(key, 0.0))
+            # A smaller lifetime value means the registry was reset or
+            # swapped; the honest window is then the new lifetime value.
+            counters[key] = float(value) if delta < 0 else delta
+
+        gauges: Dict[str, float] = {
+            key: float(value) for key, value in snapshot.get("gauges", {}).items()
+        }
+
+        prev_hists = previous.get("histograms", {})
+        histograms: Dict[str, HistogramWindow] = {}
+        for key, payload in snapshot.get("histograms", {}).items():
+            buckets = [float(b) for b in payload["buckets"]]
+            counts = [int(c) for c in payload["counts"]]
+            total = float(payload["sum"])
+            count = int(payload["count"])
+            prev = prev_hists.get(key)
+            if prev is not None and [float(b) for b in prev["buckets"]] == buckets:
+                prev_counts = [int(c) for c in prev["counts"]]
+                prev_count = int(prev["count"])
+                if count >= prev_count:
+                    counts = [c - p for c, p in zip(counts, prev_counts)]
+                    # Clamp per-bucket: merge() only adds, but a reset
+                    # mid-scrape could interleave; never go negative.
+                    counts = [max(0, c) for c in counts]
+                    total = max(0.0, total - float(prev["sum"]))
+                    count = count - prev_count
+                # else: reset detected — fall through with lifetime values.
+            histograms[key] = HistogramWindow(buckets, counts, total, count)
+
+        return WindowStats(counters, gauges, histograms)
+
+    def reset(self) -> None:
+        """Forget the baseline; the next window reports lifetime values."""
+        self._previous = None

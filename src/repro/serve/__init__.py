@@ -15,10 +15,13 @@ Layout:
 - :mod:`repro.serve.admission` — bounded queue, shedding, deadlines;
 - :mod:`repro.serve.batching` — micro-batch grouping and execution;
 - :mod:`repro.serve.lifecycle` — atomic engine snapshot swaps;
+- :mod:`repro.serve.tunables` — live runtime knobs with validated,
+  thread-safe apply (the :mod:`repro.control` write surface);
 - :mod:`repro.serve.server` — the asyncio server and thread harness;
 - :mod:`repro.serve.client` — a blocking client for the protocol.
 
-See ``docs/serving.md`` for the protocol and the knobs.
+See ``docs/serving.md`` for the protocol and the knobs, and
+``docs/tuning.md`` for the self-tuning controller.
 """
 
 from repro.serve.admission import AdmissionQueue, Ticket
@@ -26,6 +29,7 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.client import ServeClient, http_get
 from repro.serve.lifecycle import EngineHandle, EngineSnapshot
 from repro.serve.server import ServeConfig, ServerThread, SimRankServer
+from repro.serve.tunables import TunableSet
 
 __all__ = [
     "AdmissionQueue",
@@ -37,5 +41,6 @@ __all__ = [
     "ServerThread",
     "SimRankServer",
     "Ticket",
+    "TunableSet",
     "http_get",
 ]

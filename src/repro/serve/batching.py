@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import Executor
+from typing import Optional, Tuple
 
 from repro.errors import ReproError
 from repro.obs import instrument as obs
 from repro.serve import protocol
 from repro.serve.admission import AdmissionQueue, Ticket
 from repro.serve.lifecycle import EngineHandle, EngineSnapshot
+from repro.serve.tunables import TunableSet
 
 
 __all__ = ["MicroBatcher"]
@@ -46,6 +48,7 @@ class MicroBatcher:
         executor: Executor,
         max_batch: int = 16,
         window: float = 0.002,
+        tunables: Optional[TunableSet] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -56,19 +59,37 @@ class MicroBatcher:
         self.executor = executor
         self.max_batch = max_batch
         self.window = window
+        self.tunables = tunables
         self.batches_dispatched = 0
+        self.last_batch_size = 0
+
+    def batch_params(self) -> Tuple[int, float]:
+        """The (max_items, window) for the *next* take.
+
+        Pulled from the :class:`TunableSet` when one is wired in, so a
+        controller step lands within one batch window — no restart, no
+        queue drain.  Falls back to the constructor values otherwise.
+        """
+        if self.tunables is None:
+            return self.max_batch, self.window
+        return (
+            self.tunables.get_int("max_batch"),
+            self.tunables.get("batch_window"),
+        )
 
     async def run(self) -> None:
         """Consume until the queue closes; returns after the final batch."""
         loop = asyncio.get_running_loop()
         pending = set()
         while True:
-            batch = await self.queue.take(self.max_batch, self.window)
+            max_items, window = self.batch_params()
+            batch = await self.queue.take(max_items, window)
             if not batch:
                 if self.queue.closed:
                     break
                 continue
             self.batches_dispatched += 1
+            self.last_batch_size = len(batch)
             if obs.OBS.enabled:
                 obs.record_serve_batch(len(batch))
             snapshot = self.handle.current()

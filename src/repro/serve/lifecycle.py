@@ -19,7 +19,7 @@ This relies on ``flush`` never mutating the outgoing engine's index
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.dynamic import DynamicSimRankEngine, FlushStats
 from repro.core.engine import SimRankEngine
@@ -70,6 +70,8 @@ class EngineHandle:
             engine.preprocess()
         self._cache_capacity = cache_capacity
         self._lock = make_lock("EngineHandle._lock")
+        self._base = engine  # locked-by: _lock
+        self._overrides: Dict[str, float] = {}  # locked-by: _lock
         self._snapshot = self._make_snapshot(engine, epoch=0)  # locked-by: _lock
         self._dynamic: Optional[DynamicSimRankEngine] = None
         self._listener = None
@@ -118,13 +120,48 @@ class EngineHandle:
     # ------------------------------------------------------------------
 
     def swap(self, engine: SimRankEngine) -> EngineSnapshot:
-        """Publish ``engine`` as a new snapshot (fresh cache, epoch + 1)."""
+        """Publish ``engine`` as a new snapshot (fresh cache, epoch + 1).
+
+        Live engine overrides (see :meth:`apply_engine_overrides`) are
+        sticky across swaps: the incoming engine is wrapped in the same
+        config view, so an index flush does not silently reset knobs
+        the controller has moved.
+        """
         with self._lock:
-            snapshot = self._make_snapshot(engine, epoch=self._snapshot.epoch + 1)
+            self._base = engine
+            serving = (
+                engine.with_config(**self._overrides) if self._overrides else engine
+            )
+            snapshot = self._make_snapshot(serving, epoch=self._snapshot.epoch + 1)
             self._snapshot = snapshot
         if obs.OBS.enabled:
             obs.record_serve_swap()
         return snapshot
+
+    def apply_engine_overrides(self, **overrides: float) -> EngineSnapshot:
+        """Republish the snapshot around a query-time config view.
+
+        The live-tunable write path: merges ``overrides`` into the
+        handle's sticky override set and re-wraps the base engine in a
+        :meth:`~repro.core.engine.SimRankEngine.with_config` view
+        (validation included — an out-of-range or structural field
+        raises before any state changes).  The epoch does **not**
+        advance (the index is unchanged) but the snapshot starts a
+        fresh result cache: answers cached under the old settings must
+        not be served as if computed under the new ones.
+        """
+        with self._lock:
+            merged = dict(self._overrides, **overrides)
+            serving = self._base.with_config(**merged) if merged else self._base
+            self._overrides = merged
+            snapshot = self._make_snapshot(serving, epoch=self._snapshot.epoch)
+            self._snapshot = snapshot
+        return snapshot
+
+    def engine_overrides(self) -> Dict[str, float]:
+        """A copy of the sticky override set currently applied."""
+        with self._lock:
+            return dict(self._overrides)
 
     def attach(self, dynamic: DynamicSimRankEngine) -> None:
         """Swap automatically after every applied flush of ``dynamic``."""

@@ -33,7 +33,10 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Set, Union
+from typing import TYPE_CHECKING, Optional, Set, Union
+
+if TYPE_CHECKING:  # imported lazily at runtime (see start())
+    from repro.control.controller import Controller
 
 from repro.core.dynamic import DynamicSimRankEngine
 from repro.core.engine import SimRankEngine
@@ -45,6 +48,7 @@ from repro.serve import protocol
 from repro.serve.admission import SHED_POLICIES, AdmissionQueue, Ticket
 from repro.serve.batching import MicroBatcher
 from repro.serve.lifecycle import EngineHandle
+from repro.serve.tunables import TunableSet
 
 
 __all__ = ["BATCHED_OPS", "ServeConfig", "SimRankServer", "ServerThread"]
@@ -66,6 +70,11 @@ class ServeConfig:
     cache_capacity: Optional[int] = 1024  # per-snapshot LRU; None/0 = no cache
     default_timeout: Optional[float] = None  # per-request deadline (seconds)
     shards: int = 0  # >0 = scatter-gather across that many worker processes
+    autotune: bool = False  # run the repro.control feedback controller
+    control_interval: float = 1.0  # seconds between controller ticks
+    slo_p99_ms: float = 250.0  # guarded latency objective (autotune)
+    slo_error_rate: float = 0.01  # guarded error-rate ceiling (autotune)
+    slo_shed_rate: float = 0.05  # guarded shed-rate ceiling (autotune)
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -84,6 +93,16 @@ class ServeConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.shards < 0:
             raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.control_interval <= 0:
+            raise ConfigError(
+                f"control_interval must be > 0, got {self.control_interval}"
+            )
+        if self.slo_p99_ms <= 0:
+            raise ConfigError(f"slo_p99_ms must be > 0, got {self.slo_p99_ms}")
+        for name in ("slo_error_rate", "slo_shed_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
 
 
 class SimRankServer:
@@ -130,6 +149,16 @@ class SimRankServer:
         self.port: Optional[int] = None
         self.queue: Optional[AdmissionQueue] = None
         self.batcher: Optional[MicroBatcher] = None
+        # The live-tunable store + controller only exist under
+        # --autotune; without it the batcher runs on the static config
+        # values and no control task is scheduled.
+        self.tunables: Optional[TunableSet] = None
+        self.controller: Optional["Controller"] = None
+        self._controller_task: Optional[asyncio.Task] = None
+        self._controller_error: Optional[str] = None
+        if self.config.autotune:
+            self.tunables = self._build_tunables()
+            self.tunables.subscribe(self._on_tunable)
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher_task: Optional[asyncio.Task] = None
@@ -139,6 +168,68 @@ class SimRankServer:
         self._obs_was_enabled = False
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Live tunables (autotune)
+    # ------------------------------------------------------------------
+
+    def _build_tunables(self) -> TunableSet:
+        """Seed the knob store from the static config, clamped into bounds.
+
+        Clamping (rather than rejecting) keeps ``--autotune`` usable
+        with any otherwise-valid ServeConfig: a ``max_batch`` of 512 is
+        legal statically but the controller's grid tops out at the
+        TunableSpec maximum, so it starts from the nearest grid point.
+        """
+        from repro.core.config import TUNABLES
+
+        engine_config = self.handle.current().engine.config
+        return TunableSet(
+            {
+                "max_batch": TUNABLES["max_batch"].clamp(self.config.max_batch),
+                "batch_window": TUNABLES["batch_window"].clamp(
+                    self.config.batch_window
+                ),
+                "r_pair": TUNABLES["r_pair"].clamp(engine_config.r_pair),
+                "screen_slack": TUNABLES["screen_slack"].clamp(
+                    engine_config.screen_slack
+                ),
+            }
+        )
+
+    def _on_tunable(self, name: str, value: float) -> None:
+        """Push engine-scope knob changes through the handle.
+
+        Batcher-scope knobs need no push — the MicroBatcher pulls them
+        at the top of every take cycle.  Engine knobs republish the
+        serving snapshot (and, on a sharded handle, broadcast to the
+        worker pool) so every in-flight layer converges on the same
+        settings.
+        """
+        assert self.tunables is not None
+        spec = self.tunables.spec(name)
+        if spec.scope != "engine":
+            return
+        typed: Union[int, float] = int(round(value)) if spec.integer else value
+        self.handle.apply_engine_overrides(**{name: typed})
+
+    async def _control_loop(self) -> None:
+        """Drive one controller tick per interval until shutdown.
+
+        A controller bug must never take serving down: the loop stops
+        on the first unexpected exception and surfaces it through
+        ``/healthz`` instead of propagating.
+        """
+        assert self.controller is not None
+        while not self._stopping:
+            await asyncio.sleep(self.config.control_interval)
+            if self._stopping:
+                break
+            try:
+                self.controller.tick(self.registry.snapshot())
+            except Exception as exc:  # noqa: BLE001 - reported via healthz
+                self._controller_error = f"{type(exc).__name__}: {exc}"
+                break
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,8 +252,24 @@ class SimRankServer:
             self._executor,
             max_batch=self.config.max_batch,
             window=self.config.batch_window,
+            tunables=self.tunables,
         )
         self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        if self.config.autotune:
+            # Imported lazily: the control package is only needed when
+            # the feedback loop is actually on.
+            from repro.control.controller import Controller, ControllerConfig
+
+            assert self.tunables is not None
+            self.controller = Controller(
+                ControllerConfig(
+                    slo_p99_ms=self.config.slo_p99_ms,
+                    max_error_rate=self.config.slo_error_rate,
+                    max_shed_rate=self.config.slo_shed_rate,
+                ),
+                self.tunables,
+            )
+            self._controller_task = asyncio.ensure_future(self._control_loop())
         self._stopped = asyncio.Event()
         self._mutate_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
@@ -186,6 +293,12 @@ class SimRankServer:
         if self._stopping or self._stopped is None:
             return
         self._stopping = True
+        if self._controller_task is not None:
+            self._controller_task.cancel()
+            try:
+                await self._controller_task
+            except asyncio.CancelledError:
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -394,6 +507,13 @@ class SimRankServer:
         shard_rows = self.handle.shard_status()
         if shard_rows is not None:
             payload["shards"] = shard_rows
+        if self.controller is not None:
+            controller = self.controller.status()
+            if self._controller_error is not None:
+                controller["error"] = self._controller_error
+            payload["controller"] = controller
+        elif self.config.autotune:
+            payload["controller"] = {"state": "starting"}
         return payload
 
     def metrics_text(self) -> str:

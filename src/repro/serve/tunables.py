@@ -1,0 +1,138 @@
+"""`TunableSet` — thread-safe live serving knobs with bounded apply.
+
+The self-tuning controller (:mod:`repro.control`) and any operator
+tooling adjust serving parameters *while requests are in flight*.  The
+knobs therefore live in one lock-guarded store whose apply path is the
+only write surface:
+
+- every value is validated against its :class:`~repro.core.config.TunableSpec`
+  (bounds + integer grid) before it is published, so no consumer ever
+  reads an out-of-range knob;
+- reads (:meth:`get`, :meth:`current`) return plain values/copies — the
+  internal dict never escapes the lock;
+- listeners registered with :meth:`subscribe` are fired **outside** the
+  critical section (same discipline as
+  :class:`~repro.core.dynamic.DynamicSimRankEngine`'s flush listeners),
+  so a listener that itself takes locks — the engine handle republishing
+  a snapshot, the shard handle broadcasting to its pool — can never
+  create a lock-order cycle through this module.
+
+Consumers by scope:
+
+- ``"batcher"`` knobs (``max_batch``, ``batch_window``) are *pulled*:
+  the :class:`~repro.serve.batching.MicroBatcher` reads them at the top
+  of every take cycle, so a change lands within one batch window;
+- ``"engine"`` knobs (``r_pair``, ``screen_slack``) are *pushed*: the
+  server subscribes a listener that calls
+  :meth:`~repro.serve.lifecycle.EngineHandle.apply_engine_overrides`,
+  which republishes the serving snapshot around a config view (and, on
+  a :class:`~repro.shard.lifecycle.ShardHandle`, forwards the overrides
+  to the pool so every shard worker scores with the same settings).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.config import TUNABLES, TunableSpec
+from repro.errors import ConfigError
+from repro.utils.sync import make_lock
+
+__all__ = ["TunableSet"]
+
+#: A listener receives (knob name, new value) after the value published.
+TunableListener = Callable[[str, float], None]
+
+
+class TunableSet:
+    """Validated, lock-guarded live values for a set of tunable knobs."""
+
+    def __init__(
+        self,
+        initial: Mapping[str, float],
+        specs: Optional[Mapping[str, TunableSpec]] = None,
+    ) -> None:
+        self._specs: Dict[str, TunableSpec] = (
+            dict(specs)
+            if specs is not None
+            else {name: TUNABLES[name] for name in initial if name in TUNABLES}
+        )
+        unknown = set(initial) - set(self._specs)
+        if unknown:
+            raise ConfigError(f"unknown tunables: {sorted(unknown)}")
+        self._lock = make_lock("TunableSet._lock")
+        self._values: Dict[str, float] = {}  # locked-by: _lock
+        self._listeners: List[TunableListener] = []  # locked-by: _lock
+        for name, value in initial.items():
+            self._values[name] = self._specs[name].validate(value)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def spec(self, name: str) -> TunableSpec:
+        """The (immutable) spec for ``name``; raises on unknown knobs."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigError(f"unknown tunable {name!r}") from None
+
+    def names(self) -> List[str]:
+        """The knobs this set manages, sorted."""
+        return sorted(self._specs)
+
+    def get(self, name: str) -> float:
+        """Current value of ``name``."""
+        self.spec(name)
+        with self._lock:
+            return self._values[name]
+
+    def get_int(self, name: str) -> int:
+        """Current value of an integer knob."""
+        return int(round(self.get(name)))
+
+    def current(self) -> Dict[str, float]:
+        """A point-in-time copy of every knob (never the live dict)."""
+        with self._lock:
+            return dict(self._values)
+
+    # ------------------------------------------------------------------
+    # Apply path (the only write surface)
+    # ------------------------------------------------------------------
+
+    def apply(self, name: str, value: float) -> float:
+        """Publish ``value`` for ``name``; returns the previous value.
+
+        Validates against the spec's bounds, swaps under the lock, and
+        fires listeners outside it.  A no-op apply (same value) still
+        notifies, so idempotent listeners can treat every call as "the
+        current value is X".
+        """
+        spec = self.spec(name)
+        validated = spec.validate(value)
+        with self._lock:
+            previous = self._values[name]
+            self._values[name] = validated
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(name, validated)
+        return previous
+
+    def subscribe(self, listener: TunableListener) -> TunableListener:
+        """Register a listener fired (outside the lock) after each apply."""
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: TunableListener) -> None:
+        """Remove a previously subscribed listener (idempotent)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        with self._lock:
+            values = dict(self._values)
+        return f"TunableSet({values})"

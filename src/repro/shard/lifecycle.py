@@ -111,6 +111,19 @@ class ShardHandle(EngineHandle):
     def pool(self) -> ShardPool:
         return self._pool
 
+    def apply_engine_overrides(self, **overrides: Any) -> EngineSnapshot:
+        """Apply live query-time overrides and broadcast them to the pool.
+
+        The base class republishes the local snapshot (validating the
+        override names/values in the process); the pool then carries
+        the merged set inside every scatter message, so each worker
+        scores — and the coordinator replays — under identical settings
+        even while the change propagates (see :meth:`ShardPool.top_k`).
+        """
+        snapshot = super().apply_engine_overrides(**overrides)
+        self._pool.set_overrides(self.engine_overrides())
+        return snapshot
+
     def shard_status(self) -> Optional[List[Dict[str, Any]]]:
         """Per-shard liveness and epoch (the /healthz payload rows)."""
         return self._pool.health()

@@ -28,6 +28,7 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.config import SimRankConfig
 from repro.core.engine import SimRankEngine
 from repro.core.query import TopKResult
 from repro.errors import (
@@ -160,6 +161,7 @@ class ShardPool:
         self._lock = make_lock("ShardPool._lock")
         self._epochs: Dict[int, Dict[str, Any]] = {}  # locked-by: _lock
         self._current_epoch: Optional[int] = None  # locked-by: _lock
+        self._overrides: Dict[str, Any] = {}  # locked-by: _lock
         self.engine = engine  # the latest published (local) engine
         self.plan = ShardPlan(n=engine.graph.n, n_shards=n_shards)
         self.workers = [_Worker(self, i) for i in range(n_shards)]
@@ -221,6 +223,28 @@ class ShardPool:
         self._sweep_releases()
         self._record_epoch_gauges()
         return epoch
+
+    def set_overrides(self, overrides: Dict[str, Any]) -> None:
+        """Replace the query-time config overrides every scatter carries.
+
+        The values travel *inside each query message* and the
+        coordinator replays with the exact set it scattered, so worker
+        and merge configs can never disagree mid-propagation — the
+        bit-identity contract of :mod:`repro.shard.merge` holds through
+        a live tune.  Validated by building the config view up front.
+        """
+        merged = dict(overrides)
+        self.engine.config.with_(**merged)  # raises on a bad field/value
+        with self._lock:
+            self._overrides = merged
+
+    def query_config(self) -> "SimRankConfig":
+        """The effective config queries run under (engine + overrides)."""
+        with self._lock:
+            overrides = dict(self._overrides)
+        return (
+            self.engine.config.with_(**overrides) if overrides else self.engine.config
+        )
 
     def _pin(self, epoch: Optional[int]) -> int:
         with self._lock:
@@ -293,7 +317,16 @@ class ShardPool:
         n = self.plan.n
         if not 0 <= int(u) < n:
             raise VertexError(int(u), n)
-        resolved_k = k if k is not None else self.engine.config.k
+        # Capture the override set once: the same dict travels in every
+        # scatter message AND parameterises the replay below, so worker
+        # and coordinator configs agree even if set_overrides() lands
+        # mid-query.
+        with self._lock:
+            overrides = dict(self._overrides)
+        config = (
+            self.engine.config.with_(**overrides) if overrides else self.engine.config
+        )
+        resolved_k = k if k is not None else config.k
         if resolved_k < 1:
             raise ValueError(f"k must be >= 1, got {resolved_k}")
         pinned = self._pin(epoch)
@@ -306,6 +339,7 @@ class ShardPool:
                 "use_l1": use_l1,
                 "use_l2": use_l2,
                 "adaptive": adaptive,
+                "overrides": overrides or None,
                 "extra_candidates": (
                     list(extra_candidates) if extra_candidates is not None else None
                 ),
@@ -316,7 +350,7 @@ class ShardPool:
             merged = replay_merge(
                 int(u),
                 resolved_k,
-                self.engine.config,
+                config,
                 results,
                 use_l1=use_l1,
                 adaptive=adaptive,
@@ -343,11 +377,19 @@ class ShardPool:
                 raise VertexError(int(vertex), n)
         if int(u) == int(v):
             return 1.0
+        with self._lock:
+            overrides = dict(self._overrides)
         pinned = self._pin(epoch)
         try:
             worker = self.workers[self.plan.shard_of(int(u))]
             future = worker.request(
-                {"op": "pair", "epoch": pinned, "u": int(u), "v": int(v)}
+                {
+                    "op": "pair",
+                    "epoch": pinned,
+                    "u": int(u),
+                    "v": int(v),
+                    "overrides": overrides or None,
+                }
             )
             (value,) = self._gather([future], "pair")
         finally:

@@ -264,6 +264,12 @@ def worker_main(conn: Any, shard_id: int) -> None:
                 reply(msg_id, None)
             elif op == "query":
                 bundle, engine, plan = epochs[msg["epoch"]]
+                overrides = msg.get("overrides")
+                if overrides:
+                    # Query-time config carried by the coordinator (live
+                    # tunables); a zero-copy view, never a mutation of
+                    # the resident epoch engine.
+                    engine = engine.with_config(**overrides)
                 reply(
                     msg_id,
                     score_shard(
@@ -280,6 +286,9 @@ def worker_main(conn: Any, shard_id: int) -> None:
                 )
             elif op == "pair":
                 bundle, engine, plan = epochs[msg["epoch"]]
+                overrides = msg.get("overrides")
+                if overrides:
+                    engine = engine.with_config(**overrides)
                 reply(msg_id, shard_pair(engine, msg["u"], msg["v"]))
             elif op == "health":
                 reply(

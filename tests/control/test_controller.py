@@ -1,0 +1,290 @@
+"""Controller.tick: hysteresis, dead band, guards, rollback, cooldown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import Controller, ControllerConfig
+from repro.core.config import TUNABLES
+from repro.errors import ConfigError
+from repro.obs import instrument as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import TunableSet
+
+# Bucket upper bounds are what the windowed quantile reports, so each
+# latency below maps to a known p99 against the default 250 ms SLO:
+#   0.005 -> 10 ms   (cold:    < 125 = relax_fraction * slo)
+#   0.12  -> 150 ms  (dead band: between 125 and 200)
+#   0.2   -> 250 ms  (hot:     > 200 = protect_fraction * slo, not > slo)
+#   0.4   -> 500 ms  (guard trip: > slo)
+LATENCY_BUCKETS = (0.01, 0.05, 0.15, 0.25, 0.5, 1.0)
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+COLD, DEAD, HOT, TRIP = 0.005, 0.12, 0.2, 0.4
+
+
+class Traffic:
+    """Feeds a cumulative registry, one synthetic window per call."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.requests = self.registry.counter("serve", "requests_total")
+        self.errors = self.registry.counter("serve", "errors_total")
+        self.shed = self.registry.counter("serve", "requests_shed_total")
+        self.latency = self.registry.histogram(
+            "serve", "request_latency_seconds", LATENCY_BUCKETS
+        )
+        self.batch = self.registry.histogram("serve", "batch_size", BATCH_BUCKETS)
+
+    def window(self, latency: float, n: int = 10, errors: int = 0,
+               shed: int = 0, batch_size: int = 1) -> dict:
+        self.requests.inc(n)
+        for _ in range(n):
+            self.latency.observe(latency)
+        if errors:
+            self.errors.inc(errors)
+        if shed:
+            self.shed.inc(shed)
+        self.batch.observe(batch_size)
+        return self.registry.snapshot()
+
+
+def make_controller(**config_kwargs) -> Controller:
+    tunables = TunableSet(
+        {"max_batch": 16, "batch_window": 0.002, "r_pair": 100,
+         "screen_slack": 0.3}
+    )
+    return Controller(ControllerConfig(**config_kwargs), tunables)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ControllerConfig()
+        assert config.slo_p99_ms == 250.0
+        assert config.hysteresis >= 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            ControllerConfig(slo_p99_ms=0)
+        with pytest.raises(ConfigError):
+            ControllerConfig(max_error_rate=1.5)
+        with pytest.raises(ConfigError):
+            ControllerConfig(relax_fraction=0.9, protect_fraction=0.8)
+        with pytest.raises(ConfigError):
+            ControllerConfig(hysteresis=0)
+
+
+class TestHysteresis:
+    def test_thin_window_is_ignored(self):
+        controller = make_controller()
+        traffic = Traffic()
+        assert controller.tick(traffic.window(TRIP, n=2)) == "idle"
+        assert controller.steps_total == 0
+        assert controller.guard_trips_total == 0
+
+    def test_one_hot_window_does_not_step(self):
+        controller = make_controller()
+        traffic = Traffic()
+        assert controller.tick(traffic.window(HOT)) == "idle"
+        assert controller.tunables.get("batch_window") == pytest.approx(0.002)
+
+    def test_two_hot_windows_step_batch_window_down(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "step:batch_window:down"
+        assert controller.tunables.get("batch_window") < 0.002
+        assert controller.steps_total == 1
+
+    def test_dead_band_resets_the_streak(self):
+        controller = make_controller()
+        traffic = Traffic()
+        assert controller.tick(traffic.window(HOT)) == "idle"
+        assert controller.tick(traffic.window(DEAD)) == "idle"
+        assert controller.tick(traffic.window(HOT)) == "idle"  # streak restarted
+        assert controller.tick(traffic.window(HOT)) == "step:batch_window:down"
+
+    def test_cold_then_hot_does_not_mix_streaks(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD))
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "step:batch_window:down"
+
+
+class TestProtectPriority:
+    def test_pinned_batch_window_falls_through_to_r_pair(self):
+        controller = make_controller()
+        controller.tunables.apply("batch_window", TUNABLES["batch_window"].minimum)
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "step:r_pair:down"
+
+    def test_all_pinned_protect_is_a_noop(self):
+        controller = make_controller()
+        controller.tunables.apply("batch_window", TUNABLES["batch_window"].minimum)
+        controller.tunables.apply("r_pair", TUNABLES["r_pair"].minimum)
+        controller.tunables.apply("screen_slack", TUNABLES["screen_slack"].maximum)
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "idle"
+        assert controller.steps_total == 0
+
+
+class TestRelax:
+    def test_cold_streak_spends_walks_on_accuracy(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD, batch_size=2))  # low fill
+        assert controller.tick(traffic.window(COLD, batch_size=2)) == "step:r_pair:up"
+        assert controller.tunables.get_int("r_pair") > 100
+
+    def test_full_batches_grow_max_batch_first(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD, batch_size=15))  # fill ~0.94
+        assert (
+            controller.tick(traffic.window(COLD, batch_size=15))
+            == "step:max_batch:up"
+        )
+        assert controller.tunables.get_int("max_batch") == 32
+
+    def test_relax_without_batch_knob_skips_to_engine(self):
+        tunables = TunableSet({"r_pair": 100, "screen_slack": 0.3})
+        controller = Controller(ControllerConfig(), tunables)
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD))
+        assert controller.tick(traffic.window(COLD)) == "step:r_pair:up"
+
+
+class TestGuardsAndRollback:
+    def test_trip_during_probation_rolls_back(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "step:batch_window:down"
+        stepped = controller.tunables.get("batch_window")
+        assert stepped < 0.002
+        assert controller.tick(traffic.window(TRIP)) == "rollback:batch_window"
+        assert controller.tunables.get("batch_window") == pytest.approx(0.002)
+        assert controller.rollbacks_total == 1
+        assert controller.guard_trips_total == 1
+
+    def test_step_commits_after_probation(self):
+        controller = make_controller(guard_ticks=2)
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        controller.tick(traffic.window(HOT))  # step; probation = 2 ticks
+        controller.tick(traffic.window(DEAD))
+        controller.tick(traffic.window(DEAD))
+        assert controller.status()["pending_step"] is None
+        # A later trip has nothing to roll back: it forces a protective
+        # step instead (once the cooldown from the first step expires).
+        assert controller.rollbacks_total == 0
+
+    def test_trip_with_nothing_pending_protects_immediately(self):
+        controller = make_controller()
+        traffic = Traffic()
+        assert controller.tick(traffic.window(TRIP)) == "step:batch_window:down"
+        assert controller.guard_trips_total == 1
+        assert controller.steps_total == 1
+
+    def test_error_rate_guard(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD, n=10, errors=2))  # 20% errors
+        assert controller.guard_trips_total == 1
+
+    def test_shed_rate_guard(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(COLD, n=10, shed=5))  # 33% shed
+        assert controller.guard_trips_total == 1
+
+    def test_probation_ages_through_quiet_windows(self):
+        controller = make_controller(guard_ticks=2)
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        controller.tick(traffic.window(HOT))  # step
+        controller.tick(traffic.window(DEAD, n=1))  # thin: still ages
+        controller.tick(traffic.window(DEAD, n=1))
+        assert controller.status()["pending_step"] is None
+
+
+class TestCooldown:
+    def test_cooldown_freezes_after_a_step(self):
+        controller = make_controller(cooldown_ticks=2)
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        controller.tick(traffic.window(HOT))  # step
+        assert controller.tick(traffic.window(HOT)) == "cooldown"
+        assert controller.tick(traffic.window(HOT)) == "cooldown"
+        assert controller.steps_total == 1
+        # Cooldown over; streak rebuilds from scratch, and batch_window
+        # (still above its floor) remains the first protective target.
+        controller.tick(traffic.window(HOT))
+        assert controller.tick(traffic.window(HOT)) == "step:batch_window:down"
+        assert controller.steps_total == 2
+
+    def test_guard_trip_respects_cooldown_when_nothing_pending(self):
+        controller = make_controller(guard_ticks=1, cooldown_ticks=3)
+        traffic = Traffic()
+        controller.tick(traffic.window(TRIP))  # immediate protective step
+        assert controller.steps_total == 1
+        controller.tick(traffic.window(DEAD))  # probation (1 tick) expires
+        assert controller.status()["pending_step"] is None
+        assert controller.tick(traffic.window(TRIP)) == "cooldown"
+        assert controller.steps_total == 1  # frozen: no second step yet
+
+
+class TestObservability:
+    def test_control_metrics_emitted(self):
+        with obs.session() as registry:
+            controller = make_controller()
+            traffic = Traffic()
+            controller.tick(traffic.window(HOT))
+            controller.tick(traffic.window(HOT))  # step
+            controller.tick(traffic.window(TRIP))  # rollback
+            snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["control.ticks_total"] == 3
+        assert counters["control.steps_total"] == 1
+        assert counters["control.rollbacks_total"] == 1
+        assert counters["control.guard_trips_total"] == 1
+        assert counters["control.guard_p99_trips_total"] == 1
+        gauges = snap["gauges"]
+        # Rolled back, so the published knob gauge shows the restored value.
+        assert gauges["control.knob_batch_window_seconds"] == pytest.approx(0.002)
+        assert gauges["control.knob_max_batch"] == 16
+
+    def test_emitted_control_metrics_are_catalogued(self):
+        from repro.obs import catalog
+
+        with obs.session() as registry:
+            controller = make_controller()
+            traffic = Traffic()
+            controller.tick(traffic.window(HOT))
+            controller.tick(traffic.window(HOT))  # step
+            controller.tick(traffic.window(TRIP))  # rollback
+        for (subsystem, name), _metric in registry:
+            assert (subsystem, name) in catalog.CATALOG, (subsystem, name)
+        emitted = {key for key, _metric in registry}
+        assert catalog.CONTROL_TICKS in emitted
+        assert catalog.CONTROL_STEPS in emitted
+        assert catalog.CONTROL_ROLLBACKS in emitted
+        assert catalog.CONTROL_GUARD_TRIPS in emitted
+        for knob_gauge in catalog.CONTROL_KNOB_GAUGES.values():
+            assert knob_gauge in emitted
+
+    def test_status_payload(self):
+        controller = make_controller()
+        traffic = Traffic()
+        controller.tick(traffic.window(HOT))
+        status = controller.status()
+        assert status["ticks"] == 1
+        assert status["last_action"] == "idle"
+        assert status["pending_step"] is None
+        assert status["slo_p99_ms"] == 250.0
+        assert set(status["knobs"]) == {
+            "max_batch", "batch_window", "r_pair", "screen_slack",
+        }

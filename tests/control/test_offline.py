@@ -1,0 +1,139 @@
+"""Offline tuner: workload shapes, hill climb invariants, payload shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import (
+    WORKLOAD_SHAPES,
+    evaluate_config,
+    hill_climb,
+    make_workload,
+    tune_offline,
+)
+from repro.control.offline import OFFLINE_KNOBS, _reference_truth
+from repro.core.config import SimRankConfig
+from repro.errors import ConfigError
+from repro.graph.generators import copying_web_graph
+
+
+@pytest.fixture(scope="module")
+def tune_graph():
+    return copying_web_graph(60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tune_config():
+    return SimRankConfig(
+        T=4, r_pair=40, r_screen=8, r_alphabeta=60, r_gamma=20,
+        index_walks=4, index_checks=3, k=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(tune_graph):
+    return make_workload(tune_graph, "uniform", 8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def truth(tune_graph, tune_config, workload):
+    return _reference_truth(tune_graph, workload, tune_config, seed=5, k=5)
+
+
+class TestWorkloads:
+    def test_shapes_constant(self):
+        assert WORKLOAD_SHAPES == ("uniform", "hub")
+
+    def test_both_shapes_yield_valid_vertices(self, tune_graph):
+        for shape in WORKLOAD_SHAPES:
+            stream = make_workload(tune_graph, shape, 12, seed=2)
+            assert len(stream) == 12
+            assert all(0 <= u < tune_graph.n for u in stream)
+
+    def test_hub_shape_concentrates_queries(self, tune_graph):
+        hub = make_workload(tune_graph, "hub", 200, seed=2)
+        uniform = make_workload(tune_graph, "uniform", 200, seed=2)
+        assert len(set(hub)) < len(set(uniform))
+
+    def test_unknown_shape_raises(self, tune_graph):
+        with pytest.raises(ConfigError):
+            make_workload(tune_graph, "spiky", 8, seed=2)
+
+
+class TestEvaluate:
+    def test_metrics_shape(self, tune_graph, tune_config, workload, truth):
+        metrics = evaluate_config(
+            tune_graph, tune_config, workload, truth, k=5, seed=5
+        )
+        assert set(metrics) == {
+            "p99_ms", "mean_ms", "accuracy", "preprocess_seconds",
+        }
+        assert metrics["p99_ms"] >= metrics["mean_ms"] >= 0
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+
+    def test_reference_budget_is_accurate_against_itself(
+        self, tune_graph, tune_config, workload, truth
+    ):
+        ref = tune_config.with_(
+            r_pair=400, r_screen=40, index_walks=20, index_checks=10
+        )
+        metrics = evaluate_config(tune_graph, ref, workload, truth, k=5, seed=5)
+        assert metrics["accuracy"] == 1.0
+
+
+class TestHillClimb:
+    def test_tuned_never_loses_on_recorded_numbers(
+        self, tune_graph, tune_config, workload, truth
+    ):
+        values, best, trajectory = hill_climb(
+            tune_graph, tune_config, workload, truth, k=5, seed=5, max_rounds=2
+        )
+        start = trajectory[0]["metrics"]
+        assert trajectory[0]["move"] == "start"
+        assert best["p99_ms"] <= start["p99_ms"]
+        assert best["accuracy"] >= start["accuracy"] - 0.02
+        assert set(values) == set(OFFLINE_KNOBS)
+
+    def test_every_accepted_move_improves(self, tune_graph, tune_config,
+                                          workload, truth):
+        _, _, trajectory = hill_climb(
+            tune_graph, tune_config, workload, truth, k=5, seed=5, max_rounds=2
+        )
+        p99s = [step["metrics"]["p99_ms"] for step in trajectory]
+        assert all(b < a for a, b in zip(p99s, p99s[1:]))
+
+    def test_values_stay_on_the_tunable_grid(self, tune_graph, tune_config,
+                                             workload, truth):
+        from repro.core.config import TUNABLES
+
+        values, _, _ = hill_climb(
+            tune_graph, tune_config, workload, truth, k=5, seed=5, max_rounds=2
+        )
+        for name, value in values.items():
+            spec = TUNABLES[name]
+            assert spec.minimum <= value <= spec.maximum
+            if spec.integer:
+                assert value == int(value)
+
+
+class TestTuneOffline:
+    def test_quick_payload_shape(self, tune_graph, tune_config):
+        payload = tune_offline(
+            tune_graph, base=tune_config, shapes=("uniform",), quick=True,
+            include_serving=False,
+        )
+        assert payload["graph"] == {"n": tune_graph.n, "m": tune_graph.m}
+        assert payload["parameters"]["quick"] is True
+        assert set(payload["parameters"]["defaults"]) == set(OFFLINE_KNOBS)
+        entry = payload["workloads"]["uniform"]
+        assert entry["tuned"]["p99_ms"] <= entry["default"]["p99_ms"]
+        assert entry["trajectory"][0]["move"] == "start"
+        assert entry["evaluations"] == len(entry["trajectory"])
+
+    def test_progress_callback_fires(self, tune_graph, tune_config):
+        lines = []
+        tune_offline(
+            tune_graph, base=tune_config, shapes=("hub",), quick=True,
+            include_serving=False, progress=lines.append,
+        )
+        assert any("hub" in line for line in lines)

@@ -110,11 +110,15 @@ class TestSummary:
             "query_samples_total",
             "preprocess_seconds",
             "query_latency_seconds",
-            "query_prune_rate",  # derived from the counters at export time
+            # Derived at export time; both always present (0 when the
+            # underlying series have not moved yet).
+            "query_prune_rate",
+            "shard_epoch_lag",
         }
         kinds = {row[0]: row[1] for row in rows}
         assert kinds["query_latency_seconds"] == "histogram"
         assert kinds["query_prune_rate"] == "gauge"
+        assert kinds["shard_epoch_lag"] == "gauge"
 
 
 class TestDerived:
@@ -127,11 +131,15 @@ class TestDerived:
         derived = with_derived(registry.snapshot())
         assert derived["gauges"]["query.prune_rate"] == 0.0
 
-    def test_no_candidates_no_gauge(self):
+    def test_empty_snapshot_exports_zero_rates(self):
+        # Before the first query (or with --shards unset) the derived
+        # gauges must exist and read 0 — a scrape of a just-booted
+        # server sees real zeros, never NaN or a missing series.
         snapshot = MetricsRegistry().snapshot()
         derived = with_derived(snapshot)
-        assert "query.prune_rate" not in derived.get("gauges", {})
-        assert derived is snapshot  # untouched, not copied
+        assert derived["gauges"]["query.prune_rate"] == 0.0
+        assert derived["gauges"]["shard.epoch_lag"] == 0.0
+        assert "query.prune_rate" not in snapshot.get("gauges", {})
 
     def test_original_snapshot_not_mutated(self, registry):
         snapshot = registry.snapshot()

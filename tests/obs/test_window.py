@@ -1,0 +1,150 @@
+"""MetricsWindow: snapshot diffing, reset handling, windowed quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.window import MetricsWindow
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounterWindows:
+    def test_first_window_reports_lifetime(self, registry):
+        registry.counter("serve", "requests_total").inc(7)
+        stats = MetricsWindow().advance(registry.snapshot())
+        assert stats.delta("serve.requests_total") == 7
+
+    def test_second_window_reports_increment_only(self, registry):
+        window = MetricsWindow()
+        counter = registry.counter("serve", "requests_total")
+        counter.inc(7)
+        window.advance(registry.snapshot())
+        counter.inc(3)
+        stats = window.advance(registry.snapshot())
+        assert stats.delta("serve.requests_total") == 3
+
+    def test_idle_window_is_zero(self, registry):
+        window = MetricsWindow()
+        registry.counter("serve", "requests_total").inc(7)
+        window.advance(registry.snapshot())
+        stats = window.advance(registry.snapshot())
+        assert stats.delta("serve.requests_total") == 0
+
+    def test_counters_monotone_across_registry_swap(self, registry):
+        # The serve layer swaps in a fresh registry per server lifetime;
+        # the window must never report a negative rate for the epoch
+        # boundary — it re-baselines to the new lifetime value instead.
+        window = MetricsWindow()
+        registry.counter("serve", "requests_total").inc(100)
+        window.advance(registry.snapshot())
+        fresh = MetricsRegistry()
+        fresh.counter("serve", "requests_total").inc(4)
+        stats = window.advance(fresh.snapshot())
+        assert stats.delta("serve.requests_total") == 4
+
+    def test_absent_counter_defaults_to_zero(self, registry):
+        stats = MetricsWindow().advance(registry.snapshot())
+        assert stats.delta("serve.requests_total") == 0.0
+        assert stats.ratio("serve.errors_total", "serve.requests_total") == 0.0
+
+    def test_ratio(self, registry):
+        registry.counter("serve", "errors_total").inc(1)
+        registry.counter("serve", "requests_total").inc(4)
+        stats = MetricsWindow().advance(registry.snapshot())
+        assert stats.ratio("serve.errors_total", "serve.requests_total") == 0.25
+
+
+class TestGaugeWindows:
+    def test_gauges_pass_through_latest_value(self, registry):
+        window = MetricsWindow()
+        gauge = registry.gauge("serve", "queue_depth")
+        gauge.set(9)
+        window.advance(registry.snapshot())
+        gauge.set(2)
+        stats = window.advance(registry.snapshot())
+        assert stats.gauge("serve.queue_depth") == 2
+
+    def test_unset_gauge_uses_default(self, registry):
+        stats = MetricsWindow().advance(registry.snapshot())
+        assert stats.gauge("serve.queue_depth", default=5.0) == 5.0
+
+
+class TestHistogramWindows:
+    BUCKETS = (0.01, 0.1, 1.0)
+
+    def test_quantile_covers_window_only(self, registry):
+        # Lifetime holds 100 fast observations; the new window holds 10
+        # slow ones.  The windowed p99 must see only the slow ones.
+        window = MetricsWindow()
+        hist = registry.histogram("serve", "request_latency_seconds", self.BUCKETS)
+        for _ in range(100):
+            hist.observe(0.005)
+        lifetime = window.advance(registry.snapshot())
+        assert lifetime.quantile("serve.request_latency_seconds", 0.99) == 0.01
+        for _ in range(10):
+            hist.observe(0.5)
+        stats = window.advance(registry.snapshot())
+        assert stats.count("serve.request_latency_seconds") == 10
+        assert stats.quantile("serve.request_latency_seconds", 0.99) == 1.0
+        assert stats.mean("serve.request_latency_seconds") == pytest.approx(0.5)
+
+    def test_empty_window_quantile_is_zero(self, registry):
+        window = MetricsWindow()
+        hist = registry.histogram("serve", "request_latency_seconds", self.BUCKETS)
+        hist.observe(0.05)
+        window.advance(registry.snapshot())
+        stats = window.advance(registry.snapshot())
+        assert stats.count("serve.request_latency_seconds") == 0
+        assert stats.quantile("serve.request_latency_seconds", 0.99) == 0.0
+        assert stats.mean("serve.request_latency_seconds") == 0.0
+
+    def test_histogram_reset_rebaselines_to_lifetime(self, registry):
+        window = MetricsWindow()
+        hist = registry.histogram("serve", "request_latency_seconds", self.BUCKETS)
+        for _ in range(50):
+            hist.observe(0.005)
+        window.advance(registry.snapshot())
+        fresh = MetricsRegistry()
+        fresh.histogram("serve", "request_latency_seconds", self.BUCKETS).observe(0.5)
+        stats = window.advance(fresh.snapshot())
+        assert stats.count("serve.request_latency_seconds") == 1
+        assert stats.quantile("serve.request_latency_seconds", 0.99) == 1.0
+
+    def test_bucket_layout_change_rebaselines(self, registry):
+        window = MetricsWindow()
+        registry.histogram("serve", "request_latency_seconds", self.BUCKETS).observe(
+            0.05
+        )
+        window.advance(registry.snapshot())
+        other = MetricsRegistry()
+        relabelled = other.histogram(
+            "serve", "request_latency_seconds", (0.5, 2.0)
+        )
+        relabelled.observe(0.3)
+        relabelled.observe(0.3)
+        stats = window.advance(other.snapshot())
+        assert stats.count("serve.request_latency_seconds") == 2
+        assert stats.quantile("serve.request_latency_seconds", 0.5) == 0.5
+
+    def test_invalid_quantile_raises(self, registry):
+        hist = registry.histogram("serve", "request_latency_seconds", self.BUCKETS)
+        hist.observe(0.05)
+        stats = MetricsWindow().advance(registry.snapshot())
+        with pytest.raises(ValueError):
+            stats.quantile("serve.request_latency_seconds", 1.5)
+
+
+class TestReset:
+    def test_reset_forgets_baseline(self, registry):
+        window = MetricsWindow()
+        counter = registry.counter("serve", "requests_total")
+        counter.inc(10)
+        window.advance(registry.snapshot())
+        window.reset()
+        stats = window.advance(registry.snapshot())
+        assert stats.delta("serve.requests_total") == 10

@@ -1,0 +1,102 @@
+"""Live engine overrides across the process boundary stay bit-identical.
+
+The controller may retarget ``r_pair`` / ``screen_slack`` while shard
+queries are in flight.  The pool carries the override set *inside each
+scatter message* and replays the merge with the very same set, so a
+worker and its coordinator can never disagree mid-propagation — these
+tests pin that contract against the single-process engine's answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shard.lifecycle import ShardHandle
+from repro.shard.pool import ShardPool
+
+
+@pytest.fixture(scope="module")
+def override_pool(shard_engine):
+    with ShardPool(shard_engine, 2) as running:
+        yield running
+        running.set_overrides({})  # do not leak state between classes
+
+
+class TestPoolOverrides:
+    def test_topk_bit_identical_to_config_view(self, override_pool, shard_engine):
+        override_pool.set_overrides({"r_pair": 60, "screen_slack": 0.5})
+        view = shard_engine.with_config(r_pair=60, screen_slack=0.5)
+        try:
+            for u in range(0, shard_engine.graph.n, 17):
+                merged = override_pool.top_k(u)
+                reference = view.top_k(u)
+                assert merged.items == reference.items
+                got, want = asdict(merged.stats), asdict(reference.stats)
+                got.pop("elapsed_seconds")
+                want.pop("elapsed_seconds")
+                assert got == want
+        finally:
+            override_pool.set_overrides({})
+
+    def test_single_pair_under_overrides(self, override_pool, shard_engine):
+        override_pool.set_overrides({"r_pair": 60})
+        try:
+            for u, v in [(0, 1), (3, 77), (118, 2)]:
+                assert override_pool.single_pair(u, v) == (
+                    shard_engine.with_config(r_pair=60).single_pair(u, v)
+                )
+        finally:
+            override_pool.set_overrides({})
+
+    def test_set_overrides_replaces_the_whole_set(
+        self, override_pool, shard_engine
+    ):
+        # The pool's contract is replace, not merge: the ShardHandle
+        # owns accumulation and always broadcasts the full merged set.
+        override_pool.set_overrides({"r_pair": 60})
+        override_pool.set_overrides({"screen_slack": 0.5})
+        try:
+            effective = override_pool.query_config()
+            assert effective.r_pair == shard_engine.config.r_pair
+            assert effective.screen_slack == 0.5
+        finally:
+            override_pool.set_overrides({})
+        assert override_pool.query_config() == shard_engine.config
+
+    def test_invalid_overrides_rejected_eagerly(self, override_pool):
+        with pytest.raises((ConfigError, ValueError)):
+            override_pool.set_overrides({"r_pair": -5})
+        with pytest.raises((ConfigError, ValueError, TypeError)):
+            override_pool.set_overrides({"no_such_field": 1})
+        # The failed apply must not have poisoned the effective config.
+        override_pool.top_k(0)
+
+    def test_clearing_restores_baseline_answers(self, override_pool,
+                                                shard_engine):
+        baseline = override_pool.top_k(7)
+        override_pool.set_overrides({"r_pair": 60})
+        override_pool.set_overrides({})
+        assert override_pool.top_k(7).items == baseline.items
+        assert override_pool.top_k(7).items == shard_engine.top_k(7).items
+
+
+class TestShardHandleBroadcast:
+    def test_apply_engine_overrides_reaches_the_pool(self, shard_engine):
+        handle = ShardHandle(shard_engine, 2, cache_capacity=None)
+        try:
+            snapshot = handle.apply_engine_overrides(r_pair=60)
+            assert snapshot.epoch == 0  # overrides never bump the epoch
+            assert handle.pool.query_config().r_pair == 60
+            served = snapshot.top_k(5)
+            reference = shard_engine.with_config(r_pair=60).top_k(5)
+            assert served.items == reference.items
+            # The handle accumulates; the pool receives the merged set.
+            handle.apply_engine_overrides(screen_slack=0.5)
+            effective = handle.pool.query_config()
+            assert effective.r_pair == 60
+            assert effective.screen_slack == 0.5
+        finally:
+            handle.close()

@@ -53,7 +53,8 @@ class TestReadme:
         parser = build_parser()
         documented = set(re.findall(r"python -m repro\.cli (\w[\w-]*)", readme))
         assert documented  # README advertises the CLI
-        available = {"generate", "build-index", "query", "pair", "info", "serve"}
+        available = {"generate", "build-index", "query", "pair", "info",
+                     "serve", "tune"}
         assert documented <= available
         assert "serve" in documented  # the serving mode is advertised
 
@@ -90,6 +91,35 @@ class TestServingDoc:
         text = (REPO_ROOT / "docs" / "api.md").read_text()
         for name in ("SimRankServer", "ServeClient", "EngineHandle"):
             assert name in text, f"docs/api.md lost {name}"
+
+    def test_api_doc_mentions_control_layer(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for name in ("Controller", "TunableSet", "tune_offline",
+                     "apply_engine_overrides", "--autotune"):
+            assert name in text, f"docs/api.md lost {name}"
+
+
+class TestTuningDoc:
+    def test_knob_table_covers_every_tunable(self):
+        from repro.core.config import TUNABLES
+
+        text = (REPO_ROOT / "docs" / "tuning.md").read_text()
+        for knob in TUNABLES:
+            assert f"`{knob}`" in text, f"docs/tuning.md lost knob {knob}"
+
+    def test_tuning_doc_covers_the_loop_and_cross_links(self):
+        text = (REPO_ROOT / "docs" / "tuning.md").read_text()
+        for word in ("hysteresis", "rollback", "probation", "dead band",
+                     "BENCH_tune.json", "--autotune", "--slo-p99-ms"):
+            assert word in text, f"docs/tuning.md lost {word}"
+        for link in ("serving.md", "observability.md", "api.md"):
+            assert link in text
+
+    def test_other_docs_link_back(self):
+        for doc in ("serving.md", "observability.md", "api.md"):
+            text = (REPO_ROOT / "docs" / doc).read_text()
+            assert "tuning.md" in text, f"docs/{doc} lost the tuning.md link"
+        assert "docs/tuning.md" in (REPO_ROOT / "README.md").read_text()
 
 
 class TestDesignDoc:

@@ -1,0 +1,105 @@
+"""Versioned sidecar schema shared by every BENCH_*.json artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.utils.bench import (
+    KNOWN_KINDS,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    load_sidecar,
+    sidecar_header,
+    write_sidecar,
+)
+
+
+class TestHeader:
+    def test_header_fields(self):
+        header = sidecar_header("tune")
+        assert header == {
+            "name": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "kind": "tune",
+        }
+
+    def test_every_known_kind_accepted(self):
+        for kind in KNOWN_KINDS:
+            assert sidecar_header(kind)["kind"] == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            sidecar_header("vibes")
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "BENCH_tune.json"
+        document = write_sidecar(path, "tune", {"workloads": {"uniform": {}}})
+        assert document["schema"]["kind"] == "tune"
+        loaded = load_sidecar(path, kind="tune")
+        assert loaded["workloads"] == {"uniform": {}}
+        assert loaded["schema"]["version"] == SCHEMA_VERSION
+
+    def test_written_file_is_pretty_json_with_newline(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        write_sidecar(path, "kernels", {"results": [1, 2]})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["results"] == [1, 2]
+
+    def test_payload_must_not_carry_its_own_schema(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_sidecar(tmp_path / "x.json", "tune", {"schema": {}})
+
+
+class TestLoadValidation:
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_shard.json"
+        write_sidecar(path, "shard", {"results": []})
+        with pytest.raises(SerializationError):
+            load_sidecar(path, kind="tune")
+        assert load_sidecar(path, kind="shard")["results"] == []
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "schema": {"name": SCHEMA_NAME, "version": 99, "kind": "tune"},
+        }))
+        with pytest.raises(SerializationError):
+            load_sidecar(path, kind="tune")
+
+    def test_foreign_schema_name_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({
+            "schema": {"name": "someone-elses-format", "version": 1,
+                       "kind": "tune"},
+        }))
+        with pytest.raises(SerializationError):
+            load_sidecar(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_sidecar(path)
+
+
+class TestLegacy:
+    def test_headerless_file_loads_as_version_zero(self, tmp_path):
+        # BENCH files written before the schema header existed carry
+        # top-level results directly; they must keep loading.
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({"graph": {"n": 10}, "results": []}))
+        loaded = load_sidecar(path, kind="kernels")
+        assert loaded["graph"] == {"n": 10}
+        assert "schema" not in loaded
+
+    def test_legacy_can_be_disallowed(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(SerializationError):
+            load_sidecar(path, kind="kernels", allow_legacy=False)

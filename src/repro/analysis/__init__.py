@@ -28,10 +28,23 @@ Behind ``--flow``, the interprocedural rules of
   thread/process dispatch boundary; seeds do.
 - **R8 snapshot-escape** — published snapshots never flow into a call
   that mutates them.
+- **R9 event-loop-hygiene** — coroutines never block the serve loop
+  (directly or through sync helpers) and never await under a thread
+  lock.
+- **R10 resource-lifecycle** — shared-memory segments, executors and
+  shard pools are released on every path; ``# owns: <param>`` marks
+  ownership transfer at function boundaries.
+- **R11 pipe-protocol** — every ``{"op": ...}`` message the shard
+  coordinator sends has a worker dispatch arm carrying the fields it
+  reads, and every arm has a sender.
+- **R12 metrics-catalog** — instruments created in code and entries in
+  :data:`repro.obs.catalog.CATALOG` agree exactly, both directions.
 
 Per-line waivers: ``# repro: noqa R<N> -- reason`` (reason required;
 a waiver that suppresses nothing is itself flagged as stale).
-See ``docs/static-analysis.md``.
+Reports cache incrementally in ``.repro-lint-cache/``
+(:mod:`repro.analysis.cache`) and export as SARIF
+(:mod:`repro.analysis.sarif`).  See ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations

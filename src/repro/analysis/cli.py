@@ -1,6 +1,10 @@
 """Command-line entry point: ``repro lint`` / ``python -m repro.analysis``.
 
-Exit codes: 0 — clean; 1 — findings reported; 2 — usage error.
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage error *or*
+analyzer crash.  A crash still emits output in the selected format — a
+synthetic R0 finding plus the traceback on stderr — so CI pipelines
+that parse the output (problem matchers, SARIF uploads) record the
+failure instead of green-washing an analyzer that never ran.
 """
 
 from __future__ import annotations
@@ -8,12 +12,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.cache import CACHE_DIR_NAME, LintCache
 from repro.analysis.findings import Finding, format_findings
 from repro.analysis.rules import all_rules
-from repro.analysis.runner import run_analysis
+from repro.analysis.runner import LintReport, run_analysis
 
 __all__ = ["build_parser", "main"]
 
@@ -24,9 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Project-specific static analysis: lock discipline (R1), snapshot "
             "immutability (R2), seeded RNG (R3), hot-path obs guards (R4), "
-            "dtype contracts (R5); with --flow also lock-order consistency "
-            "(R6), RNG-stream purity (R7), and snapshot escape analysis (R8). "
-            "See docs/static-analysis.md."
+            "dtype contracts (R5); with --flow also the interprocedural "
+            "rules: lock-order consistency (R6), RNG-stream purity (R7), "
+            "snapshot escape analysis (R8), event-loop hygiene (R9), "
+            "resource lifecycle (R10), pipe-protocol conformance (R11), and "
+            "metrics-catalog conformance (R12). See docs/static-analysis.md."
         ),
     )
     parser.add_argument(
@@ -50,19 +58,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--flow",
         action="store_true",
-        help="also run the interprocedural flow rules R6-R8",
+        help="also run the interprocedural flow rules R6-R12",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         dest="output_format",
-        help="output format (json: machine-readable finding list)",
+        help="output format (json: machine-readable finding list; "
+        "sarif: SARIF 2.1.0 for code-scanning uploads)",
     )
     parser.add_argument(
         "--show-suppressed",
         action="store_true",
         help="also report findings waived by `# repro: noqa` directives",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"bypass the {CACHE_DIR_NAME}/ incremental-analysis cache",
     )
     parser.add_argument(
         "--explain",
@@ -82,35 +96,26 @@ def _finding_dict(finding: Finding) -> dict:
     }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
-    options = parser.parse_args(argv)
-
-    if options.explain:
+def _active_rules(flow: bool) -> list:
+    rules = list(all_rules())
+    if flow:
         from repro.analysis.flow import flow_rules
 
-        for rule in [*all_rules(), *flow_rules()]:
-            print(f"{rule.id}  {rule.name}: {rule.summary}")
-        return 0
+        rules.extend(flow_rules())
+    return rules
 
-    only = None
-    if options.rules:
-        from repro.analysis.flow import flow_rules
 
-        only = [part.strip() for part in options.rules.split(",") if part.strip()]
-        known = {rule.id for rule in all_rules()} | {"R0"}
-        known |= {rule.id for rule in flow_rules()}
-        unknown = [rule_id for rule_id in only if rule_id not in known]
-        if unknown:
-            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+def _emit(report: LintReport, options: argparse.Namespace) -> int:
+    if options.output_format == "sarif":
+        from repro.analysis.sarif import to_sarif
 
-    paths: List[Path] = [Path(p) for p in options.paths]
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
-
-    root = Path(options.root) if options.root else None
-    report = run_analysis(paths, root=root, only=only, flow=options.flow)
+        log = to_sarif(
+            report.findings,
+            _active_rules(options.flow),
+            suppressed=report.suppressed if options.show_suppressed else None,
+        )
+        print(json.dumps(log, indent=2))
+        return 1 if report.findings else 0
 
     if options.output_format == "json":
         payload = {
@@ -141,6 +146,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"\n{len(report.findings)} finding(s).", file=sys.stderr)
         return 1
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.explain:
+        for rule in _active_rules(flow=True):
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    only = None
+    if options.rules:
+        from repro.analysis.flow import flow_rules
+
+        only = [part.strip() for part in options.rules.split(",") if part.strip()]
+        known = {rule.id for rule in all_rules()} | {"R0"}
+        known |= {rule.id for rule in flow_rules()}
+        unknown = [rule_id for rule_id in only if rule_id not in known]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    paths: List[Path] = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
+
+    root = Path(options.root) if options.root else None
+    cache = None
+    if not options.no_cache:
+        cache = LintCache((root or Path.cwd()) / CACHE_DIR_NAME)
+    try:
+        report = run_analysis(
+            paths, root=root, only=only, flow=options.flow, cache=cache
+        )
+    except Exception as exc:  # noqa: BLE001 - anything except SystemExit
+        # An analyzer crash must never look like a clean run: print the
+        # traceback for humans, synthesize an R0 finding so machine
+        # formats record it, and exit 2 (distinct from 1 = findings).
+        traceback.print_exc(file=sys.stderr)
+        crash = Finding(
+            rule="R0",
+            path="<repro-lint>",
+            line=0,
+            col=0,
+            message=(
+                f"internal analyzer error: {type(exc).__name__}: {exc} "
+                "(full traceback on stderr)"
+            ),
+        )
+        _emit(LintReport(findings=[crash], suppressed=[], stale=[]), options)
+        return 2
+
+    return _emit(report, options)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,10 +1,12 @@
-"""Interprocedural flow rules (R6–R8) of the project linter.
+"""Interprocedural flow rules (R6–R12) of the project linter.
 
 Where ``repro.analysis.rules`` holds the per-file rules, this package
 holds the whole-program ones: a call graph and lock-acquisition model
 (:mod:`~repro.analysis.flow.graph`) feeding lock-order consistency
-(R6), RNG-stream purity across dispatch boundaries (R7), and escape
-analysis for published snapshots (R8).  They run behind
+(R6), RNG-stream purity across dispatch boundaries (R7), escape
+analysis for published snapshots (R8), event-loop hygiene (R9),
+resource-lifecycle typestate (R10), shard pipe-protocol conformance
+(R11), and metrics-catalog conformance (R12).  They run behind
 ``repro lint --flow`` — strictly additive to the default rule set.
 """
 
@@ -20,8 +22,20 @@ __all__ = ["ProjectIndex", "flow_index", "flow_rules"]
 
 def flow_rules() -> List[Rule]:
     """Fresh instances of the flow rules, in id order."""
+    from repro.analysis.flow.asynchygiene import AsyncHygieneRule
     from repro.analysis.flow.escape import SnapshotEscapeRule
     from repro.analysis.flow.lockorder import LockOrderRule
+    from repro.analysis.flow.metricscatalog import MetricsCatalogRule
+    from repro.analysis.flow.protocolconf import PipeProtocolRule
+    from repro.analysis.flow.resources import ResourceLifecycleRule
     from repro.analysis.flow.rngflow import RngPurityRule
 
-    return [LockOrderRule(), RngPurityRule(), SnapshotEscapeRule()]
+    return [
+        LockOrderRule(),
+        RngPurityRule(),
+        SnapshotEscapeRule(),
+        AsyncHygieneRule(),
+        ResourceLifecycleRule(),
+        PipeProtocolRule(),
+        MetricsCatalogRule(),
+    ]

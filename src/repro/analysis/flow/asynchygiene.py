@@ -1,0 +1,246 @@
+"""R9 — event-loop hygiene (blocking work inside ``async def``).
+
+The asyncio front end (:mod:`repro.serve.server`) multiplexes every
+connection over one thread; a single blocking call inside a coroutine
+stalls *all* of them — batching windows stretch, deadlines expire, and
+the micro-batcher starves, all without a single exception.  The rule
+finds the two shapes that cause it:
+
+1. **Blocking sinks reached from coroutine bodies.**  A fixed table of
+   blocking primitives (``time.sleep``, sync ``lock.acquire``, pipe
+   ``recv``, thread/process ``join``, ``Future.result``, executor
+   ``shutdown(wait=True)``, ``open``, and the engine's compute entry
+   points ``top_k``/``single_pair``/``preprocess``/``flush``/…) is
+   flagged when it appears lexically inside an ``async def``, or inside
+   a *sync* project function a coroutine provably calls (transitively,
+   over the :class:`~repro.analysis.flow.graph.ProjectIndex` call
+   graph).  Work routed through ``run_in_executor``/``asyncio.to_thread``
+   is naturally exempt: those sites pass function *references*, which
+   create no call edge and no lexical call.
+
+2. **``await`` while a sync lock is held.**  Holding a thread mutex
+   across a suspension point hands the lock to the event loop: any
+   thread (or executor job) that wants it now blocks until the loop
+   resumes this exact coroutine — a deadlock if that thread is what the
+   coroutine awaits.  Reuses R6's lexical held-set machinery; locks
+   created by asyncio-style factories (``asyncio.Lock()``) are exempt —
+   being held across awaits is their job.
+
+Precision notes: nested ``def``/``lambda`` bodies are skipped (they are
+overwhelmingly executor payloads and callbacks, and do not run on the
+loop at that program point), calls through async callees are not
+propagated (the callee's own body gets the finding), and receiver-name
+hints gate the generic method sinks (``join``/``result``/``shutdown``)
+so ``", ".join(parts)`` never trips the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FunctionInfo, ProjectIndex, flow_index
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["AsyncHygieneRule"]
+
+#: dotted calls that block by definition (module root, attr).
+_BLOCKING_DOTTED = {
+    ("time", "sleep"): "time.sleep()",
+    ("select", "select"): "select.select()",
+}
+
+#: engine compute entry points — CPU-bound by design (Algorithm 5 runs
+#: walks); serving code must dispatch them through the executor.
+_ENGINE_SINKS = frozenset(
+    {"top_k", "single_pair", "preprocess", "flush", "estimate_batch",
+     "build_signatures", "top_k_all", "top_k_all_parallel"}
+)
+
+#: receiver-name substrings that qualify the generic blocking methods.
+_JOIN_HINTS = ("thread", "proc", "worker", "pool", "reader")
+_RESULT_HINTS = ("fut",)
+_SHUTDOWN_HINTS = ("executor", "pool")
+
+
+def _hinted(receiver: Tuple[str, ...], hints: Tuple[str, ...]) -> bool:
+    return any(h in part.lower() for part in receiver for h in hints)
+
+
+def _lexical_calls(info: FunctionInfo) -> Iterator[ast.Call]:
+    """Every call in the function's own body, skipping nested defs."""
+    stack: List[ast.AST] = list(info.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncHygieneRule(Rule):
+    id = "R9"
+    name = "event-loop-hygiene"
+    summary = (
+        "coroutine bodies must never block the event loop — blocking "
+        "primitives belong on the executor, and sync locks must not be "
+        "held across an await"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    # -- sink classification ------------------------------------------
+
+    def _sink(
+        self, call: ast.Call, info: FunctionInfo, index: ProjectIndex
+    ) -> Optional[str]:
+        """Human-readable description of a blocking call, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "open() file I/O"
+            source = index.source_by_rel.get(info.rel)
+            if source is not None:
+                qualified = source.aliases.qualified(func.id)
+                if qualified in ("time.sleep", "select.select"):
+                    return f"{qualified}()"
+            return None
+        chain = attribute_chain(func)
+        if chain is None or len(chain) < 2:
+            return None
+        dotted = _BLOCKING_DOTTED.get((chain[0], chain[-1]))
+        if dotted is not None:
+            return dotted
+        attr, receiver = chain[-1], chain[:-1]
+        if attr == "acquire":
+            lock_id = index.resolve_lock_expr(func.value, info)
+            if lock_id is not None and lock_id not in index.async_locks:
+                return f"sync `{lock_id}`.acquire()"
+            return None
+        if attr in ("recv", "recv_bytes"):
+            return f"pipe/socket .{attr}()"
+        if attr == "join" and _hinted(receiver, _JOIN_HINTS):
+            return f"`{'.'.join(receiver)}`.join()"
+        if attr == "result" and _hinted(receiver, _RESULT_HINTS):
+            return f"`{'.'.join(receiver)}`.result()"
+        if attr == "shutdown" and _hinted(receiver, _SHUTDOWN_HINTS):
+            for kw in call.keywords:
+                if kw.arg == "wait" and isinstance(kw.value, ast.Constant):
+                    if kw.value.value is False:
+                        return None
+            return f"`{'.'.join(receiver)}`.shutdown(wait=True)"
+        if attr in _ENGINE_SINKS:
+            return f"engine compute `{'.'.join(chain)}()`"
+        return None
+
+    # -- analysis ------------------------------------------------------
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        index = flow_index(project)
+
+        #: qual -> [(call node, sink description, resolved callee qual)]
+        sites: Dict[str, List[Tuple[ast.Call, Optional[str], Optional[str]]]] = {}
+        for info in index.iter_functions():
+            rows: List[Tuple[ast.Call, Optional[str], Optional[str]]] = []
+            for call in _lexical_calls(info):
+                sink = self._sink(call, info, index)
+                callee = index.resolve_call(call, info)
+                if sink is not None or callee is not None:
+                    rows.append((call, sink, callee))
+            sites[info.qual] = rows
+
+        # Transitive blocking summaries of *sync* functions: a coroutine
+        # is not "blocking" to its caller — its own body is checked, and
+        # awaiting it yields the loop.
+        blocks: Dict[str, str] = {}
+        for qual, rows in sites.items():
+            info = index.functions[qual]
+            if info.is_async:
+                continue
+            for call, sink, _callee in rows:
+                if sink is not None:
+                    blocks[qual] = f"{sink} at {info.rel}:{call.lineno}"
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for qual, rows in sites.items():
+                info = index.functions[qual]
+                if info.is_async or qual in blocks:
+                    continue
+                for call, _sink, callee in rows:
+                    if callee is None or callee not in blocks:
+                        continue
+                    callee_info = index.functions.get(callee)
+                    if callee_info is not None and callee_info.is_async:
+                        continue
+                    short = callee.split("::", 1)[1]
+                    blocks[qual] = f"`{short}` -> {blocks[callee]}"
+                    changed = True
+                    break
+
+        for qual, rows in sites.items():
+            info = index.functions[qual]
+            if not info.is_async:
+                continue
+            short = qual.split("::", 1)[1]
+            for call, sink, callee in rows:
+                if sink is not None:
+                    self._emit(
+                        info.rel, call,
+                        f"blocking {sink} inside `async def {short}` stalls "
+                        "every connection on the event loop — dispatch it via "
+                        "run_in_executor/asyncio.to_thread",
+                    )
+                    continue
+                if callee is not None and callee in blocks:
+                    callee_info = index.functions.get(callee)
+                    if callee_info is not None and callee_info.is_async:
+                        continue
+                    callee_short = callee.split("::", 1)[1]
+                    self._emit(
+                        info.rel, call,
+                        f"`async def {short}` calls `{callee_short}`, which "
+                        f"blocks ({blocks[callee]}) — route the call through "
+                        "the executor or make the callee loop-safe",
+                    )
+
+        # await while a sync lock is held.
+        for qual, awaits in index.awaits.items():
+            info = index.functions[qual]
+            short = qual.split("::", 1)[1]
+            for site in awaits:
+                held_sync = [l for l in site.held if l not in index.async_locks]
+                if not held_sync:
+                    continue
+                locks = ", ".join(f"`{l}`" for l in held_sync)
+                self._emit(
+                    info.rel, site.node,
+                    f"`async def {short}` awaits while holding sync lock(s) "
+                    f"{locks} — the loop parks holding a thread mutex and any "
+                    "thread needing it deadlocks; use an asyncio.Lock or "
+                    "release before the await",
+                )
+
+    def _emit(self, rel: str, node: ast.AST, message: str) -> None:
+        self._findings.setdefault(rel, []).append(
+            Finding(
+                rule=self.id,
+                path=rel,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Acquisition",
+    "AwaitSite",
     "CallSite",
     "FunctionInfo",
     "LockDef",
@@ -49,6 +50,11 @@ _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 #: Constructor names that create a lock object.
 _LOCK_FACTORIES = frozenset({"Lock", "RLock", "make_lock", "make_rlock", "allocate_lock"})
+
+#: Module roots whose lock factories yield *event-loop* locks — held
+#: across awaits by design, invisible to threads, and therefore exempt
+#: from the sync-lock rules (R9's await-under-lock check in particular).
+_ASYNC_LOCK_ROOTS = frozenset({"asyncio", "anyio", "trio", "curio"})
 
 #: Method names too generic to resolve by project-wide uniqueness.
 _GENERIC_METHODS = frozenset(
@@ -95,7 +101,10 @@ def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
 class FunctionInfo:
     """One function/method definition and its local annotation facts."""
 
-    __slots__ = ("qual", "rel", "module", "cls", "name", "node", "params", "param_classes")
+    __slots__ = (
+        "qual", "rel", "module", "cls", "name", "node", "params",
+        "param_classes", "is_async",
+    )
 
     def __init__(
         self,
@@ -110,6 +119,7 @@ class FunctionInfo:
         self.name = node.name
         self.qual = f"{rel}::{cls + '.' if cls else ''}{node.name}"
         self.node = node
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
         args = node.args
         ordered = [*args.posonlyargs, *args.args]
         self.params: List[str] = [a.arg for a in ordered]
@@ -127,14 +137,25 @@ class FunctionInfo:
 class LockDef:
     """One lock-valued attribute or module global."""
 
-    __slots__ = ("lock_id", "cls", "attr", "rel", "line")
+    __slots__ = ("lock_id", "cls", "attr", "rel", "line", "is_async")
 
-    def __init__(self, lock_id: str, cls: Optional[str], attr: str, rel: str, line: int) -> None:
+    def __init__(
+        self,
+        lock_id: str,
+        cls: Optional[str],
+        attr: str,
+        rel: str,
+        line: int,
+        is_async: bool = False,
+    ) -> None:
         self.lock_id = lock_id
         self.cls = cls
         self.attr = attr
         self.rel = rel
         self.line = line
+        #: created by an asyncio/anyio factory — an event-loop lock, not
+        #: a thread mutex (R9 never flags awaits under one of these).
+        self.is_async = is_async
 
 
 class Acquisition:
@@ -161,6 +182,17 @@ class CallSite:
         self.held = held
 
 
+class AwaitSite:
+    """One ``await`` expression inside a function, with its lock context."""
+
+    __slots__ = ("node", "held")
+
+    def __init__(self, node: ast.Await, held: Tuple[str, ...]) -> None:
+        self.node = node
+        #: lock ids lexically held when control yields to the loop.
+        self.held = held
+
+
 class ProjectIndex:
     """Call graph + lock model of one lint invocation."""
 
@@ -175,8 +207,11 @@ class ProjectIndex:
         self.lock_attrs: Dict[str, List[LockDef]] = {}
         #: (module rel, NAME) module-level locks.
         self.module_locks: Dict[Tuple[str, str], LockDef] = {}
+        #: lock ids created by asyncio-style factories (see LockDef.is_async).
+        self.async_locks: Set[str] = set()
         self.acquisitions: Dict[str, List[Acquisition]] = {}
         self.calls: Dict[str, List[CallSite]] = {}
+        self.awaits: Dict[str, List[AwaitSite]] = {}
         self.source_by_rel: Dict[str, SourceFile] = {}
         self._collect_definitions()
         self._scan_bodies()
@@ -204,9 +239,12 @@ class ProjectIndex:
                     target = stmt.targets[0]  # type: ignore[union-attr]
                     assert isinstance(target, ast.Name)
                     lock_id = f"{source.rel}::{target.id}"
+                    is_async = self._is_async_lock_factory(stmt.value)  # type: ignore[union-attr]
                     self.module_locks[(source.rel, target.id)] = LockDef(
-                        lock_id, None, target.id, source.rel, stmt.lineno
+                        lock_id, None, target.id, source.rel, stmt.lineno, is_async
                     )
+                    if is_async:
+                        self.async_locks.add(lock_id)
 
     def _add_function(
         self, rel: str, module: str, cls: Optional[str], node: _FunctionNode
@@ -229,6 +267,14 @@ class ProjectIndex:
         )
         return name in _LOCK_FACTORIES
 
+    @staticmethod
+    def _is_async_lock_factory(value: ast.expr) -> bool:
+        """``asyncio.Lock()``-style factories: event-loop locks."""
+        if not isinstance(value, ast.Call):
+            return False
+        chain = attribute_chain(value.func)
+        return chain is not None and len(chain) >= 2 and chain[0] in _ASYNC_LOCK_ROOTS
+
     def _is_lock_assign(self, stmt: ast.stmt) -> bool:
         return (
             isinstance(stmt, ast.Assign)
@@ -245,9 +291,12 @@ class ProjectIndex:
                     if chain is not None and len(chain) == 2 and chain[0] == "self":
                         attr = chain[1]
                         lock_id = f"{cls.name}.{attr}"
+                        is_async = self._is_async_lock_factory(node.value)
                         self.lock_attrs.setdefault(attr, []).append(
-                            LockDef(lock_id, cls.name, attr, rel, node.lineno)
+                            LockDef(lock_id, cls.name, attr, rel, node.lineno, is_async)
                         )
+                        if is_async:
+                            self.async_locks.add(lock_id)
 
     # ------------------------------------------------------------------
     # Pass 2: bodies (acquisitions + call sites, with held-lock context)
@@ -260,6 +309,7 @@ class ProjectIndex:
                 scanner.visit(child)
             self.acquisitions[info.qual] = scanner.acquisitions
             self.calls[info.qual] = scanner.calls
+            self.awaits[info.qual] = scanner.awaits
 
     # ------------------------------------------------------------------
     # Resolution
@@ -387,6 +437,7 @@ class _BodyScanner(ast.NodeVisitor):
         self.held: List[str] = []
         self.acquisitions: List[Acquisition] = []
         self.calls: List[CallSite] = []
+        self.awaits: List[AwaitSite] = []
 
     def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
         acquired: List[str] = []
@@ -431,6 +482,10 @@ class _BodyScanner(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         callee = self.index.resolve_call(node, self.info)
         self.calls.append(CallSite(callee, node, tuple(self.held)))
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self.awaits.append(AwaitSite(node, tuple(self.held)))
         self.generic_visit(node)
 
 

@@ -1,0 +1,329 @@
+"""R12 — metrics-catalog conformance (no metric outside the catalogue).
+
+:mod:`repro.obs.catalog` is the single source of truth for every metric
+the pipeline emits: docs tables, exporters, and the runtime catalog
+meta-test all read it.  The meta-test, however, only covers metrics a
+test *happens to record*; this rule makes the contract statically
+complete in both directions:
+
+- **Every reference resolves.**  ``catalog.X`` attribute references
+  must name a defined constant; ``registry.counter("sub", "name")``
+  style literal pairs must be registered in ``CATALOG``; dotted
+  ``"subsystem.name"`` strings (the snapshot-key form consumed by
+  :class:`~repro.obs.window.MetricsWindow` and the exporters) whose
+  first segment is a known subsystem must name a registered metric.
+- **Every registration is used.**  A ``CATALOG`` entry nobody
+  references — by constant (outside the ``CATALOG`` literal itself),
+  by literal pair, or by dotted string — is dead weight that silently
+  rots the docs table.  References from other catalog-module tables
+  (``CONTROL_KNOB_GAUGES``) count: registration is the ``CATALOG``
+  entry, everything else is use.
+- **Every constant is registered.**  A ``NAME = ("sub", "name")``
+  tuple missing from ``CATALOG`` exports without kind/description.
+
+Precision guards: dotted-string matching requires exactly two
+``[a-z_]+`` segments, a first segment that is a registered subsystem,
+and a second segment that is not a file extension (``"index.npz"`` is
+an artefact path, not a metric); docstrings are skipped; literal-pair
+checking only fires on accessor methods (``counter``/``gauge``/
+``histogram``/``get``/``counter_value``) whose receiver chain mentions
+a registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["MetricsCatalogRule"]
+
+_CATALOG_MODULE = "repro.obs.catalog"
+
+#: registry accessor methods that take ``(subsystem, name)`` heads.
+_ACCESSORS = frozenset(
+    {"counter", "gauge", "histogram", "get", "counter_value", "gauge_value",
+     "histogram_value"}
+)
+
+#: non-constant public names the catalog module legitimately exposes.
+_CATALOG_EXPORTS = frozenset({"CATALOG", "CONTROL_KNOB_GAUGES", "flat_name"})
+
+_DOTTED_RE = re.compile(r"([a-z_]+)\.([a-z_]+)")
+
+#: second segments that mean "file path", not "metric name".
+_EXTENSIONS = frozenset(
+    {"py", "pyc", "npz", "npy", "json", "jsonl", "md", "txt", "csv", "bin",
+     "gz", "log", "tmp", "yaml", "yml", "toml", "lock", "prom", "sarif"}
+)
+
+
+class MetricsCatalogRule(Rule):
+    id = "R12"
+    name = "metrics-catalog"
+    summary = (
+        "every metric reference must resolve to a repro.obs.catalog "
+        "registration, and every registration must have a referent"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        catalog = self._find_catalog(project)
+        if catalog is None:
+            return
+        constants, const_lines, registered = self._parse_catalog(catalog)
+        if not registered:
+            return
+        subsystems = {key[0] for key in registered}
+        dotted_names = {f"{sub}.{name}" for sub, name in registered}
+        used: Set[Tuple[str, str]] = set()
+
+        # Constant defined but never registered in CATALOG.
+        for name, key in constants.items():
+            if key not in registered:
+                self._emit(
+                    catalog.rel, const_lines[name], 0,
+                    f"catalog constant `{name}` = {key!r} is not registered "
+                    "in CATALOG — it exports without a kind or description",
+                )
+
+        for source in project.sources:
+            if source.syntax_error is not None:
+                continue
+            self._scan_source(
+                source, catalog, constants, registered, subsystems,
+                dotted_names, used,
+            )
+
+        for key in sorted(registered - used):
+            name = next((n for n, k in constants.items() if k == key), None)
+            line = const_lines.get(name or "", 0)
+            self._emit(
+                catalog.rel, line, 0,
+                f"catalog entry {key!r} is never referenced by any "
+                "instrument call, accessor, or exporter — remove it or wire "
+                "up the missing instrumentation",
+            )
+
+    # -- catalog parsing ----------------------------------------------
+
+    @staticmethod
+    def _find_catalog(project: "Project") -> Optional[SourceFile]:
+        for source in project.sources:
+            rel = source.rel.replace("\\", "/")
+            if rel.endswith("obs/catalog.py") and source.syntax_error is None:
+                return source
+        return None
+
+    @staticmethod
+    def _parse_catalog(
+        catalog: SourceFile,
+    ) -> Tuple[Dict[str, Tuple[str, str]], Dict[str, int], Set[Tuple[str, str]]]:
+        constants: Dict[str, Tuple[str, str]] = {}
+        const_lines: Dict[str, int] = {}
+        registered: Set[Tuple[str, str]] = set()
+        catalog_dict: Optional[ast.Dict] = None
+        for stmt in catalog.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if (
+                isinstance(value, ast.Tuple)
+                and len(value.elts) == 2
+                and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in value.elts
+                )
+            ):
+                key = (value.elts[0].value, value.elts[1].value)  # type: ignore[union-attr]
+                constants[target.id] = key
+                const_lines[target.id] = stmt.lineno
+            elif target.id == "CATALOG" and isinstance(value, ast.Dict):
+                catalog_dict = value
+        # AnnAssign form: ``CATALOG: Dict[...] = {...}``.
+        if catalog_dict is None:
+            for stmt in catalog.tree.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "CATALOG"
+                    and isinstance(stmt.value, ast.Dict)
+                ):
+                    catalog_dict = stmt.value
+        if catalog_dict is not None:
+            for key_node in catalog_dict.keys:
+                if isinstance(key_node, ast.Name) and key_node.id in constants:
+                    registered.add(constants[key_node.id])
+        return constants, const_lines, registered
+
+    # -- per-file scanning --------------------------------------------
+
+    def _scan_source(
+        self,
+        source: SourceFile,
+        catalog: SourceFile,
+        constants: Dict[str, Tuple[str, str]],
+        registered: Set[Tuple[str, str]],
+        subsystems: Set[str],
+        dotted_names: Set[str],
+        used: Set[Tuple[str, str]],
+    ) -> None:
+        is_catalog = source is catalog
+        catalog_aliases = {
+            alias
+            for alias, target in source.aliases.modules.items()
+            if target == _CATALOG_MODULE
+        }
+        #: node ids of the CATALOG literal (registration, not use) and of
+        #: docstring constants.
+        skip_ids: Set[int] = set()
+        if is_catalog:
+            for stmt in catalog.tree.body:
+                target = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                elif isinstance(stmt, ast.AnnAssign):
+                    target = stmt.target
+                if isinstance(target, ast.Name) and target.id == "CATALOG":
+                    for node in ast.walk(stmt):
+                        skip_ids.add(id(node))
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+                skip_ids.add(id(node.value))  # docstrings / bare literals
+            elif isinstance(node, ast.Call) and node.args:
+                # Tracer span names (``obs.trace("query.topk")``) share
+                # the dotted shape but are a separate namespace.
+                func = node.func
+                attr = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if attr == "trace":
+                    skip_ids.add(id(node.args[0]))
+
+        for node in ast.walk(source.tree):
+            if id(node) in skip_ids:
+                continue
+            if isinstance(node, ast.Attribute) and catalog_aliases:
+                self._check_attr_ref(source, node, catalog_aliases, constants, used)
+            elif is_catalog and isinstance(node, ast.Name):
+                # Uses inside the catalog module itself (e.g. the
+                # CONTROL_KNOB_GAUGES table) — registration was excluded
+                # via skip_ids above.
+                if (
+                    node.id in constants
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in skip_ids
+                ):
+                    used.add(constants[node.id])
+            elif isinstance(node, ast.Call):
+                self._check_pair_call(source, node, registered, used)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                self._check_dotted(
+                    source, node, subsystems, dotted_names, registered, used
+                )
+
+    def _check_attr_ref(
+        self,
+        source: SourceFile,
+        node: ast.Attribute,
+        catalog_aliases: Set[str],
+        constants: Dict[str, Tuple[str, str]],
+        used: Set[Tuple[str, str]],
+    ) -> None:
+        chain = attribute_chain(node)
+        if chain is None or len(chain) != 2 or chain[0] not in catalog_aliases:
+            return
+        name = chain[1]
+        if name in constants:
+            used.add(constants[name])
+        elif name not in _CATALOG_EXPORTS and not name.startswith("__"):
+            self._emit(
+                source.rel, node.lineno, node.col_offset,
+                f"`{chain[0]}.{name}` does not name a catalog constant — "
+                "register the metric in repro.obs.catalog first",
+            )
+
+    def _check_pair_call(
+        self,
+        source: SourceFile,
+        node: ast.Call,
+        registered: Set[Tuple[str, str]],
+        used: Set[Tuple[str, str]],
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _ACCESSORS:
+            return
+        chain = attribute_chain(func)
+        if chain is None:
+            return
+        receiver = chain[:-1]
+        if not any("registry" in part.lower() for part in receiver):
+            return
+        if len(node.args) < 2:
+            return
+        first, second = node.args[0], node.args[1]
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+            and isinstance(second, ast.Constant) and isinstance(second.value, str)
+        ):
+            return
+        key = (first.value, second.value)
+        if key in registered:
+            used.add(key)
+        else:
+            self._emit(
+                source.rel, node.lineno, node.col_offset,
+                f"metric {key!r} passed to `.{func.attr}()` is not registered "
+                "in repro.obs.catalog — exporters and the docs table will "
+                "never know it exists",
+            )
+
+    def _check_dotted(
+        self,
+        source: SourceFile,
+        node: ast.Constant,
+        subsystems: Set[str],
+        dotted_names: Set[str],
+        registered: Set[Tuple[str, str]],
+        used: Set[Tuple[str, str]],
+    ) -> None:
+        match = _DOTTED_RE.fullmatch(node.value)
+        if match is None:
+            return
+        sub, name = match.group(1), match.group(2)
+        if sub not in subsystems or name in _EXTENSIONS:
+            return
+        if node.value in dotted_names:
+            used.add((sub, name))
+        else:
+            self._emit(
+                source.rel, node.lineno, node.col_offset,
+                f"dotted metric key '{node.value}' does not match any "
+                "repro.obs.catalog registration — windows and exporters "
+                "will silently read zeros",
+            )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, rel: str, line: int, col: int, message: str) -> None:
+        self._findings.setdefault(rel, []).append(
+            Finding(rule=self.id, path=rel, line=line, col=col, message=message)
+        )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

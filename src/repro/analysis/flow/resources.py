@@ -1,0 +1,387 @@
+"""R10 — resource-lifecycle typestate (open → close on every path).
+
+The shard boundary traffics in resources the garbage collector cannot
+clean up: ``multiprocessing.shared_memory`` segments survive the
+process (a leaked segment is a file in ``/dev/shm`` until reboot),
+executors keep non-daemon threads alive, and a :class:`ShardPool` owns
+worker *processes*.  PR 6 added a runtime refcount guard that catches
+use-after-unmap; this rule is its static complement — the paths the
+tests never execute.
+
+The analysis is a small path-sensitive abstract interpreter over each
+function body.  A *tracked* value is born OPEN when a resource factory
+call is bound to a local name (``SharedMemory(...)``,
+``SharedArrayBundle.export/attach(...)``, ``ThreadPoolExecutor`` /
+``ProcessPoolExecutor``, ``ShardPool(...)``); it becomes
+
+- **CLOSED** when a release method is called on it (``close``,
+  ``unlink``, ``shutdown``, ``stop``, ``terminate``) or it is used as a
+  ``with`` context manager, and
+- **ESCAPED** when ownership provably leaves the function: the name is
+  returned, yielded, passed as a call argument, stored into an
+  attribute/subscript/collection literal, or rebound — escape-to-caller
+  is a *transfer*, not a leak.
+
+``if``/``else`` branches are joined may-leak-wise (OPEN on either arm
+survives the join; ESCAPED dominates, so a conditional transfer never
+misfires).  A function exit (explicit ``return`` or falling off the
+end) with a tracked value still OPEN is the finding.  **Implicit
+exception edges are deliberately ignored**, and an explicit ``raise``
+is an exempt exit: error-path cleanup is the runtime sanitizer's job
+(segment accounting), and flagging every statement that could throw
+would bury the rule in noise.
+
+Ownership annotations close the interprocedural gap::
+
+    def consume(conn, bundle):  # owns: bundle
+        ...
+
+``# owns: <param>`` on the ``def`` line makes the named parameter an
+in-function obligation: the callee received ownership and must release
+(or further transfer) it on every normal path.  The caller side needs
+no annotation — passing the value is already an escape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.graph import FunctionInfo, flow_index
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: constructor names whose result must be released.
+_FACTORY_NAMES = {
+    "SharedMemory": "shared-memory segment",
+    "ThreadPoolExecutor": "executor",
+    "ProcessPoolExecutor": "executor",
+    "ShardPool": "shard pool",
+}
+
+#: ``Class.method(...)`` factories (last two chain parts).
+_FACTORY_METHODS = {
+    ("SharedArrayBundle", "export"): "shared-array bundle",
+    ("SharedArrayBundle", "attach"): "shared-array bundle",
+}
+
+#: method names that release a tracked resource.
+_RELEASE_METHODS = frozenset({"close", "unlink", "shutdown", "stop", "terminate"})
+
+# Typestates, by join dominance: ESCAPED > OPEN > CLOSED.
+_CLOSED, _OPEN, _ESCAPED = 0, 1, 2
+
+
+class _Var:
+    """One tracked local: state + the open site for the finding."""
+
+    __slots__ = ("state", "line", "col", "kind")
+
+    def __init__(self, state: int, line: int, col: int, kind: str) -> None:
+        self.state = state
+        self.line = line
+        self.col = col
+        self.kind = kind
+
+    def copy(self) -> "_Var":
+        return _Var(self.state, self.line, self.col, self.kind)
+
+
+class _State:
+    """Abstract store at one program point."""
+
+    __slots__ = ("vars", "live")
+
+    def __init__(self, vars: Optional[Dict[str, _Var]] = None, live: bool = True) -> None:
+        self.vars: Dict[str, _Var] = vars if vars is not None else {}
+        self.live = live
+
+    def copy(self) -> "_State":
+        return _State({k: v.copy() for k, v in self.vars.items()}, self.live)
+
+    def join(self, other: "_State") -> "_State":
+        if not self.live:
+            return other
+        if not other.live:
+            return self
+        merged: Dict[str, _Var] = {}
+        for name in set(self.vars) | set(other.vars):
+            a, b = self.vars.get(name), other.vars.get(name)
+            if a is None:
+                assert b is not None
+                merged[name] = b.copy()
+            elif b is None:
+                merged[name] = a.copy()
+            else:
+                winner = a if a.state >= b.state else b
+                merged[name] = winner.copy()
+        return _State(merged, True)
+
+
+def _factory_kind(value: ast.expr) -> Optional[str]:
+    """Resource kind when ``value`` is a tracked factory call."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        return _FACTORY_NAMES.get(func.id)
+    chain = attribute_chain(func)
+    if chain is None:
+        return None
+    if len(chain) >= 2:
+        method = _FACTORY_METHODS.get((chain[-2], chain[-1]))
+        if method is not None:
+            return method
+    return _FACTORY_NAMES.get(chain[-1])
+
+
+class _FunctionChecker:
+    """Interpret one function body; collect leak findings."""
+
+    def __init__(self, rule: "ResourceLifecycleRule", info: FunctionInfo,
+                 owned_params: Tuple[str, ...]) -> None:
+        self.rule = rule
+        self.info = info
+        self.owned_params = owned_params
+        #: (name, open line) pairs already reported — one finding per open site.
+        self.reported: Set[Tuple[str, int]] = set()
+
+    def run(self) -> None:
+        state = _State()
+        for name in self.owned_params:
+            if name in self.info.params:
+                state.vars[name] = _Var(
+                    _OPEN, self.info.node.lineno, self.info.node.col_offset,
+                    "owned parameter",
+                )
+        out = self._block(self.info.node.body, state)
+        self._check_exit(out, self.info.node.body[-1] if self.info.node.body else None)
+
+    # -- statement interpretation -------------------------------------
+
+    def _block(self, stmts: List[ast.stmt], state: _State) -> _State:
+        for stmt in stmts:
+            if not state.live:
+                break
+            state = self._stmt(stmt, state)
+        return state
+
+    def _stmt(self, stmt: ast.stmt, state: _State) -> _State:
+        if isinstance(stmt, ast.Assign):
+            return self._assign(stmt.targets, stmt.value, state)
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            return self._assign([stmt.target], stmt.value, state)
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, state)
+            return state
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._escape_names(stmt.value, state)
+            self._check_exit(state, stmt)
+            state.live = False
+            return state
+        if isinstance(stmt, ast.Raise):
+            # Explicit error exit: exception-path leaks are the runtime
+            # segment accounting's territory, not this rule's.
+            state.live = False
+            return state
+        if isinstance(stmt, ast.If):
+            self._escape_names(stmt.test, state)
+            then = self._block(stmt.body, state.copy())
+            other = self._block(stmt.orelse, state.copy())
+            return then.join(other)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.While):
+                self._escape_names(stmt.test, state)
+            else:
+                self._escape_names(stmt.iter, state)
+            body = self._block(stmt.body, state.copy())
+            joined = state.join(body)
+            return self._block(stmt.orelse, joined)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, state)
+        if isinstance(stmt, ast.Try):
+            body = self._block(stmt.body, state.copy())
+            outs = [body]
+            for handler in stmt.handlers:
+                outs.append(self._block(handler.body, body.copy()))
+            merged = outs[0]
+            for out in outs[1:]:
+                merged = merged.join(out)
+            merged = self._block(stmt.orelse, merged)
+            return self._block(stmt.finalbody, merged)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A nested def capturing the resource keeps it reachable —
+            # treat any tracked name it mentions as escaped.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and node.id in state.vars:
+                    state.vars[node.id].state = _ESCAPED
+            return state
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                if name in state.vars:
+                    state.vars[name].state = _ESCAPED
+            return state
+        # Everything else (Pass, Import, Assert, Delete, AugAssign, ...):
+        # scan its expressions for uses.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._escape_names(child, state)
+        return state
+
+    def _assign(
+        self, targets: List[ast.expr], value: ast.expr, state: _State
+    ) -> _State:
+        kind = _factory_kind(value)
+        if kind is not None and len(targets) == 1 and isinstance(targets[0], ast.Name):
+            # Arguments of the factory call may themselves be tracked.
+            for arg in ast.iter_child_nodes(value):
+                self._escape_names(arg, state)
+            name = targets[0].id
+            prior = state.vars.get(name)
+            if prior is not None and prior.state == _OPEN:
+                self._report(name, prior)
+            state.vars[name] = _Var(_OPEN, value.lineno, value.col_offset, kind)
+            return state
+        self._expr(value, state)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                # Rebinding drops the old value; if it was OPEN the
+                # handle is unreachable from here on.
+                prior = state.vars.pop(target.id, None)
+                if prior is not None and prior.state == _OPEN:
+                    self._report(target.id, prior)
+            else:
+                self._escape_names(target, state)
+        return state
+
+    def _with(self, stmt: ast.stmt, state: _State) -> _State:
+        assert isinstance(stmt, (ast.With, ast.AsyncWith))
+        closed_after: List[str] = []
+        for item in stmt.items:
+            ctx = item.context_expr
+            kind = _factory_kind(ctx)
+            if kind is not None and isinstance(item.optional_vars, ast.Name):
+                name = item.optional_vars.id
+                state.vars[name] = _Var(_OPEN, ctx.lineno, ctx.col_offset, kind)
+                closed_after.append(name)
+            elif isinstance(ctx, ast.Name) and ctx.id in state.vars:
+                # ``with bundle:`` — the context manager closes it.
+                closed_after.append(ctx.id)
+            else:
+                self._expr(ctx, state)
+        out = self._block(stmt.body, state)
+        for name in closed_after:
+            var = out.vars.get(name)
+            if var is not None and var.state == _OPEN:
+                var.state = _CLOSED
+        return out
+
+    # -- expression handling ------------------------------------------
+
+    def _expr(self, expr: ast.expr, state: _State) -> None:
+        """A statement-position expression: release call or plain uses."""
+        if isinstance(expr, ast.Call):
+            chain = attribute_chain(expr.func)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[1] in _RELEASE_METHODS
+                and chain[0] in state.vars
+            ):
+                state.vars[chain[0]].state = _CLOSED
+                for arg in ast.iter_child_nodes(expr):
+                    if not isinstance(arg, ast.Attribute):
+                        self._escape_names(arg, state)
+                return
+        if isinstance(expr, ast.Await):
+            self._expr(expr.value, state)
+            return
+        self._escape_names(expr, state)
+
+    def _escape_names(self, expr: ast.expr, state: _State) -> None:
+        """Mark tracked names used inside ``expr`` as ESCAPED.
+
+        A name that is only the *base* of an attribute/subscript read
+        (``bundle.arrays``, ``state["bundle"]`` receivers) is a use,
+        not a transfer — ownership moves when the object itself is
+        passed on (call argument, collection element, return value).
+        """
+        for node, parent in _walk_with_parent(expr):
+            if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+                continue
+            if node.id not in state.vars:
+                continue
+            if isinstance(parent, (ast.Attribute, ast.Subscript)) and parent.value is node:
+                continue  # attribute/index read of the resource
+            state.vars[node.id].state = _ESCAPED
+
+    # -- reporting -----------------------------------------------------
+
+    def _check_exit(self, state: _State, at: Optional[ast.stmt]) -> None:
+        if not state.live:
+            return
+        del at
+        for name, var in state.vars.items():
+            if var.state == _OPEN:
+                self._report(name, var)
+
+    def _report(self, name: str, var: _Var) -> None:
+        key = (name, var.line)
+        if key in self.reported:
+            return
+        self.reported.add(key)
+        short = self.info.qual.split("::", 1)[1]
+        self.rule.emit(
+            self.info.rel, var.line, var.col,
+            f"{var.kind} `{name}` opened here can reach the exit of "
+            f"`{short}` without close/unlink/shutdown — release it on every "
+            "path, or transfer ownership (return/store it, or mark the "
+            "receiving parameter with `# owns:`)",
+        )
+
+
+def _walk_with_parent(root: ast.AST) -> Iterator[Tuple[ast.AST, Optional[ast.AST]]]:
+    stack: List[Tuple[ast.AST, Optional[ast.AST]]] = [(root, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, node))
+
+
+class ResourceLifecycleRule(Rule):
+    id = "R10"
+    name = "resource-lifecycle"
+    summary = (
+        "shared-memory segments, executors, and shard pools must be "
+        "closed or have their ownership transferred on every normal path"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def emit(self, rel: str, line: int, col: int, message: str) -> None:
+        self._findings.setdefault(rel, []).append(
+            Finding(rule=self.id, path=rel, line=line, col=col, message=message)
+        )
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        index = flow_index(project)
+        for info in index.iter_functions():
+            source = index.source_by_rel.get(info.rel)
+            owned: Tuple[str, ...] = ()
+            if source is not None:
+                owned = source.owns.get(info.node.lineno, ())
+            _FunctionChecker(self, info, owned).run()
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

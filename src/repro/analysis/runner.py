@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.cache import LintCache
 from repro.analysis.findings import Finding
 from repro.analysis.rules import Rule, all_rules
 from repro.analysis.source import SourceFile, load_source
@@ -43,11 +44,17 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     ),
     "R4": ("core/query.py", "core/walks.py", "core/montecarlo.py"),
     "R5": ("*.py",),
-    # Flow rules (R6-R8) are whole-program: prepare() analyses every
+    # Flow rules (R6-R12) are whole-program: prepare() analyses every
     # parsed file; the scope only controls where findings may land.
     "R6": ("*.py",),
     "R7": ("*.py",),
     "R8": ("*.py",),
+    "R9": ("*.py",),
+    "R10": ("*.py",),
+    # The serve layer speaks its own NDJSON ``op`` protocol; the pipe
+    # rule governs only the shard boundary.
+    "R11": ("shard/*.py",),
+    "R12": ("*.py",),
 }
 
 #: directories never worth parsing.
@@ -99,6 +106,14 @@ def discover_files(paths: Iterable[Path]) -> List[Path]:
     return unique
 
 
+def _rel_of(path: Path, root: Path) -> str:
+    """The repo-relative path findings render (mirrors ``load_source``)."""
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
 def load_project(paths: Iterable[Path], root: Optional[Path] = None) -> Project:
     root = root or Path.cwd()
     project = Project(root=root)
@@ -129,18 +144,54 @@ def run_analysis(
     only: Optional[Iterable[str]] = None,
     scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
     flow: bool = False,
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
     """Run the project linter and return the full :class:`LintReport`.
 
     ``only`` restricts to a set of rule ids; ``scopes`` overrides
     :data:`DEFAULT_SCOPES` (useful in tests to point one rule at a
     fixture file regardless of its name); ``flow`` adds the
-    whole-program rules R6-R8 (:func:`repro.analysis.flow.flow_rules`).
+    whole-program rules R6-R12 (:func:`repro.analysis.flow.flow_rules`).
+    ``cache`` enables the content-keyed incremental store
+    (:class:`repro.analysis.cache.LintCache`); it is ignored when
+    ``rules`` passes custom rule objects, which cannot be content-keyed.
     """
     from repro.analysis.flow import flow_rules
 
-    project = load_project(paths, root)
+    root = root or Path.cwd()
+    only = list(only) if only is not None else None
     scope_map = DEFAULT_SCOPES if scopes is None else scopes
+    if rules is not None:
+        cache = None
+
+    files = discover_files(paths)
+    sha_by_rel: Dict[str, str] = {}
+    invocation_key: Optional[str] = None
+    if cache is not None:
+        try:
+            for path in files:
+                rel = _rel_of(path, root)
+                sha_by_rel[rel] = LintCache.file_sha(
+                    path.read_text(encoding="utf-8")
+                )
+        except (OSError, UnicodeDecodeError):
+            cache = None  # unreadable tree: run uncached, let load_source report
+        else:
+            scopes_sig = repr(sorted(scope_map.items()))
+            invocation_key = LintCache.invocation_key(
+                sorted(sha_by_rel.items()), flow, only, scopes_sig
+            )
+            hit = cache.load_report(invocation_key)
+            if hit is not None:
+                return LintReport(
+                    findings=hit["findings"],
+                    suppressed=hit["suppressed"],
+                    stale=hit["stale"],
+                )
+
+    project = Project(root=root)
+    for path in files:
+        project.sources.append(load_source(path, root))
     if rules is None:
         active = list(all_rules())
         if flow:
@@ -189,12 +240,26 @@ def run_analysis(
         rule.prepare(project)
     for rule in active:
         patterns = scope_map.get(rule.id, ("*.py",))
+        # Rules with no cross-file prepare phase depend on one file's
+        # bytes alone, so their raw check output is per-file cacheable.
+        per_file = cache is not None and type(rule).prepare is Rule.prepare
         for source in project.sources:
             if source.syntax_error is not None:
                 continue
             if not scope_match(source.rel, patterns):
                 continue
-            for finding in rule.check(project, source):
+            raw: Optional[List[Finding]] = None
+            entry_key: Optional[str] = None
+            if per_file and source.rel in sha_by_rel:
+                entry_key = LintCache.perfile_key(
+                    rule.id, source.rel, sha_by_rel[source.rel]
+                )
+                raw = cache.load_file_findings(entry_key)
+            if raw is None:
+                raw = list(rule.check(project, source))
+                if entry_key is not None:
+                    cache.store_file_findings(entry_key, raw)
+            for finding in raw:
                 if source.suppressed(finding):
                     suppressed.append(finding)
                     used_waivers.setdefault(source.rel, set()).add(finding.line)
@@ -227,11 +292,17 @@ def run_analysis(
                 )
         findings.extend(stale)
 
-    return LintReport(
+    report = LintReport(
         findings=sorted(findings, key=Finding.sort_key),
         suppressed=sorted(suppressed, key=Finding.sort_key),
         stale=sorted(stale, key=Finding.sort_key),
     )
+    if cache is not None and invocation_key is not None:
+        cache.store_report(
+            invocation_key, report.findings, report.suppressed, report.stale
+        )
+        cache.flush()
+    return report
 
 
 def run_lint(

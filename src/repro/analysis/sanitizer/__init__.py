@@ -4,9 +4,10 @@ The static rules (R1, R6–R8) prove what they can from source; this
 package checks the remaining gap at runtime, the way ThreadSanitizer
 does for C++: by interposing on the primitives themselves.
 
-Two checkers, both zero-cost when disabled (the factories in
-:mod:`repro.utils.sync` and the hooks in :mod:`repro.utils.rng` hand
-out plain primitives unless the switch is on):
+Four checkers, all zero-cost when disabled (the factories in
+:mod:`repro.utils.sync` and the hooks in :mod:`repro.utils.rng` and
+:mod:`repro.shard.memory` hand out plain primitives unless the switch
+is on):
 
 - **lock order** (:mod:`.locks`) — every sanitized lock acquisition
   maintains the thread's acquisition stack and a global lock-order DAG;
@@ -15,7 +16,16 @@ out plain primitives unless the switch is on):
   blocking, so provoked inversions fail fast instead of deadlocking;
 - **RNG streams** (:mod:`.rng`) — seeded generators are shadowed with
   consumption accounting: cross-thread draws on one instance and
-  divergent consumption of one derived child seed are violations.
+  divergent consumption of one derived child seed are violations;
+- **event-loop blocking** (:mod:`.eventloop`) — every loop callback is
+  timed through ``Handle._run``; one that crosses the slow-callback
+  threshold is recorded and raised at the next quiesce point
+  (:meth:`~repro.analysis.sanitizer.eventloop.EventLoopMonitor.check`,
+  called per-test by the pytest plugin) — the runtime side of R9;
+- **segment lifecycle** (:mod:`.segments`) — every shared-memory
+  export/attach is registered with its creation stack and removed on
+  close; suites that expect a clean shutdown call
+  ``SEGMENTS.assert_all_released()`` — the runtime side of R10.
 
 Enable with the environment variable (read at process start, so worker
 processes inherit it), programmatically via :func:`enable`, or for a
@@ -29,6 +39,7 @@ plugin enables during ``pytest_configure``, ahead of collection).
 from __future__ import annotations
 
 from repro.analysis.sanitizer.errors import SanitizerError
+from repro.analysis.sanitizer.eventloop import LOOP_MONITOR, EventLoopMonitor
 from repro.analysis.sanitizer.locks import (
     MONITOR,
     LockOrderMonitor,
@@ -41,16 +52,21 @@ from repro.analysis.sanitizer.rng import (
     ShadowGenerator,
     shadow_rng,
 )
+from repro.analysis.sanitizer.segments import SEGMENTS, SegmentRegistry
 from repro.utils import sync as _sync
 
 __all__ = [
+    "LOOP_MONITOR",
     "MONITOR",
+    "SEGMENTS",
     "SHADOW_REGISTRY",
+    "EventLoopMonitor",
     "LockOrderMonitor",
     "RngShadowRegistry",
     "SanitizedLock",
     "SanitizedRLock",
     "SanitizerError",
+    "SegmentRegistry",
     "ShadowGenerator",
     "disable",
     "enable",
@@ -62,13 +78,16 @@ __all__ = [
 
 def enable() -> None:
     """Turn the sanitizer on: locks and generators created from now on
-    through the project factories are order-/consumption-checked."""
+    through the project factories are order-/consumption-checked, loop
+    callbacks are timed, and segment open/close is accounted."""
     _sync._set_active(True)
+    LOOP_MONITOR.install()
 
 
 def disable() -> None:
     """Turn the sanitizer off (existing proxies keep reporting)."""
     _sync._set_active(False)
+    LOOP_MONITOR.uninstall()
 
 
 def is_enabled() -> bool:
@@ -76,7 +95,8 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Forget recorded lock-order edges and RNG accounting.
+    """Forget recorded lock-order edges, RNG accounting, loop-callback
+    violations, and segment records.
 
     Call between tests: edges are per lock *instance*, so state from a
     finished test can only leak (never alias), but unbounded growth and
@@ -84,3 +104,5 @@ def reset() -> None:
     """
     MONITOR.reset()
     SHADOW_REGISTRY.reset()
+    LOOP_MONITOR.reset()
+    SEGMENTS.reset()

@@ -1,0 +1,105 @@
+"""Event-loop blocking detector: the runtime complement of rule R9.
+
+R9 proves from source that known blocking sinks cannot be *reached*
+from ``async def`` bodies; this monitor measures what actually ran.  It
+interposes on :meth:`asyncio.events.Handle._run` — the single choke
+point every loop callback, task step, and timer goes through — and
+records any callback whose wall-clock duration crosses the threshold.
+Wall time is deliberate: from the event loop's point of view a callback
+descheduled by the OS blocks other connections exactly as much as one
+burning CPU.
+
+Violations are *recorded*, not raised in place: ``Handle._run`` is
+called from inside the loop's dispatch machinery, where an exception
+would be routed to the loop exception handler (or kill the loop) and
+the test would fail with an unrelated traceback.  Instead the pytest
+plugin calls :meth:`EventLoopMonitor.check` after each test, and code
+can call it explicitly at a quiesce point.
+
+Threshold default is 0.5 s, overridable via the
+``REPRO_SANITIZE_LOOP_THRESHOLD`` environment variable (CI sets a
+looser value on oversubscribed runners, where descheduling alone can
+stretch an innocent callback).
+"""
+
+from __future__ import annotations
+
+import asyncio.events
+import os
+import time
+from typing import Callable, List, Optional
+
+from repro.analysis.sanitizer.errors import SanitizerError
+
+__all__ = ["LOOP_MONITOR", "EventLoopMonitor"]
+
+_DEFAULT_THRESHOLD = 0.5
+
+
+def _env_threshold() -> float:
+    try:
+        return float(os.environ.get("REPRO_SANITIZE_LOOP_THRESHOLD", ""))
+    except ValueError:
+        return _DEFAULT_THRESHOLD
+
+
+class EventLoopMonitor:
+    """Records loop callbacks that ran longer than ``threshold`` seconds."""
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        self.threshold = threshold if threshold is not None else _env_threshold()
+        self.violations: List[str] = []
+        self._original: Optional[Callable] = None
+
+    @property
+    def installed(self) -> bool:
+        return self._original is not None
+
+    def install(self) -> None:
+        """Patch ``Handle._run`` (idempotent; covers every loop)."""
+        if self._original is not None:
+            return
+        original = asyncio.events.Handle._run
+        monitor = self
+
+        def _timed_run(handle: "asyncio.events.Handle") -> None:
+            start = time.perf_counter()
+            try:
+                return original(handle)
+            finally:
+                elapsed = time.perf_counter() - start
+                if elapsed >= monitor.threshold:
+                    monitor.violations.append(
+                        f"event-loop callback blocked the loop for "
+                        f"{elapsed:.3f}s (threshold {monitor.threshold:.3f}s): "
+                        f"{handle!r}"
+                    )
+
+        asyncio.events.Handle._run = _timed_run  # type: ignore[method-assign]
+        self._original = original
+
+    def uninstall(self) -> None:
+        if self._original is not None:
+            asyncio.events.Handle._run = self._original  # type: ignore[method-assign]
+            self._original = None
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any callback blocked the loop.
+
+        Call at a quiesce point (test teardown, after server shutdown) —
+        never from inside a loop callback.
+        """
+        if self.violations:
+            details = "\n".join(f"  - {v}" for v in self.violations)
+            raise SanitizerError(
+                f"{len(self.violations)} event-loop callback(s) exceeded the "
+                f"blocking threshold:\n{details}\n"
+                "dispatch blocking work via run_in_executor/asyncio.to_thread"
+            )
+
+    def reset(self) -> None:
+        self.violations.clear()
+
+
+#: process-global monitor, installed by ``sanitizer.enable()``.
+LOOP_MONITOR = EventLoopMonitor()

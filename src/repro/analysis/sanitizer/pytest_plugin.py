@@ -42,13 +42,27 @@ def pytest_configure(config: "pytest.Config") -> None:
 
 def pytest_report_header(config: "pytest.Config") -> "list[str]":
     if sanitizer.is_enabled():
-        return ["repro sanitizer: ON (lock-order DAG + RNG shadow accounting)"]
+        return [
+            "repro sanitizer: ON (lock-order DAG + RNG shadow accounting + "
+            "event-loop blocking + segment lifecycle)"
+        ]
     return []
 
 
 @pytest.fixture(autouse=True)
 def _sanitizer_isolation() -> Iterator[None]:
-    """Per-test reset of the global monitor/registry when sanitizing."""
+    """Per-test reset of the global monitors/registries when sanitizing.
+
+    After the test the loop monitor's recorded violations are raised —
+    a blocked event loop cannot raise in place (``Handle._run`` runs
+    inside the loop's dispatch machinery), so teardown is the quiesce
+    point.  Segment accounting is deliberately *not* auto-asserted:
+    crash-isolation tests park leaked segments by design; suites that
+    expect a clean shutdown call ``SEGMENTS.assert_all_released()``
+    themselves.
+    """
     if sanitizer.is_enabled():
         sanitizer.reset()
     yield
+    if sanitizer.is_enabled():
+        sanitizer.LOOP_MONITOR.check()

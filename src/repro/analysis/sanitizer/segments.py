@@ -1,0 +1,94 @@
+"""Shared-memory segment lifecycle accounting: the runtime side of R10.
+
+R10 proves that every :class:`SharedArrayBundle` a function opens is
+closed, escaped, or ownership-transferred on every *syntactic* path;
+this registry accounts for the segments a process actually mapped.
+:mod:`repro.shard.memory` reports every export/attach and every close
+here (only while the sanitizer is active — the hooks are behind
+``sanitizer_active()``, so production runs pay nothing), each opening
+recorded with its creation stack so a leak report names the allocation
+site, not just the segment.
+
+Unlike the lock monitor this registry never raises on its own:
+existing crash-isolation tests *deliberately* park segments (a worker
+killed mid-epoch leaves its attachment behind by design), so an
+auto-assert at test teardown would flag intended behaviour.  Callers
+that expect a clean shutdown — the serve/shard acceptance suites, the
+epoch-swap tests — call :func:`SegmentRegistry.assert_all_released`
+explicitly at their quiesce point.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Dict, List, NamedTuple
+
+from repro.analysis.sanitizer.errors import SanitizerError
+
+__all__ = ["SEGMENTS", "SegmentRegistry"]
+
+
+class _SegmentRecord(NamedTuple):
+    name: str
+    owner: bool
+    nbytes: int
+    stack: str
+
+
+class SegmentRegistry:
+    """Live shared-memory mappings of this process, by segment name.
+
+    One record per (process, segment) mapping: the exporting side and an
+    attaching side of the same segment are distinct mappings in distinct
+    processes, so a plain name key is unambiguous within a registry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._live: Dict[str, _SegmentRecord] = {}
+
+    def note_open(self, name: str, owner: bool, nbytes: int) -> None:
+        record = _SegmentRecord(
+            name=name,
+            owner=owner,
+            nbytes=nbytes,
+            stack="".join(traceback.format_stack(limit=12)),
+        )
+        with self._lock:
+            self._live[name] = record
+
+    def note_close(self, name: str) -> None:
+        with self._lock:
+            # A segment opened before the sanitizer was enabled is
+            # unknown here; ignoring it beats a spurious report.
+            self._live.pop(name, None)
+
+    def live(self) -> List[str]:
+        with self._lock:
+            return sorted(self._live)
+
+    def assert_all_released(self) -> None:
+        """Raise :class:`SanitizerError` naming every unreleased mapping."""
+        with self._lock:
+            leaked = sorted(self._live.values())
+        if not leaked:
+            return
+        lines = [
+            f"  - {rec.name} ({'owner' if rec.owner else 'attached'}, "
+            f"{rec.nbytes} bytes)"
+            for rec in leaked
+        ]
+        raise SanitizerError(
+            f"{len(leaked)} shared-memory mapping(s) never released:\n"
+            + "\n".join(lines),
+            first_stack=leaked[0].stack,
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._live.clear()
+
+
+#: process-global registry fed by :mod:`repro.shard.memory`.
+SEGMENTS = SegmentRegistry()

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 emission for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest: one ``run`` with a ``tool.driver`` advertising the rule
+catalogue, and one ``result`` per finding carrying ``ruleId``, a text
+message, and a ``physicalLocation``.  We emit the minimal conformant
+subset — no ``fixes``, no ``codeFlows`` — because the receiving end
+(GitHub code scanning) only renders location + message + rule metadata.
+
+Suppressed findings are included with a ``suppressions`` entry of kind
+``inSource`` when requested, matching how ``--show-suppressed`` behaves
+for the JSON format: visible in the upload, but never alert-worthy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: R0 is the meta-rule (syntax errors, waiver hygiene, internal errors);
+#: it has no Rule object but must still resolve in the SARIF rule index.
+_META_RULE = {
+    "id": "R0",
+    "name": "lint-integrity",
+    "shortDescription": {
+        "text": "syntax errors, waiver hygiene, and analyzer self-reports"
+    },
+}
+
+
+def _result(finding: Finding, rule_index: Dict[str, int], suppressed: bool) -> Dict:
+    result: Dict = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": "# repro: noqa"}
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[Rule],
+    suppressed: Optional[Sequence[Finding]] = None,
+) -> Dict:
+    """Render findings as a SARIF 2.1.0 log dict (caller json.dumps it)."""
+    rule_entries: List[Dict] = [_META_RULE]
+    for rule in rules:
+        rule_entries.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    rule_index = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+
+    results = [_result(f, rule_index, suppressed=False) for f in findings]
+    for finding in suppressed or ():
+        results.append(_result(finding, rule_index, suppressed=True))
+
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

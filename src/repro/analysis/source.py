@@ -28,6 +28,12 @@ __all__ = ["ImportAliases", "SourceFile", "attribute_chain", "load_source"]
 #: ``self._snapshot = ...  # locked-by: _lock``
 _LOCKED_BY_RE = re.compile(r"#\s*locked-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
 
+#: ``def f(conn):  # owns: conn`` — the function takes ownership of the
+#: named parameter(s) and must release them (R10 lifecycle typestate).
+_OWNS_RE = re.compile(
+    r"#\s*owns:\s*(?P<names>[A-Za-z_][A-Za-z0-9_]*(?:\s*,\s*[A-Za-z_][A-Za-z0-9_]*)*)"
+)
+
 
 @dataclass
 class ImportAliases:
@@ -66,6 +72,8 @@ class SourceFile:
         self.suppressions: Suppressions = parse_suppressions(comments)
         #: line number -> lock name from a ``# locked-by:`` comment.
         self.locked_by: Dict[int, str] = _parse_locked_by(comments)
+        #: line number -> parameter names from a ``# owns:`` comment.
+        self.owns: Dict[int, Tuple[str, ...]] = _parse_owns(comments)
         self.syntax_error: Optional[SyntaxError] = None
         try:
             self.tree: ast.Module = ast.parse(text, filename=str(path))
@@ -147,6 +155,19 @@ def _parse_locked_by(lines: List[str]) -> Dict[int, str]:
         if match is not None:
             locked[number] = match.group("lock")
     return locked
+
+
+def _parse_owns(lines: List[str]) -> Dict[int, Tuple[str, ...]]:
+    owns: Dict[int, Tuple[str, ...]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "owns" not in text:
+            continue
+        match = _OWNS_RE.search(text)
+        if match is not None:
+            owns[number] = tuple(
+                part.strip() for part in match.group("names").split(",")
+            )
+    return owns
 
 
 def _collect_aliases(tree: ast.Module) -> ImportAliases:

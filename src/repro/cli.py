@@ -307,6 +307,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--format", args.output_format]
     if args.show_suppressed:
         argv.append("--show-suppressed")
+    if args.no_cache:
+        argv.append("--no-cache")
     if args.explain:
         argv.append("--explain")
     return lint_main(argv)
@@ -457,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(fn=cmd_info)
 
     p_lint = sub.add_parser(
-        "lint", help="run the project-specific static-analysis rules R1-R8"
+        "lint", help="run the project-specific static-analysis rules R1-R12"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -466,11 +468,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--root", default=None, metavar="DIR",
                         help="directory findings are rendered relative to")
     p_lint.add_argument("--flow", action="store_true",
-                        help="also run the interprocedural flow rules R6-R8")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text",
-                        dest="output_format", help="output format")
+                        help="also run the interprocedural flow rules R6-R12")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="output_format",
+                        help="output format")
     p_lint.add_argument("--show-suppressed", action="store_true",
                         help="also report findings waived by `# repro: noqa`")
+    p_lint.add_argument("--no-cache", action="store_true",
+                        help="bypass the .repro-lint-cache/ incremental cache")
     p_lint.add_argument("--explain", action="store_true",
                         help="list the registered rules and exit")
     p_lint.set_defaults(fn=cmd_lint)

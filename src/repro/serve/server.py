@@ -315,7 +315,10 @@ class SimRankServer:
         if self._batcher_task is not None:
             await self._batcher_task
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # shutdown(wait=True) joins worker threads; on the loop it
+            # would freeze keep-alive sessions (and /healthz) for as
+            # long as the slowest in-flight batch runs.
+            await asyncio.to_thread(self._executor.shutdown, wait=True)
         # Nudge idle keep-alive sessions off the loop: closing the
         # transport EOFs their pending readline, so the handlers exit
         # normally instead of being cancelled by loop teardown.

@@ -96,6 +96,10 @@ class SharedArrayBundle:
             (key, str(array.dtype), list(array.shape), start)
             for key, array, start in layout
         ]
+        if sanitizer_active():
+            from repro.analysis.sanitizer.segments import SEGMENTS
+
+            SEGMENTS.note_open(shm.name, owner=True, nbytes=total)
         return bundle
 
     def manifest(self) -> Dict[str, Any]:
@@ -145,6 +149,14 @@ class SharedArrayBundle:
             )
             view.setflags(write=False)
             views[key] = view
+        if sanitizer_active():
+            from repro.analysis.sanitizer.segments import SEGMENTS
+
+            SEGMENTS.note_open(
+                segment,
+                owner=False,
+                nbytes=sum(int(v.nbytes) for v in views.values()),
+            )
         return cls(shm, views, owner=False)
 
     # ------------------------------------------------------------------
@@ -187,6 +199,10 @@ class SharedArrayBundle:
             self.leaked = True
             _LEAKED_SEGMENTS.append(self._shm)
         self.arrays.clear()
+        if sanitizer_active():
+            from repro.analysis.sanitizer.segments import SEGMENTS
+
+            SEGMENTS.note_close(self._shm.name)
         if not self.leaked:
             self._shm.close()
         if self._owner:

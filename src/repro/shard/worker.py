@@ -295,7 +295,7 @@ def worker_main(conn: Any, shard_id: int) -> None:
                     msg_id,
                     {"shard_id": shard_id, "epochs": sorted(epochs)},
                 )
-            elif op == "crash":  # test hook: die without replying
+            elif op == "crash":  # repro: noqa R11 -- test-only hook: crash-isolation tests send it raw; no production sender exists by design
                 conn.close()
                 return
             else:

@@ -173,3 +173,97 @@ def test_shipped_tree_is_clean():
     # No dormant waivers either: every noqa in the tree suppresses
     # something even with the full rule set active.
     assert report.stale == []
+
+
+def test_sarif_format(write_tree, capsys):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    code = lint_main([str(root), "--root", str(root), "--format", "sarif"])
+    log = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"R0", "R1", "R3", "R5"} <= rule_ids
+    [result] = [r for r in run["results"] if r["ruleId"] == "R3"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "core/mc.py"
+    assert location["region"]["startLine"] == 3
+    assert result["message"]["text"]
+
+
+def test_sarif_clean_tree_exits_zero(write_tree, capsys):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert lint_main([str(root), "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_sarif_suppressed_findings_marked(write_tree, capsys):
+    root = write_tree(
+        {
+            "core/mc.py": (
+                "import numpy as np\n\n"
+                "x = np.random.rand(3)  # repro: noqa R3 -- fixture\n"
+            )
+        }
+    )
+    code = lint_main(
+        [str(root), "--root", str(root), "--format", "sarif",
+         "--show-suppressed"]
+    )
+    log = json.loads(capsys.readouterr().out)
+    assert code == 0
+    [result] = log["runs"][0]["results"]
+    assert result["suppressions"][0]["kind"] == "inSource"
+
+
+def test_internal_error_exits_two_with_synthetic_finding(
+    write_tree, capsys, monkeypatch
+):
+    from repro.analysis import cli as analysis_cli
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("rule exploded")
+
+    monkeypatch.setattr(analysis_cli, "run_analysis", boom)
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    code = analysis_cli.main([str(root), "--format", "json"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "RuntimeError: rule exploded" in captured.err  # the traceback
+    payload = json.loads(captured.out)
+    [finding] = payload["findings"]
+    assert finding["rule"] == "R0"
+    assert "internal analyzer error" in finding["message"]
+    assert "rule exploded" in finding["message"]
+
+
+def test_internal_error_text_format_also_exits_two(write_tree, capsys, monkeypatch):
+    from repro.analysis import cli as analysis_cli
+
+    monkeypatch.setattr(
+        analysis_cli, "run_analysis",
+        lambda *a, **k: (_ for _ in ()).throw(ValueError("bad state")),
+    )
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    code = analysis_cli.main([str(root)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "internal analyzer error" in captured.out
+
+
+def test_no_cache_flag_through_repro_cli(write_tree):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert repro_main(
+        ["lint", str(root), "--root", str(root), "--no-cache"]
+    ) == 0
+    assert not (root / ".repro-lint-cache").exists()
+
+
+def test_cache_dir_created_at_lint_root(write_tree):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert lint_main([str(root), "--root", str(root)]) == 0
+    assert (root / ".repro-lint-cache").is_dir()

@@ -1,0 +1,141 @@
+"""The PR-8 sanitizer checkers: event-loop blocking + segment lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    LOOP_MONITOR,
+    SEGMENTS,
+    EventLoopMonitor,
+    SanitizerError,
+    SegmentRegistry,
+    disable,
+    enable,
+    reset,
+)
+from repro.shard.memory import SharedArrayBundle
+
+
+@pytest.fixture
+def sanitized():
+    enable()
+    reset()
+    try:
+        yield
+    finally:
+        disable()
+        reset()
+
+
+# ----------------------------------------------------------------------
+# Event-loop blocking monitor
+# ----------------------------------------------------------------------
+
+
+def test_blocking_callback_recorded_and_raised():
+    monitor = EventLoopMonitor(threshold=0.05)
+    monitor.install()
+    try:
+        async def main():
+            time.sleep(0.12)  # the violation under test
+
+        asyncio.run(main())
+    finally:
+        monitor.uninstall()
+    with pytest.raises(SanitizerError) as err:
+        monitor.check()
+    assert "blocked the loop" in str(err.value)
+    assert "to_thread" in str(err.value)
+
+
+def test_fast_callbacks_are_quiet():
+    monitor = EventLoopMonitor(threshold=0.5)
+    monitor.install()
+    try:
+        async def main():
+            await asyncio.sleep(0)
+
+        asyncio.run(main())
+    finally:
+        monitor.uninstall()
+    monitor.check()
+    assert monitor.violations == []
+
+
+def test_offloaded_work_is_quiet():
+    # The fix pattern the R9 message prescribes: the same blocking call
+    # routed through to_thread never blocks a loop callback.
+    monitor = EventLoopMonitor(threshold=0.05)
+    monitor.install()
+    try:
+        async def main():
+            await asyncio.to_thread(time.sleep, 0.12)
+
+        asyncio.run(main())
+    finally:
+        monitor.uninstall()
+    monitor.check()
+
+
+def test_enable_installs_loop_monitor(sanitized):
+    assert LOOP_MONITOR.installed
+    disable()
+    assert not LOOP_MONITOR.installed
+
+
+def test_reset_clears_violations():
+    monitor = EventLoopMonitor(threshold=0.01)
+    monitor.violations.append("stale entry")
+    monitor.reset()
+    monitor.check()
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle accounting
+# ----------------------------------------------------------------------
+
+
+def test_segment_open_close_accounted(sanitized):
+    bundle = SharedArrayBundle.export({"x": np.arange(16)})
+    assert len(SEGMENTS.live()) == 1
+    with pytest.raises(SanitizerError) as err:
+        SEGMENTS.assert_all_released()
+    assert "never released" in str(err.value)
+    assert "owner" in str(err.value)
+    bundle.close()
+    assert SEGMENTS.live() == []
+    SEGMENTS.assert_all_released()
+
+
+def test_attached_mapping_accounted_separately(sanitized):
+    owner = SharedArrayBundle.export({"x": np.arange(8)})
+    manifest = owner.manifest()
+    registry = SegmentRegistry()
+    registry.note_open(manifest["segment"], owner=False, nbytes=64)
+    with pytest.raises(SanitizerError) as err:
+        registry.assert_all_released()
+    assert "attached" in str(err.value)
+    registry.note_close(manifest["segment"])
+    registry.assert_all_released()
+    owner.close()
+
+
+def test_leak_report_names_allocation_site(sanitized):
+    bundle = SharedArrayBundle.export({"x": np.arange(4)})
+    with pytest.raises(SanitizerError) as err:
+        SEGMENTS.assert_all_released()
+    # The creation stack is attached so the report points at this test,
+    # not at the registry internals.
+    assert "test_sanitizer_runtime" in err.value.first_stack
+    bundle.close()
+
+
+def test_segments_quiet_when_sanitizer_off():
+    bundle = SharedArrayBundle.export({"x": np.arange(4)})
+    assert SEGMENTS.live() == []
+    bundle.close()

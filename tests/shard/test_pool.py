@@ -138,4 +138,8 @@ class TestCrashIsolation:
                 pool.workers[0].request({"op": "crash"})
                 with pytest.raises(ShardCrashError):
                     pool.top_k(3)
+                # top_k can fail on the *send* side before the reader
+                # thread finishes its EOF accounting; the counter is
+                # only guaranteed once that thread has exited.
+                pool.workers[0].reader.join(timeout=10)
         assert registry.counter_value("shard", "worker_crashes_total") >= 1

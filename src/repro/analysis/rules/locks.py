@@ -24,6 +24,14 @@ Every ``self.<attr>`` read or write in any method other than
 ``__init__`` must then sit lexically inside ``with self.<lock>:``.
 Nested ``def``/``lambda`` bodies reset the guard: a closure created
 inside a critical section may run long after the lock was released.
+
+One escape hatch for private helpers: a method whose name ends in
+``_locked`` (e.g. ``_pending_locked``) declares by convention that its
+callers already hold the class's guarding locks, so its body is scanned
+with every registered lock considered held.  The convention only moves
+the obligation to call sites — which *are* checked, since the helper's
+callers still need a lexical ``with`` around any locked attribute they
+touch themselves.
 """
 
 from __future__ import annotations
@@ -94,7 +102,12 @@ class _MethodScanner(ast.NodeVisitor):
         self.cls_name = cls_name
         self.method_name = method_name
         self.locked = locked
-        self.held: List[str] = []
+        # ``*_locked`` helpers run with their class's locks held by
+        # calling convention (the call sites remain checked).
+        if method_name.endswith("_locked"):
+            self.held: List[str] = sorted(set(locked.values()))
+        else:
+            self.held = []
         self.findings: List[Finding] = []
 
     # -- guard tracking -------------------------------------------------

@@ -19,9 +19,9 @@ The rule flags, in the scoped modules:
 Exemptions — the blessed write paths:
 
 - receivers *owned* by the enclosing function: locals assigned from a
-  ``.clone()`` call or from an owner-class constructor
-  (``CandidateIndex(...)``, ``EngineSnapshot(...)``, ``GammaTable(...)``,
-  ``cls(...)``);
+  ``.clone()``-family call (``clone``, ``clone_cow``, ...) or from an
+  owner-class constructor (``CandidateIndex(...)``,
+  ``EngineSnapshot(...)``, ``GammaTable(...)``, ``cls(...)``);
 - ``self`` inside the owner classes themselves (the class's own methods
   are the mutation API the clone path uses).
 """
@@ -73,13 +73,15 @@ def _constructor_name(call: ast.Call) -> Optional[str]:
 
 
 def _owned_locals(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> Set[str]:
-    """Local names bound from ``.clone()`` or an owner-class constructor."""
+    """Local names bound from a clone-family call or an owner constructor."""
     owned: Set[str] = set()
     for node in ast.walk(func):
         if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
             continue
         name = _constructor_name(node.value)
-        if name == "clone" or name in OWNER_CLASSES or name == "cls":
+        if name is None:
+            continue
+        if name.startswith("clone") or name in OWNER_CLASSES or name == "cls":
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     owned.add(target.id)

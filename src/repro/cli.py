@@ -203,6 +203,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.serve_workers,
         cache_capacity=args.cache_capacity if args.cache_capacity > 0 else None,
         shards=args.shards,
+        flush_pipeline=args.flush_pipeline,
+        flush_max_staleness=args.flush_max_staleness,
+        flush_max_pending=args.flush_max_pending,
         autotune=args.autotune,
         control_interval=args.control_interval,
         slo_p99_ms=args.slo_p99_ms,
@@ -420,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = single-process backend)")
     p_serve.add_argument("--cache-capacity", type=int, default=1024,
                          help="per-snapshot LRU result cache size (0 disables)")
+    p_serve.add_argument("--flush-pipeline", action="store_true",
+                         help="absorb staged edge edits on a background "
+                              "flusher thread instead of per-request flushes "
+                              "(docs/dynamic.md)")
+    p_serve.add_argument("--flush-max-staleness", type=float, default=0.2,
+                         help="seconds a staged edit may wait before the "
+                              "pipeline flushes")
+    p_serve.add_argument("--flush-max-pending", type=int, default=1024,
+                         help="staged edits that force a flush and throttle "
+                              "writers")
     p_serve.add_argument("--autotune", action="store_true",
                          help="run the feedback controller that adapts batch "
                               "and walk-budget knobs toward the SLO "

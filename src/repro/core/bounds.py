@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ from repro.core.config import SimRankConfig
 from repro.core.linear import DiagonalLike, resolve_diagonal
 from repro.core.walks import FlatSketch, WalkEngine, segment_self_collisions
 from repro.utils.contracts import contract
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
 
 __all__ = [
@@ -55,6 +55,7 @@ __all__ = [
     "compute_alpha_beta",
     "GammaTable",
     "compute_gamma",
+    "compute_gamma_rows",
     "compute_gamma_all",
     "combined_upper_bound",
 ]
@@ -210,18 +211,71 @@ def compute_gamma(
 ) -> np.ndarray:
     """Algorithm 3 for a single vertex: γ(u, t) for t = 0..T-1.
 
-    Concentration: Proposition 7 / Corollary 3.
+    Concentration: Proposition 7 / Corollary 3.  Delegates to
+    :func:`compute_gamma_rows` so a standalone call draws the exact
+    per-vertex stream the batched preprocess would.
     """
     config = config or SimRankConfig()
     if not 0 <= u < graph.n:
         raise VertexError(u, graph.n)
+    return compute_gamma_rows(graph, [u], config=config, seed=seed,
+                              diagonal=diagonal)[0]
+
+
+def compute_gamma_rows(
+    graph: CSRGraph,
+    vertices: "Sequence[int] | np.ndarray | range",
+    config: Optional[SimRankConfig] = None,
+    seed: SeedLike = None,
+    diagonal: DiagonalLike = None,
+) -> np.ndarray:
+    """Algorithm 3 rows for an arbitrary vertex subset, shape (len, T).
+
+    Every vertex draws from its own derived stream
+    (``derive_seed(base, 31, u)``) consumed positionally via
+    :meth:`~repro.core.walks.WalkEngine.step_given`, so the row computed
+    for ``u`` is a pure function of ``(graph, config, seed, u)`` — a
+    subset recomputation (the dynamic engine's flush repair) is
+    bit-identical to the corresponding rows of a full-table build.
+    Vertices are processed in fixed-size blocks purely for memory
+    locality; block composition cannot affect the numbers.
+    """
+    config = config or SimRankConfig()
+    vertex_array = np.asarray(
+        vertices if isinstance(vertices, np.ndarray) else list(vertices),
+        dtype=np.int64,
+    )
+    if vertex_array.size and (
+        vertex_array.min() < 0 or vertex_array.max() >= graph.n
+    ):
+        offender = int(vertex_array[(vertex_array < 0) | (vertex_array >= graph.n)][0])
+        raise VertexError(offender, graph.n)
     d_vec = resolve_diagonal(graph.n, config.c, diagonal)
-    engine = WalkEngine(graph, ensure_rng(seed))
-    sketch = FlatSketch(engine.walk_matrix(u, config.r_gamma, config.T))
-    gamma = np.zeros(config.T)
-    for t in range(config.T):
-        gamma[t] = math.sqrt(sketch.self_collision_value(t, d_vec))
-    return gamma
+    R, T = config.r_gamma, config.T
+    base_seed = seed if (seed is None or isinstance(seed, int)) else derive_seed(seed)
+    engine = WalkEngine(graph, ensure_rng(base_seed))
+    rows = np.zeros((len(vertex_array), T))
+    block_size = max(1, 16384 // max(1, R))
+    for start in range(0, len(vertex_array), block_size):
+        block = vertex_array[start : start + block_size]
+        width = len(block)
+        positions = np.repeat(block, R)
+        segments = np.repeat(np.arange(width, dtype=np.int64), R)
+        uniforms: Optional[np.ndarray] = None
+        if T > 1:
+            uniforms = np.concatenate(
+                [
+                    ensure_rng(derive_seed(base_seed, 31, int(u))).random((T - 1, R))
+                    for u in block
+                ],
+                axis=1,
+            )
+        for t in range(T):
+            sums = segment_self_collisions(positions, segments, d_vec, R, width)
+            rows[start : start + width, t] = np.sqrt(sums)
+            if t + 1 < T and uniforms is not None:
+                positions = engine.step_given(positions, uniforms[t])
+    return rows
 
 
 def compute_gamma_all(
@@ -232,25 +286,22 @@ def compute_gamma_all(
 ) -> GammaTable:
     """Algorithm 3 batched over every vertex (the preprocess step of §7.1).
 
-    Runs all n·R walks simultaneously as one flat position array and
-    reduces occupation counts per (source, vertex) key with one
+    Runs walks as flat position arrays and reduces occupation counts per
+    (source, vertex) key with one
     :func:`~repro.core.walks.segment_self_collisions` pass per step —
     O(n R log(nR)) per step but fully vectorised, which is what makes
-    O(n)-style preprocessing practical in Python.
+    O(n)-style preprocessing practical in Python.  Draws come from
+    per-vertex derived streams (see :func:`compute_gamma_rows`) so the
+    dynamic engine can recompute any affected subset and land on the
+    same bits as this full build.
     """
     config = config or SimRankConfig()
-    d_vec = resolve_diagonal(graph.n, config.c, diagonal)
-    n, R, T = graph.n, config.r_gamma, config.T
-    engine = WalkEngine(graph, ensure_rng(seed))
-    sources = np.repeat(np.arange(n, dtype=np.int64), R)
-    positions = sources.copy()
-    gamma = np.zeros((n, T))
-    for t in range(T):
-        sums = segment_self_collisions(positions, sources, d_vec, R, n)
-        gamma[:, t] = np.sqrt(sums)
-        if t + 1 < T:
-            positions = engine.step(positions)
-    return GammaTable(c=config.c, values=gamma)
+    return GammaTable(
+        c=config.c,
+        values=compute_gamma_rows(
+            graph, range(graph.n), config=config, seed=seed, diagonal=diagonal
+        ),
+    )
 
 
 def combined_upper_bound(

@@ -161,11 +161,14 @@ class TunableSpec:
     - ``"engine"`` — applied live through the engine handle (walk
       budget R, the screen/refine split);
     - ``"index"`` — requires an index rebuild, so only the offline
-      ``repro tune`` mode moves it (P/Q of Algorithm 4).
+      ``repro tune`` mode moves it (P/Q of Algorithm 4);
+    - ``"flush"`` — applied live to the dynamic-write
+      :class:`~repro.core.dynamic.FlushPipeline` (staleness budget and
+      backpressure limit).
     """
 
     name: str
-    scope: str  # "batcher" | "engine" | "index"
+    scope: str  # "batcher" | "engine" | "index" | "flush"
     minimum: float
     maximum: float
     step: float
@@ -174,7 +177,7 @@ class TunableSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.scope not in ("batcher", "engine", "index"):
+        if self.scope not in ("batcher", "engine", "index", "flush"):
             raise ValueError(f"unknown tunable scope {self.scope!r}")
         if self.mode not in ("mul", "add"):
             raise ValueError(f"unknown tunable step mode {self.mode!r}")
@@ -249,6 +252,16 @@ TUNABLES: Dict[str, TunableSpec] = {
             name="index_checks", scope="index", minimum=1, maximum=20,
             step=1.0, mode="add", integer=True,
             description="Q of Algorithm 4 (confirmation walks; rebuild required)",
+        ),
+        TunableSpec(
+            name="flush_max_staleness", scope="flush", minimum=0.01, maximum=5.0,
+            step=2.0, mode="mul",
+            description="seconds a staged edit may wait before a flush",
+        ),
+        TunableSpec(
+            name="flush_max_pending", scope="flush", minimum=16, maximum=65536,
+            step=2.0, mode="mul", integer=True,
+            description="staged edits that force a flush and throttle writers",
         ),
     )
 }

@@ -58,6 +58,10 @@ class CandidateIndex:
     inverted: Dict[int, List[int]]
     gamma: GammaTable
     build_seconds: float = 0.0
+    #: Posting-list keys whose lists still alias a ``clone_cow()`` parent
+    #: (``None`` on fully-materialised indexes); ``replace_signature``
+    #: copies such a list before its first write.
+    _cow_shared: Optional[Set[int]] = None
 
     def candidates(self, u: int, include_self: bool = False) -> List[int]:
         """All v whose signature set intersects u's (sorted, deduplicated).
@@ -82,19 +86,34 @@ class CandidateIndex:
         """
         if not 0 <= u < self.n:
             raise VertexError(u, self.n)
+        # Posting lists reached through a clone_cow() may still alias the
+        # parent index; materialise a private copy before the first write.
+        shared = self._cow_shared
         for vertex in self.signatures[u]:
-            postings = self.inverted.get(int(vertex))
+            key = int(vertex)
+            postings = self.inverted.get(key)
             if postings is not None:
+                if shared is not None and key in shared:
+                    postings = list(postings)
+                    self.inverted[key] = postings
+                    shared.discard(key)
                 try:
                     postings.remove(u)
                 except ValueError:
                     pass
                 if not postings:
-                    del self.inverted[int(vertex)]
+                    del self.inverted[key]
         cleaned = sorted({int(v) for v in new_signature})
         self.signatures[u] = cleaned
         for vertex in cleaned:
-            postings = self.inverted.setdefault(vertex, [])
+            postings = self.inverted.get(vertex)
+            if postings is None:
+                postings = []
+                self.inverted[vertex] = postings
+            elif shared is not None and vertex in shared:
+                postings = list(postings)
+                self.inverted[vertex] = postings
+                shared.discard(vertex)
             # Keep postings sorted for deterministic candidate output.
             bisect.insort(postings, u)
 
@@ -115,6 +134,32 @@ class CandidateIndex:
             inverted={k: list(v) for k, v in self.inverted.items()},
             gamma=GammaTable(c=self.gamma.c, values=self.gamma.values.copy()),
             build_seconds=self.build_seconds,
+        )
+
+    def clone_cow(self) -> "CandidateIndex":
+        """Row-level copy-on-write clone — O(n) pointers, not O(index).
+
+        The outer containers (signature list, inverted dict) are fresh,
+        so rebinding a row never touches the parent; the *rows* —
+        signature lists, posting lists, the γ array — stay shared until
+        written.  :meth:`replace_signature` copies a shared posting list
+        the first time it mutates it (tracked in ``_cow_shared``), and
+        signature rows are always rebound wholesale, never edited in
+        place.  The caller must treat ``gamma`` the same way: publish a
+        fresh :class:`GammaTable`, never write ``gamma.values[u] = ...``
+        through a COW clone.  This is what makes a flush O(Δ) instead of
+        O(index): the deep :meth:`clone` copies every posting of every
+        vertex even when two rows changed.
+        """
+        inverted = dict(self.inverted)
+        return CandidateIndex(
+            config=self.config,
+            n=self.n,
+            signatures=list(self.signatures),
+            inverted=inverted,
+            gamma=self.gamma,
+            build_seconds=self.build_seconds,
+            _cow_shared=set(inverted),
         )
 
     def signature_size_stats(self) -> Dict[str, float]:

@@ -24,7 +24,8 @@ are zero; the corresponding walk terminates, see
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Sequence, Tuple
+import bisect
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -106,6 +107,59 @@ class CSRGraph:
     def empty(cls, n: int) -> "CSRGraph":
         """Graph with ``n`` vertices and no edges."""
         return cls.from_edges(n, [])
+
+    def apply_delta(
+        self,
+        adds: Sequence[Tuple[int, int]],
+        removes: Sequence[Tuple[int, int]],
+        n: int | None = None,
+    ) -> "CSRGraph":
+        """A new graph with ``adds`` inserted and ``removes`` deleted.
+
+        This is the delta-merge path of the dynamic engine: instead of
+        re-sorting all m edges (``from_edges``), only the adjacency rows
+        an edit actually touches are rebuilt — every other row is copied
+        as one contiguous slab per gap between touched rows, so the cost
+        is O(Δ + touched-row degrees + n) rather than O(m log m).
+
+        ``n`` grows the vertex set (it must be ≥ the current count);
+        when omitted it is inferred from the added endpoints.  Removing
+        an edge that is not present raises :class:`GraphFormatError` —
+        the staged-edit bookkeeping upstream guarantees deltas are
+        consistent, so a miss here means corruption, not user error.
+        The result is bit-identical to ``from_edges`` over the edited
+        edge multiset (rows stay sorted; duplicate edges are preserved,
+        and a remove drops exactly one occurrence).
+        """
+        add_array = _coerce_delta(adds)
+        remove_array = _coerce_delta(removes)
+        if n is None:
+            n_new = self.n
+            if add_array.size:
+                n_new = max(n_new, int(add_array.max()) + 1)
+        else:
+            n_new = int(n)
+            if n_new < self.n:
+                raise GraphFormatError(
+                    f"apply_delta cannot shrink the vertex set ({n_new} < {self.n})"
+                )
+        for edge_array, limit in ((add_array, n_new), (remove_array, self.n)):
+            if edge_array.size:
+                bad = (edge_array < 0) | (edge_array >= limit)
+                if bad.any():
+                    offender = int(edge_array[bad.any(axis=1)][0].max())
+                    raise VertexError(offender, limit)
+        out_indptr, out_indices = _splice_side(
+            self.n, n_new, self._out_indptr, self._out_indices,
+            add_array[:, 0], add_array[:, 1],
+            remove_array[:, 0], remove_array[:, 1],
+        )
+        in_indptr, in_indices = _splice_side(
+            self.n, n_new, self._in_indptr, self._in_indices,
+            add_array[:, 1], add_array[:, 0],
+            remove_array[:, 1], remove_array[:, 0],
+        )
+        return CSRGraph(n_new, out_indptr, out_indices, in_indptr, in_indices)
 
     # ------------------------------------------------------------------
     # Neighbor access
@@ -319,3 +373,88 @@ def _build_csr_side(
     order = np.lexsort((cols, rows))
     indices = cols[order].astype(np.int64)
     return indptr, indices
+
+
+def _coerce_delta(pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Normalize an edit list to an (k, 2) int64 array."""
+    array = np.asarray(pairs if isinstance(pairs, np.ndarray) else list(pairs),
+                       dtype=np.int64)
+    if array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise GraphFormatError("delta edges must be (source, target) pairs")
+    return array
+
+
+def _splice_side(
+    n_old: int,
+    n_new: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    add_rows: np.ndarray,
+    add_cols: np.ndarray,
+    rem_rows: np.ndarray,
+    rem_cols: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rebuild one CSR direction with only the touched rows re-sorted.
+
+    Untouched rows are copied in contiguous slabs (one numpy slice per
+    gap between touched rows); each touched row is re-assembled from its
+    old sorted content plus/minus the delta, keeping the per-row sorted
+    invariant of ``_build_csr_side``.
+    """
+    add_map: Dict[int, List[int]] = {}
+    for row, col in zip(add_rows.tolist(), add_cols.tolist()):
+        add_map.setdefault(row, []).append(col)
+    rem_map: Dict[int, List[int]] = {}
+    for row, col in zip(rem_rows.tolist(), rem_cols.tolist()):
+        rem_map.setdefault(row, []).append(col)
+    touched = sorted(set(add_map) | set(rem_map))
+
+    rebuilt: Dict[int, List[int]] = {}
+    for row in touched:
+        if row < n_old:
+            content = indices[indptr[row] : indptr[row + 1]].tolist()
+        else:
+            content = []
+        for col in rem_map.get(row, ()):
+            at = bisect.bisect_left(content, col)
+            if at >= len(content) or content[at] != col:
+                raise GraphFormatError(
+                    f"cannot remove absent edge (row {row} has no entry {col})"
+                )
+            content.pop(at)
+        for col in add_map.get(row, ()):
+            bisect.insort(content, col)
+        rebuilt[row] = content
+
+    counts = np.zeros(n_new, dtype=np.int64)
+    counts[:n_old] = np.diff(indptr)
+    for row, content in rebuilt.items():
+        counts[row] = len(content)
+    new_indptr = np.zeros(n_new + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+
+    total = int(new_indptr[-1])
+    new_indices = np.empty(total, dtype=np.int64)
+    write = 0
+    next_uncopied = 0
+    for row in touched:
+        slab_stop = min(row, n_old)
+        if next_uncopied < slab_stop:
+            lo, hi = int(indptr[next_uncopied]), int(indptr[slab_stop])
+            new_indices[write : write + hi - lo] = indices[lo:hi]
+            write += hi - lo
+        content = rebuilt[row]
+        new_indices[write : write + len(content)] = content
+        write += len(content)
+        next_uncopied = row + 1
+    if next_uncopied < n_old:
+        lo, hi = int(indptr[next_uncopied]), int(indptr[n_old])
+        new_indices[write : write + hi - lo] = indices[lo:hi]
+        write += hi - lo
+    if write != total:
+        raise GraphFormatError(
+            f"delta splice wrote {write} entries, expected {total}"
+        )
+    return new_indptr, new_indices

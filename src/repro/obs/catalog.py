@@ -79,6 +79,7 @@ SHARD_SCATTER_LATENCY = ("shard", "scatter_latency_seconds")  # histogram
 SHARD_EPOCH = ("shard", "epoch")  # gauge: pool's current published epoch
 SHARD_WORKERS_MIN_EPOCH = ("shard", "workers_min_epoch")  # gauge
 SHARD_WORKER_CRASHES = ("shard", "worker_crashes_total")
+SHARD_DELTA_PUBLISHES = ("shard", "delta_publishes_total")
 
 # Derived at export time: how far the slowest worker trails the
 # published epoch (0 in steady state; >0 flags a stuck/restarting shard).
@@ -98,6 +99,8 @@ CONTROL_KNOB_MAX_BATCH = ("control", "knob_max_batch")  # gauge
 CONTROL_KNOB_BATCH_WINDOW = ("control", "knob_batch_window_seconds")  # gauge
 CONTROL_KNOB_R_PAIR = ("control", "knob_r_pair")  # gauge
 CONTROL_KNOB_SCREEN_SLACK = ("control", "knob_screen_slack")  # gauge
+CONTROL_KNOB_FLUSH_MAX_STALENESS = ("control", "knob_flush_max_staleness_seconds")  # gauge
+CONTROL_KNOB_FLUSH_MAX_PENDING = ("control", "knob_flush_max_pending")  # gauge
 
 #: knob name -> its current-value gauge key (drives the per-tick export).
 CONTROL_KNOB_GAUGES: Dict[str, Tuple[str, str]] = {
@@ -105,7 +108,18 @@ CONTROL_KNOB_GAUGES: Dict[str, Tuple[str, str]] = {
     "batch_window": CONTROL_KNOB_BATCH_WINDOW,
     "r_pair": CONTROL_KNOB_R_PAIR,
     "screen_slack": CONTROL_KNOB_SCREEN_SLACK,
+    "flush_max_staleness": CONTROL_KNOB_FLUSH_MAX_STALENESS,
+    "flush_max_pending": CONTROL_KNOB_FLUSH_MAX_PENDING,
 }
+
+# Dynamic write path (repro.core.dynamic) — the numbers a production
+# update stream is judged on: how much each flush repaired, how deep the
+# staged backlog runs, and how stale the served snapshot is.
+FLUSH_EDITS_APPLIED = ("flush", "edits_applied_total")
+FLUSH_VERTICES_AFFECTED = ("flush", "vertices_affected_total")
+FLUSH_REPAIR_SECONDS = ("flush", "repair_seconds")  # histogram
+FLUSH_QUEUE_DEPTH = ("flush", "queue_depth")  # gauge
+DYNAMIC_SNAPSHOT_AGE = ("dynamic", "snapshot_age_seconds")  # gauge
 
 #: key -> (metric kind, one-line meaning); drives docs and sanity tests.
 CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
@@ -152,6 +166,7 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     SHARD_EPOCH: ("gauge", "current published shard-pool epoch"),
     SHARD_WORKERS_MIN_EPOCH: ("gauge", "lowest epoch any live shard worker is serving"),
     SHARD_WORKER_CRASHES: ("counter", "shard worker processes that died unexpectedly"),
+    SHARD_DELTA_PUBLISHES: ("counter", "epoch rolls shipped as row-level deltas instead of full re-exports"),
     SHARD_EPOCH_LAG: ("gauge", "epoch - workers_min_epoch, derived at export time"),
     CONTROL_TICKS: ("counter", "controller evaluation ticks completed"),
     CONTROL_STEPS: ("counter", "bounded knob steps the controller applied"),
@@ -164,6 +179,13 @@ CATALOG: Dict[Tuple[str, str], Tuple[str, str]] = {
     CONTROL_KNOB_BATCH_WINDOW: ("gauge", "live value of the batch linger window (seconds)"),
     CONTROL_KNOB_R_PAIR: ("gauge", "live value of the refine walk budget R knob"),
     CONTROL_KNOB_SCREEN_SLACK: ("gauge", "live value of the screen/refine split knob"),
+    CONTROL_KNOB_FLUSH_MAX_STALENESS: ("gauge", "live value of the flush staleness budget (seconds)"),
+    CONTROL_KNOB_FLUSH_MAX_PENDING: ("gauge", "live value of the flush backpressure limit"),
+    FLUSH_EDITS_APPLIED: ("counter", "edge edits applied by dynamic flushes"),
+    FLUSH_VERTICES_AFFECTED: ("counter", "index rows recomputed by dynamic flushes"),
+    FLUSH_REPAIR_SECONDS: ("histogram", "signature + gamma repair time per flush"),
+    FLUSH_QUEUE_DEPTH: ("gauge", "staged + inflight edits awaiting a flush"),
+    DYNAMIC_SNAPSHOT_AGE: ("gauge", "seconds since the dynamic engine last published"),
 }
 
 

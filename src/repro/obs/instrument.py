@@ -67,12 +67,16 @@ __all__ = [
     "set_serve_queue_depth",
     "record_shard_query",
     "record_shard_crash",
+    "record_shard_delta_publish",
     "set_shard_epochs",
     "record_control_tick",
     "record_control_step",
     "record_control_rollback",
     "record_control_guard_trip",
     "set_control_knob",
+    "record_flush",
+    "set_flush_queue_depth",
+    "set_dynamic_snapshot_age",
 ]
 
 
@@ -336,6 +340,11 @@ def record_shard_crash() -> None:
     get_registry().counter(*catalog.SHARD_WORKER_CRASHES).inc()
 
 
+def record_shard_delta_publish() -> None:
+    """An epoch roll shipped as a row-level delta, not a full re-export."""
+    get_registry().counter(*catalog.SHARD_DELTA_PUBLISHES).inc()
+
+
 def set_shard_epochs(current: int, workers_min: int) -> None:
     """Published pool epoch and the slowest live worker's epoch.
 
@@ -385,3 +394,31 @@ def set_control_knob(knob: str, value: float) -> None:
     key = catalog.CONTROL_KNOB_GAUGES.get(knob)
     if key is not None:
         get_registry().gauge(*key).set(value)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic write-path hooks (repro.core.dynamic)
+# ---------------------------------------------------------------------------
+
+def record_flush(
+    edits_applied: int,
+    vertices_affected: int,
+    repair_seconds: float,
+    queue_depth: int,
+) -> None:
+    """One applied dynamic flush: what it absorbed and what it cost."""
+    registry = get_registry()
+    registry.counter(*catalog.FLUSH_EDITS_APPLIED).inc(edits_applied)
+    registry.counter(*catalog.FLUSH_VERTICES_AFFECTED).inc(vertices_affected)
+    registry.histogram(*catalog.FLUSH_REPAIR_SECONDS).observe(repair_seconds)
+    registry.gauge(*catalog.FLUSH_QUEUE_DEPTH).set(queue_depth)
+
+
+def set_flush_queue_depth(depth: int) -> None:
+    """Staged + inflight edits awaiting a flush (health/export poll)."""
+    get_registry().gauge(*catalog.FLUSH_QUEUE_DEPTH).set(depth)
+
+
+def set_dynamic_snapshot_age(seconds: float) -> None:
+    """Seconds since the dynamic engine last published an engine."""
+    get_registry().gauge(*catalog.DYNAMIC_SNAPSHOT_AGE).set(seconds)

@@ -168,11 +168,19 @@ class EngineHandle:
         if self._dynamic is not None:
             raise ValueError("handle is already attached to a dynamic engine")
 
-        def _on_flush(engine: SimRankEngine, _stats: FlushStats) -> None:
-            self.swap(engine)
+        def _on_flush(engine: SimRankEngine, stats: FlushStats) -> None:
+            self._swap_from_flush(engine, stats)
 
         self._dynamic = dynamic
         self._listener = dynamic.add_flush_listener(_on_flush)
+
+    def _swap_from_flush(self, engine: SimRankEngine, stats: FlushStats) -> None:
+        """Publish a flush's engine.  Base handles ignore the stats; the
+        sharded handle (:class:`repro.shard.lifecycle.ShardHandle`) uses
+        them to roll workers forward with a row-level delta instead of a
+        full re-export."""
+        del stats
+        self.swap(engine)
 
     def detach(self) -> None:
         """Stop following the attached dynamic engine (no more auto-swaps)."""

@@ -16,7 +16,12 @@ Control plane: ``update`` stages edge edits on the attached
 :class:`~repro.core.dynamic.DynamicSimRankEngine`, ``flush`` applies
 them on the executor (queries keep flowing on the old snapshot) and the
 flush listener publishes the rebuilt engine atomically — the
-zero-downtime index swap.  ``healthz`` / ``metrics`` / ``shutdown``
+zero-downtime index swap.  With ``flush_pipeline=True`` a
+:class:`~repro.core.dynamic.FlushPipeline` absorbs staged edits on a
+dedicated thread instead (bounded by ``flush_max_staleness`` /
+``flush_max_pending``), and ``update`` applies backpressure through
+:meth:`~repro.core.dynamic.FlushPipeline.throttle` — the
+production-rate write path.  ``healthz`` / ``metrics`` / ``shutdown``
 round out operations.
 
 The server installs its own metrics registry
@@ -38,7 +43,7 @@ from typing import TYPE_CHECKING, Optional, Set, Union
 if TYPE_CHECKING:  # imported lazily at runtime (see start())
     from repro.control.controller import Controller
 
-from repro.core.dynamic import DynamicSimRankEngine
+from repro.core.dynamic import DynamicSimRankEngine, FlushPipeline
 from repro.core.engine import SimRankEngine
 from repro.errors import ConfigError, ProtocolError
 from repro.obs import export as obs_export
@@ -70,6 +75,9 @@ class ServeConfig:
     cache_capacity: Optional[int] = 1024  # per-snapshot LRU; None/0 = no cache
     default_timeout: Optional[float] = None  # per-request deadline (seconds)
     shards: int = 0  # >0 = scatter-gather across that many worker processes
+    flush_pipeline: bool = False  # background flusher absorbs staged edits off-path
+    flush_max_staleness: float = 0.2  # seconds staged edits may wait (pipeline mode)
+    flush_max_pending: int = 1024  # staged edits forcing a flush + write throttle
     autotune: bool = False  # run the repro.control feedback controller
     control_interval: float = 1.0  # seconds between controller ticks
     slo_p99_ms: float = 250.0  # guarded latency objective (autotune)
@@ -93,6 +101,14 @@ class ServeConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.shards < 0:
             raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.flush_max_staleness <= 0:
+            raise ConfigError(
+                f"flush_max_staleness must be > 0, got {self.flush_max_staleness}"
+            )
+        if self.flush_max_pending < 1:
+            raise ConfigError(
+                f"flush_max_pending must be >= 1, got {self.flush_max_pending}"
+            )
         if self.control_interval <= 0:
             raise ConfigError(
                 f"control_interval must be > 0, got {self.control_interval}"
@@ -149,6 +165,9 @@ class SimRankServer:
         self.port: Optional[int] = None
         self.queue: Optional[AdmissionQueue] = None
         self.batcher: Optional[MicroBatcher] = None
+        # The off-path write pipeline (flush_pipeline=True + dynamic engine).
+        self.pipeline: Optional[FlushPipeline] = None
+        self._flush_error: Optional[str] = None
         # The live-tunable store + controller only exist under
         # --autotune; without it the batcher runs on the static config
         # values and no control task is scheduled.
@@ -184,18 +203,24 @@ class SimRankServer:
         from repro.core.config import TUNABLES
 
         engine_config = self.handle.current().engine.config
-        return TunableSet(
-            {
-                "max_batch": TUNABLES["max_batch"].clamp(self.config.max_batch),
-                "batch_window": TUNABLES["batch_window"].clamp(
-                    self.config.batch_window
-                ),
-                "r_pair": TUNABLES["r_pair"].clamp(engine_config.r_pair),
-                "screen_slack": TUNABLES["screen_slack"].clamp(
-                    engine_config.screen_slack
-                ),
-            }
-        )
+        knobs = {
+            "max_batch": TUNABLES["max_batch"].clamp(self.config.max_batch),
+            "batch_window": TUNABLES["batch_window"].clamp(
+                self.config.batch_window
+            ),
+            "r_pair": TUNABLES["r_pair"].clamp(engine_config.r_pair),
+            "screen_slack": TUNABLES["screen_slack"].clamp(
+                engine_config.screen_slack
+            ),
+        }
+        if self.dynamic is not None and self.config.flush_pipeline:
+            knobs["flush_max_staleness"] = TUNABLES["flush_max_staleness"].clamp(
+                self.config.flush_max_staleness
+            )
+            knobs["flush_max_pending"] = TUNABLES["flush_max_pending"].clamp(
+                self.config.flush_max_pending
+            )
+        return TunableSet(knobs)
 
     def _on_tunable(self, name: str, value: float) -> None:
         """Push engine-scope knob changes through the handle.
@@ -208,9 +233,15 @@ class SimRankServer:
         """
         assert self.tunables is not None
         spec = self.tunables.spec(name)
+        typed: Union[int, float] = int(round(value)) if spec.integer else value
+        if spec.scope == "flush":
+            # Re-times the flusher thread immediately; a knob change
+            # before start() (or after stop()) just has nowhere to land.
+            if self.pipeline is not None:
+                self.pipeline.apply(name, typed)
+            return
         if spec.scope != "engine":
             return
-        typed: Union[int, float] = int(round(value)) if spec.integer else value
         self.handle.apply_engine_overrides(**{name: typed})
 
     async def _control_loop(self) -> None:
@@ -255,6 +286,12 @@ class SimRankServer:
             tunables=self.tunables,
         )
         self._batcher_task = asyncio.ensure_future(self.batcher.run())
+        if self.dynamic is not None and self.config.flush_pipeline:
+            self.pipeline = FlushPipeline(
+                self.dynamic,
+                max_staleness=self.config.flush_max_staleness,
+                max_pending=self.config.flush_max_pending,
+            ).start()
         if self.config.autotune:
             # Imported lazily: the control package is only needed when
             # the feedback loop is actually on.
@@ -328,6 +365,14 @@ class SimRankServer:
         waiting = {t for t in self._conn_tasks if t is not current}
         if waiting:
             await asyncio.wait(waiting, timeout=5.0)
+        if self.pipeline is not None:
+            # Drains remaining staged edits (one last flush + swap), so
+            # it must run before the handle — and any shard pool — goes.
+            try:
+                await asyncio.to_thread(self.pipeline.stop)
+            except Exception as exc:  # noqa: BLE001 - shutdown must finish
+                self._flush_error = f"{type(exc).__name__}: {exc}"
+            self.pipeline = None
         self.handle.close()
         obs.pop_registry(self.registry)
         if not self._obs_was_enabled:
@@ -461,6 +506,13 @@ class SimRankServer:
                 bool(self.dynamic.remove_edge(int(u), int(v))) for u, v in remove
             )
             pending = self.dynamic.pending_edits
+        pipeline = self.pipeline
+        if pipeline is not None and pending > pipeline.max_pending:
+            # Backpressure: block this writer (off the event loop and off
+            # the mutate lock — other sessions keep staging and querying)
+            # until the flusher drains the backlog below max_pending.
+            await asyncio.to_thread(pipeline.throttle, 30.0)
+            pending = self.dynamic.pending_edits
         return protocol.ok("update", added=added, removed=removed, pending=pending)
 
     async def _op_flush(self) -> protocol.Message:
@@ -507,6 +559,31 @@ class SimRankServer:
                 latency.quantile(0.95) * 1000.0 if latency is not None else 0.0
             ),
         }
+        if self.dynamic is not None:
+            age = self.dynamic.snapshot_age_seconds
+            flush: protocol.Message = {
+                "epoch": self.dynamic.flush_epoch,
+                "snapshot_age_seconds": age,
+                "staged_age_seconds": self.dynamic.staged_age_seconds,
+                "pipeline": self.pipeline is not None,
+            }
+            if self.pipeline is not None:
+                flush["flush_count"] = self.pipeline.flush_count
+                flush["max_staleness"] = self.pipeline.max_staleness
+                flush["max_pending"] = self.pipeline.max_pending
+                if self.pipeline.last_error is not None:
+                    flush["last_error"] = (
+                        f"{type(self.pipeline.last_error).__name__}: "
+                        f"{self.pipeline.last_error}"
+                    )
+            if self._flush_error is not None:
+                flush["last_error"] = self._flush_error
+            payload["flush"] = flush
+            # /healthz doubles as the gauge poll point: exporters scrape
+            # /metrics, operators curl /healthz — keep both fresh.
+            if obs.OBS.enabled:
+                obs.set_flush_queue_depth(self.dynamic.pending_edits)
+                obs.set_dynamic_snapshot_age(age)
         shard_rows = self.handle.shard_status()
         if shard_rows is not None:
             payload["shards"] = shard_rows

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.core.dynamic import FlushStats
 from repro.core.engine import SimRankEngine
 from repro.core.query import TopKResult
 from repro.serve.lifecycle import EngineHandle, EngineSnapshot
@@ -87,18 +88,48 @@ class ShardHandle(EngineHandle):
         n_shards: int,
         cache_capacity: Optional[int] = 1024,
         gather_timeout: float = 60.0,
+        delta_fraction: float = 0.25,
     ) -> None:
         if not engine.is_preprocessed:
             engine.preprocess()
         # The pool publishes epoch 0 in its constructor; the base
         # EngineHandle.__init__ then builds the epoch-0 snapshot around
         # it via our _make_snapshot override.
-        self._pool = ShardPool(engine, n_shards, gather_timeout=gather_timeout)
+        self._pool = ShardPool(
+            engine,
+            n_shards,
+            gather_timeout=gather_timeout,
+            delta_fraction=delta_fraction,
+        )
+        # Stashed by _swap_from_flush for the duration of one swap; the
+        # swap lock serialises it with _make_snapshot (same thread).
+        self._pending_delta: Optional[FlushStats] = None
         super().__init__(engine, cache_capacity=cache_capacity)
+
+    def _swap_from_flush(self, engine: SimRankEngine, stats: FlushStats) -> None:
+        """Roll the pool forward with the flush's row-level delta.
+
+        ``swap`` → ``_make_snapshot`` runs on the flusher thread that
+        invoked the listener, so stashing the stats on the handle for
+        that window is safe; cleared in ``finally`` so a failed publish
+        can never leak a stale delta into a later full swap.
+        """
+        self._pending_delta = stats
+        try:
+            self.swap(engine)
+        finally:
+            self._pending_delta = None
 
     def _make_snapshot(self, engine: SimRankEngine, epoch: int) -> EngineSnapshot:
         if epoch != self._pool.epoch:
-            self._pool.publish(engine, epoch=epoch)
+            delta = self._pending_delta
+            published = (
+                self._pool.publish_delta(engine, delta, epoch=epoch)
+                if delta is not None
+                else None
+            )
+            if published is None:
+                self._pool.publish(engine, epoch=epoch)
         sharded = ShardedEngine(self._pool, epoch, engine)
         cache = (
             CachedSimRankEngine(sharded, capacity=self._cache_capacity)  # type: ignore[arg-type]

@@ -38,7 +38,7 @@ from repro.errors import (
     VertexError,
 )
 from repro.obs import instrument as obs
-from repro.shard.codec import engine_to_arrays
+from repro.shard.codec import config_to_dict, delta_to_arrays, engine_to_arrays
 from repro.shard.memory import SharedArrayBundle
 from repro.shard.merge import replay_merge
 from repro.shard.plan import ShardPlan
@@ -146,15 +146,21 @@ class ShardPool:
         engine: SimRankEngine,
         n_shards: int,
         gather_timeout: float = 60.0,
+        delta_fraction: float = 0.25,
     ) -> None:
         if n_shards < 1:
             raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0.0 <= delta_fraction <= 1.0:
+            raise ShardError(
+                f"delta_fraction must be in [0, 1], got {delta_fraction}"
+            )
         if engine.seed is not None and not isinstance(engine.seed, int):
             raise ValueError("ShardPool needs an integer (or None) engine seed")
         if not engine.is_preprocessed:
             engine.preprocess()
         self.n_shards = n_shards
         self.gather_timeout = gather_timeout
+        self.delta_fraction = delta_fraction
         self._fallback_seed = int.from_bytes(os.urandom(4), "little")
         self._ids = itertools.count(1)
         self._closing = False
@@ -220,6 +226,97 @@ class ShardPool:
             self._current_epoch = epoch
             self.engine = engine
             self.plan = plan
+        self._sweep_releases()
+        self._record_epoch_gauges()
+        return epoch
+
+    def publish_delta(
+        self,
+        engine: SimRankEngine,
+        stats: Any,
+        epoch: Optional[int] = None,
+    ) -> Optional[int]:
+        """Roll every worker forward by shipping only one flush's delta.
+
+        ``engine`` is the patched engine a
+        :meth:`~repro.core.dynamic.DynamicSimRankEngine.flush` produced
+        and ``stats`` its :class:`~repro.core.dynamic.FlushStats`.
+        Instead of re-exporting the O(n + m) array set, the pool exports
+        an O(Δ + affected-rows) delta segment — edited edges plus the
+        affected vertices' fresh signature/γ rows — and workers patch
+        their resident base epoch in place (:func:`patch_engine_arrays`),
+        arriving at arrays bit-identical to a full
+        :func:`engine_to_arrays` of ``engine``.
+
+        Returns the new epoch, or **None** when the delta is not
+        eligible — a full rebuild, an affected set above
+        ``delta_fraction`` of all vertices (re-export is cheaper), or a
+        base mismatch — in which case the caller falls back to
+        :meth:`publish`.  Worker-side failures raise loudly; nothing is
+        published partially (the epoch only becomes current after every
+        worker acks).
+        """
+        if self._closing:
+            raise ShardError("pool is closed")
+        if engine.seed is not None and not isinstance(engine.seed, int):
+            raise ValueError("ShardPool needs an integer (or None) engine seed")
+        new_n = engine.graph.n
+        if (
+            getattr(stats, "full_rebuild", True)
+            or len(stats.affected) > self.delta_fraction * new_n
+        ):
+            return None
+        seed = engine.seed if isinstance(engine.seed, int) else self._fallback_seed
+        with self._lock:
+            base_epoch = self._current_epoch
+            if base_epoch is None:
+                return None
+            base_state = self._epochs.get(base_epoch)
+            if epoch is None:
+                epoch = base_epoch + 1
+            if epoch in self._epochs:
+                raise ShardError(f"epoch {epoch} is already published")
+        # The delta was computed against the currently published graph;
+        # anything else (a missed epoch, a seed change) disqualifies it.
+        if (
+            base_state is None
+            or stats.old_n != base_state["plan"].n
+            or stats.new_n != new_n
+        ):
+            return None
+        arrays = delta_to_arrays(
+            engine, stats.adds, stats.removes, stats.affected, stats.old_n
+        )
+        bundle = SharedArrayBundle.export(arrays, name_hint="repro-shard-delta")
+        plan = ShardPlan(n=new_n, n_shards=self.n_shards)
+        msg = {
+            "op": "patch",
+            "epoch": epoch,
+            "base_epoch": base_epoch,
+            "manifest": bundle.manifest(),
+            "meta": {
+                "n": new_n,
+                "seed": int(seed),
+                "config": config_to_dict(engine.config),
+                "build_seconds": engine.index.build_seconds,
+            },
+            "plan": plan.to_manifest(),
+        }
+        try:
+            self._gather([w.request(msg) for w in self.workers], "patch")
+        finally:
+            # Workers copied what they needed; the delta segment's whole
+            # life is one patch broadcast.
+            bundle.close()
+        with self._lock:
+            # Patched epochs own no parent-side segment: workers hold
+            # process-local arrays, there is nothing to unlink on release.
+            self._epochs[epoch] = {"bundle": None, "inflight": 0, "plan": plan}
+            self._current_epoch = epoch
+            self.engine = engine
+            self.plan = plan
+        if obs.OBS.enabled:
+            obs.record_shard_delta_publish()
         self._sweep_releases()
         self._record_epoch_gauges()
         return epoch
@@ -290,7 +387,8 @@ class ShardPool:
             try:
                 self._gather(futures, "release_epoch")
             finally:
-                state["bundle"].close()
+                if state["bundle"] is not None:
+                    state["bundle"].close()
 
     # ------------------------------------------------------------------
     # Query plane
@@ -466,7 +564,8 @@ class ShardPool:
             states = list(self._epochs.values())
             self._epochs.clear()
         for state in states:
-            state["bundle"].close()
+            if state["bundle"] is not None:
+                state["bundle"].close()
 
     def __enter__(self) -> "ShardPool":
         return self

@@ -18,10 +18,14 @@ computed, with the exact bits the single process would have produced.
 
 The worker process itself is a small message loop over a duplex pipe:
 ``load_epoch`` attaches a :class:`SharedArrayBundle` and rebuilds the
-engine zero-copy, ``release_epoch`` drops it (the sanitizer screams if
-any view survives), ``query``/``pair`` score, ``health`` reports loaded
-epochs, ``stop`` exits.  It keeps at most the two newest epochs, so a
-swap never races an in-flight query.
+engine zero-copy, ``patch`` rolls a resident epoch forward by applying
+a row-level delta segment (edited edges + affected signature/γ rows —
+O(Δ) transport instead of a full re-export; the patched arrays are
+fresh process-local copies, so the delta segment closes immediately
+and the base epoch can still be released), ``release_epoch`` drops an
+epoch (the sanitizer screams if any view survives), ``query``/``pair``
+score, ``health`` reports loaded epochs, ``stop`` exits.  It keeps at
+most the two newest epochs, so a swap never races an in-flight query.
 """
 
 from __future__ import annotations
@@ -224,10 +228,12 @@ def worker_main(conn: Any, shard_id: int) -> None:
     ``{"id", "ok", "result" | "error"}``.  The parent detects death via
     the pipe (EOF), so this loop never swallows a crash silently.
     """
-    from repro.shard.codec import engine_from_arrays
+    from repro.shard.codec import engine_from_arrays, patch_engine_arrays
     from repro.shard.memory import SharedArrayBundle
 
-    epochs: Dict[int, Any] = {}  # epoch -> (bundle, engine, plan)
+    # epoch -> (bundle | None, engine, plan); patched epochs own no
+    # segment (their arrays are process-local), so bundle is None.
+    epochs: Dict[int, Any] = {}
 
     def reply(msg_id: int, result: Any) -> None:
         conn.send({"id": msg_id, "ok": True, "result": result})
@@ -255,12 +261,29 @@ def worker_main(conn: Any, shard_id: int) -> None:
                 plan = ShardPlan.from_manifest(msg["plan"])
                 epochs[msg["epoch"]] = (bundle, engine, plan)
                 reply(msg_id, None)
+            elif op == "patch":
+                _, base_engine, _ = epochs[msg["base_epoch"]]
+                delta = SharedArrayBundle.attach(msg["manifest"])
+                try:
+                    arrays = patch_engine_arrays(
+                        base_engine, delta.arrays, msg["meta"]
+                    )
+                finally:
+                    # The patched arrays are fresh copies; close() would
+                    # scream (refcount escape) if any view leaked out.
+                    del base_engine
+                    delta.close()
+                engine = engine_from_arrays(arrays, msg["meta"])
+                plan = ShardPlan.from_manifest(msg["plan"])
+                epochs[msg["epoch"]] = (None, engine, plan)
+                reply(msg_id, None)
             elif op == "release_epoch":
                 state = epochs.pop(msg["epoch"], None)
                 if state is not None:
                     bundle, engine, plan = state
                     del state, engine, plan  # drop views before close
-                    bundle.close()
+                    if bundle is not None:  # patched epochs own no segment
+                        bundle.close()
                 reply(msg_id, None)
             elif op == "query":
                 bundle, engine, plan = epochs[msg["epoch"]]

@@ -4,7 +4,8 @@ The repo's benchmark gates persist machine-readable sidecars at the
 repo root — ``BENCH_kernels.json`` (kernel micro-benchmarks),
 ``BENCH_shard.json`` (scatter-gather throughput), ``BENCH_tune.json``
 (offline controller tuning), ``BENCH_lint.json`` (analyzer wall time,
-cold vs. warm cache).  Before this module each writer invented
+cold vs. warm cache), ``BENCH_dynamic.json`` (dynamic-write pipeline
+throughput).  Before this module each writer invented
 its own top-level shape and every consumer (CI checks, docs tooling)
 had to guess which file it was holding.  Now every sidecar carries the
 same header::
@@ -43,7 +44,7 @@ SCHEMA_VERSION = 1
 
 #: The sidecar kinds in use; new benchmarks register here so the loader
 #: can reject a typo'd kind instead of silently accepting anything.
-KNOWN_KINDS = ("kernels", "shard", "tune", "lint")
+KNOWN_KINDS = ("kernels", "shard", "tune", "lint", "dynamic")
 
 
 def sidecar_header(kind: str) -> Dict[str, Any]:

@@ -7,6 +7,9 @@ result cache absorbs.  This module provides:
 - workload generators matching the standard access patterns (uniform,
   in-degree-biased — popular pages get queried more — and Zipfian
   repetition over a hot set);
+- a *churn* generator interleaving queries with edge writes
+  (:func:`churn_workload`), the driver for dynamic-write benchmarks and
+  acceptance tests;
 - :class:`CachedSimRankEngine`, an LRU layer over
   :class:`~repro.core.engine.SimRankEngine` that also invalidates
   cleanly when the caller swaps the underlying engine (e.g. after a
@@ -80,6 +83,92 @@ def zipf_workload(
     hot = rng.choice(graph.n, size=hot_set_size, replace=False)
     ranks = rng.zipf(exponent, size=length)
     return [int(hot[(rank - 1) % hot_set_size]) for rank in ranks]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One event of a :func:`churn_workload` stream.
+
+    ``op`` is ``"query"`` (read top-k of ``u``; ``v`` unused, -1),
+    ``"add"`` or ``"remove"`` (edge ``u -> v``).
+    """
+
+    op: str
+    u: int
+    v: int = -1
+
+
+def churn_workload(
+    graph: CSRGraph,
+    length: int,
+    write_fraction: float = 0.2,
+    grow_fraction: float = 0.05,
+    hot_targets: int = 0,
+    seed: SeedLike = None,
+) -> List[ChurnEvent]:
+    """A seeded read/write event stream over ``graph``.
+
+    Models a live service absorbing edge updates while answering
+    queries: each event is a query with probability ``1 -
+    write_fraction``, otherwise a write.  Writes are mostly insertions
+    of fresh random edges; roughly a third remove an edge this stream
+    previously added (so removals always have an effect when replayed
+    in order), and ``grow_fraction`` of insertions target a brand-new
+    vertex, growing the graph.  ``hot_targets > 0`` funnels that many
+    insertion *targets* into a fixed hot set — the adversarial shape
+    for blast-radius dedup, since many edits then share one out-ball.
+
+    Deterministic given ``seed``; replay against a
+    :class:`~repro.core.dynamic.DynamicSimRankEngine` (or a serve
+    client) in order.
+    """
+    if length < 0:
+        raise ConfigError(f"length must be nonnegative, got {length}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigError(
+            f"write_fraction must be in [0, 1], got {write_fraction}"
+        )
+    if not 0.0 <= grow_fraction <= 1.0:
+        raise ConfigError(f"grow_fraction must be in [0, 1], got {grow_fraction}")
+    if hot_targets < 0:
+        raise ConfigError(f"hot_targets must be nonnegative, got {hot_targets}")
+    if graph.n < 1:
+        raise ConfigError("churn_workload needs a nonempty graph")
+    rng = ensure_rng(seed)
+    hot = (
+        [int(v) for v in rng.choice(graph.n, size=min(hot_targets, graph.n), replace=False)]
+        if hot_targets
+        else []
+    )
+    n = graph.n
+    added: List[tuple] = []  # this stream's live insertions, removal pool
+    added_set = set()
+    events: List[ChurnEvent] = []
+    for _ in range(length):
+        if rng.random() >= write_fraction:
+            events.append(ChurnEvent("query", int(rng.integers(0, n))))
+            continue
+        if added and rng.random() < 1.0 / 3.0:
+            at = int(rng.integers(0, len(added)))
+            u, v = added.pop(at)
+            added_set.discard((u, v))
+            events.append(ChurnEvent("remove", u, v))
+            continue
+        u = int(rng.integers(0, n))
+        if rng.random() < grow_fraction:
+            v = n  # a brand-new vertex
+            n += 1
+        elif hot:
+            v = hot[int(rng.integers(0, len(hot)))]
+        else:
+            v = int(rng.integers(0, n))
+        if u == v or (u, v) in added_set:
+            events.append(ChurnEvent("query", u))  # keep the stream length
+            continue
+        added.append((u, v))
+        added_set.add((u, v))
+        events.append(ChurnEvent("add", u, v))
+    return events
 
 
 @dataclass

@@ -109,6 +109,37 @@ def test_r1_outside_scope_not_checked(lint_tree):
     assert findings == []
 
 
+def test_r1_locked_suffix_helper_exempt(lint_tree):
+    # ``*_locked`` helpers are called with the lock held by convention;
+    # their bodies are scanned with every registered lock considered
+    # held, while ordinary call sites stay checked.
+    findings = lint_tree(
+        {
+            "serve/handle.py": '''
+import threading
+
+class Handle:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._snapshot = object()  # locked-by: _lock
+
+    def _peek_locked(self):
+        return self._snapshot
+
+    def good(self):
+        with self._lock:
+            return self._peek_locked()
+
+    def bad(self):
+        return self._snapshot
+'''
+        },
+        only=["R1"],
+    )
+    assert rules_of(findings) == ["R1"]
+    assert "bad" in findings[0].message
+
+
 def test_r1_suppression_with_reason(lint_tree):
     findings = lint_tree(
         {

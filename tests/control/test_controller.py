@@ -261,7 +261,14 @@ class TestObservability:
         from repro.obs import catalog
 
         with obs.session() as registry:
-            controller = make_controller()
+            # The full knob set a dynamic-writes server registers, so
+            # every CONTROL_KNOB_GAUGES entry gets its init publish.
+            tunables = TunableSet(
+                {"max_batch": 16, "batch_window": 0.002, "r_pair": 100,
+                 "screen_slack": 0.3, "flush_max_staleness": 0.2,
+                 "flush_max_pending": 1024}
+            )
+            controller = Controller(ControllerConfig(), tunables)
             traffic = Traffic()
             controller.tick(traffic.window(HOT))
             controller.tick(traffic.window(HOT))  # step

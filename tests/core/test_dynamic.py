@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -251,9 +253,194 @@ class TestConcurrency:
         assert errors == []
         dynamic.flush()
         assert dynamic.pending_edits == 0
-        # The flushed graph and the staged edge set agree exactly.
-        assert dynamic.graph.m == len(dynamic._edges)
+        # Every surviving staged edit is visible: membership through the
+        # (now empty) overlay agrees with the flushed graph edge by edge.
         flushed = set(map(tuple, dynamic.graph.edge_array().tolist()))
-        assert flushed == dynamic._edges
+        with dynamic._state_lock:
+            assert not dynamic._staged_adds and not dynamic._staged_removes
+            assert not dynamic._inflight_adds and not dynamic._inflight_removes
+            for u, v in flushed:
+                assert dynamic._edge_exists_locked(int(u), int(v))
         # And the engine still answers.
         assert dynamic.top_k(0, k=3).items
+
+
+class TestBlastRadiusDedup:
+    """N edits on one target share one ball expansion, not N."""
+
+    def test_shared_target_expands_one_ball(self, dyn_config, monkeypatch):
+        import repro.core.dynamic as dynamic_module
+
+        graph = copying_web_graph(150, seed=7)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        calls = []
+        real_ball = dynamic_module.distance_ball
+
+        def counting_ball(g, source, radius, direction="out"):
+            calls.append(int(source))
+            return real_ball(g, source, radius, direction=direction)
+
+        monkeypatch.setattr(dynamic_module, "distance_ball", counting_ball)
+        for u in (3, 9, 17, 23, 41):  # five edits, one shared target
+            dynamic.add_edge(u, 50)
+        stats = dynamic.flush()
+        assert stats.edits_applied == 5
+        assert calls == [50]
+
+    def test_mixed_targets_deduplicate_per_direction(self, dyn_config, monkeypatch):
+        import repro.core.dynamic as dynamic_module
+
+        graph = copying_web_graph(150, seed=7)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        removable = [(int(u), int(v)) for u, v in graph.edges() if int(v) == 1][:2]
+        assert len(removable) == 2
+        calls = []
+        real_ball = dynamic_module.distance_ball
+
+        def counting_ball(g, source, radius, direction="out"):
+            calls.append(int(source))
+            return real_ball(g, source, radius, direction=direction)
+
+        monkeypatch.setattr(dynamic_module, "distance_ball", counting_ball)
+        dynamic.add_edge(3, 60)
+        dynamic.add_edge(9, 60)
+        for u, v in removable:
+            dynamic.remove_edge(u, v)
+        dynamic.flush()
+        # Adds share target 60 (one new-graph ball); both removals share
+        # target 1 (one old-graph ball).
+        assert sorted(calls) == [1, 60]
+
+
+class TestCopyOnWriteRepair:
+    def test_unaffected_rows_shared_with_base_index(self, dyn_config):
+        graph = cycle_graph(80)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=2)
+        base_index = dynamic.engine.index
+        dynamic.add_edge(0, 2)
+        stats = dynamic.flush()
+        assert not stats.full_rebuild
+        patched = dynamic.engine.index
+        affected = set(stats.affected)
+        assert affected  # the edit really touched something
+        shared = [
+            u for u in range(base_index.n)
+            if patched.signatures[u] is base_index.signatures[u]
+        ]
+        # Every unaffected row is the *same object* (COW, not deep copy) …
+        assert set(range(base_index.n)) - affected <= set(shared)
+        # … and no affected row leaks object identity with the base.
+        assert not (affected & set(shared))
+
+    def test_base_engine_unchanged_after_patch(self, dyn_config):
+        graph = cycle_graph(80)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=2)
+        base = dynamic.engine
+        before_sigs = [list(s) for s in base.index.signatures]
+        before_gamma = base.index.gamma.values.copy()
+        dynamic.add_edge(0, 2)
+        dynamic.flush()
+        assert [list(s) for s in base.index.signatures] == before_sigs
+        np.testing.assert_array_equal(base.index.gamma.values, before_gamma)
+
+
+class TestFlushPipeline:
+    def test_staleness_triggers_background_flush(self, dyn_config):
+        from repro.core.dynamic import FlushPipeline
+
+        graph = cycle_graph(40)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        pipeline = FlushPipeline(dynamic, max_staleness=0.05, max_pending=10_000)
+        pipeline.start()
+        try:
+            dynamic.add_edge(0, 5)
+            deadline = time.time() + 5.0
+            while dynamic.flush_epoch == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert dynamic.flush_epoch == 1
+            assert dynamic.pending_edits == 0
+        finally:
+            pipeline.stop()
+
+    def test_backpressure_forces_flush_and_throttle_unblocks(self, dyn_config):
+        from repro.core.dynamic import FlushPipeline
+
+        graph = cycle_graph(60)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        pipeline = FlushPipeline(dynamic, max_staleness=60.0, max_pending=5)
+        pipeline.start()
+        try:
+            for i in range(12):
+                dynamic.add_edge(i, (i + 7) % 60)
+            assert pipeline.throttle(timeout=10.0) is True
+            assert dynamic.pending_edits <= 5
+            assert dynamic.flush_epoch >= 1
+        finally:
+            pipeline.stop()
+
+    def test_queries_serve_published_snapshot_without_flushing(self, dyn_config):
+        from repro.core.dynamic import FlushPipeline
+
+        graph = cycle_graph(40)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        pipeline = FlushPipeline(dynamic, max_staleness=60.0, max_pending=10_000)
+        pipeline.start()
+        try:
+            dynamic.add_edge(0, 5)
+            dynamic.top_k(0, k=3)  # must NOT rebuild on the query path
+            assert dynamic.pending_edits == 1
+            assert dynamic.flush_epoch == 0
+        finally:
+            pipeline.stop(flush=True)
+        assert dynamic.pending_edits == 0
+        assert dynamic.flush_epoch == 1
+
+    def test_without_pipeline_queries_auto_flush(self, dyn_config):
+        graph = cycle_graph(40)
+        dynamic = DynamicSimRankEngine(graph, dyn_config, seed=1)
+        dynamic.add_edge(0, 5)
+        dynamic.top_k(0, k=3)
+        assert dynamic.pending_edits == 0  # the seed behaviour, preserved
+
+    def test_apply_retunes_live(self, dyn_config):
+        from repro.core.dynamic import FlushPipeline
+
+        dynamic = DynamicSimRankEngine(cycle_graph(20), dyn_config, seed=1)
+        pipeline = FlushPipeline(dynamic, max_staleness=1.0, max_pending=100)
+        pipeline.apply("flush_max_staleness", 0.25)
+        pipeline.apply("flush_max_pending", 7)
+        assert pipeline.max_staleness == 0.25
+        assert pipeline.max_pending == 7
+        with pytest.raises(KeyError):
+            pipeline.apply("unknown_knob", 1.0)
+
+    def test_flush_error_surfaces_on_stop(self, dyn_config, monkeypatch):
+        from repro.core.dynamic import FlushPipeline
+
+        dynamic = DynamicSimRankEngine(cycle_graph(20), dyn_config, seed=1)
+        pipeline = FlushPipeline(dynamic, max_staleness=0.02, max_pending=1)
+        boom = RuntimeError("repair exploded")
+
+        def failing_flush():
+            raise boom
+
+        monkeypatch.setattr(dynamic, "flush", failing_flush)
+        pipeline.start()
+        dynamic.add_edge(0, 5)
+        deadline = time.time() + 5.0
+        while pipeline.last_error is None and time.time() < deadline:
+            time.sleep(0.01)
+        monkeypatch.undo()  # let stop()'s drain flush succeed
+        with pytest.raises(RuntimeError, match="repair exploded"):
+            pipeline.stop()
+
+    def test_second_pipeline_rejected(self, dyn_config):
+        from repro.core.dynamic import FlushPipeline
+
+        dynamic = DynamicSimRankEngine(cycle_graph(20), dyn_config, seed=1)
+        first = FlushPipeline(dynamic).start()
+        try:
+            with pytest.raises(RuntimeError):
+                FlushPipeline(dynamic).start()
+        finally:
+            first.stop()

@@ -202,3 +202,97 @@ class TestBinarySerialization:
                                index_walks=3, index_checks=2)
         engine = SimRankEngine(CSRGraph.load(path), config, seed=0).preprocess()
         assert engine.top_k(0, k=3) is not None
+
+
+class TestApplyDelta:
+    """Row-splice delta merge: bit-identical to a from_edges rebuild."""
+
+    @pytest.fixture
+    def base(self) -> CSRGraph:
+        return CSRGraph.from_edges(
+            6, [(0, 1), (0, 2), (1, 2), (2, 0), (3, 4), (4, 5), (5, 0)]
+        )
+
+    @staticmethod
+    def _rebuilt(graph: CSRGraph, adds, removes, n=None) -> CSRGraph:
+        edges = list(graph.edges())
+        for edge in removes:
+            edges.remove(edge)
+        edges.extend(adds)
+        n_new = max([n or graph.n] + [max(u, v) + 1 for u, v in edges])
+        return CSRGraph.from_edges(n_new, sorted(edges))
+
+    def _assert_same(self, left: CSRGraph, right: CSRGraph) -> None:
+        assert left.n == right.n
+        assert left.m == right.m
+        for u in range(left.n):
+            np.testing.assert_array_equal(left.out_neighbors(u), right.out_neighbors(u))
+            np.testing.assert_array_equal(left.in_neighbors(u), right.in_neighbors(u))
+
+    def test_add_and_remove_matches_rebuild(self, base):
+        delta = base.apply_delta([(3, 1), (1, 5)], [(0, 2), (4, 5)])
+        self._assert_same(delta, self._rebuilt(base, [(3, 1), (1, 5)], [(0, 2), (4, 5)]))
+
+    def test_untouched_rows_preserved_bitwise(self, base):
+        delta = base.apply_delta([(3, 1)], [])
+        # Only vertex 1's in-row and 3's out-row change; every other row
+        # keeps identical content and order (the walk-locality contract).
+        for u in range(base.n):
+            if u != 3:
+                np.testing.assert_array_equal(delta.out_neighbors(u), base.out_neighbors(u))
+            if u != 1:
+                np.testing.assert_array_equal(delta.in_neighbors(u), base.in_neighbors(u))
+
+    def test_growth_via_explicit_n(self, base):
+        delta = base.apply_delta([(0, 8)], [], n=9)
+        assert delta.n == 9
+        assert list(delta.out_neighbors(8)) == []
+        self._assert_same(delta, self._rebuilt(base, [(0, 8)], [], n=9))
+
+    def test_growth_inferred_from_adds(self, base):
+        delta = base.apply_delta([(7, 0)], [])
+        assert delta.n == 8
+        assert 7 in delta.in_neighbors(0)
+
+    def test_shrinking_n_rejected(self, base):
+        with pytest.raises(GraphFormatError):
+            base.apply_delta([], [], n=3)
+
+    def test_removing_absent_edge_rejected(self, base):
+        with pytest.raises(GraphFormatError):
+            base.apply_delta([], [(0, 5)])
+
+    def test_out_of_range_endpoints_rejected(self, base):
+        with pytest.raises(VertexError):
+            base.apply_delta([(0, 10)], [], n=7)
+        with pytest.raises(VertexError):
+            base.apply_delta([], [(0, 10)])
+
+    def test_empty_delta_is_identity(self, base):
+        self._assert_same(base.apply_delta([], []), base)
+
+    def test_base_graph_never_mutated(self, base):
+        before = [base.out_neighbors(u).copy() for u in range(base.n)]
+        base.apply_delta([(3, 1), (1, 5)], [(0, 2)])
+        for u in range(base.n):
+            np.testing.assert_array_equal(base.out_neighbors(u), before[u])
+
+    def test_randomized_against_rebuild(self):
+        rng = np.random.default_rng(5)
+        for trial in range(12):
+            n = int(rng.integers(4, 30))
+            m = int(rng.integers(0, 4 * n))
+            edges = sorted({
+                (int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)
+            })
+            graph = CSRGraph.from_edges(n, edges)
+            present = set(edges)
+            removes = [e for e in edges if rng.random() < 0.25]
+            adds = []
+            for _ in range(int(rng.integers(0, 10))):
+                edge = (int(rng.integers(0, n + 2)), int(rng.integers(0, n + 2)))
+                if edge not in present:
+                    adds.append(edge)
+                    present.add(edge)
+            delta = graph.apply_delta(adds, removes)
+            self._assert_same(delta, self._rebuilt(graph, adds, removes))

@@ -113,3 +113,89 @@ class TestDynamicEquivalence:
         result = dynamic.top_k(0, k=3)
         assert 0 not in result.vertices()
         assert len(result) <= 3
+
+
+@st.composite
+def graph_edits_and_flush_points(draw, max_n: int = 8):
+    """Like :func:`graph_and_edits`, plus growth and interleaved flushes.
+
+    Edit endpoints may exceed the initial vertex range by up to 2 (the
+    growth path), and each edit carries a flush-after bit so chained
+    incremental patches (patch-on-patched) get exercised, not just one
+    big flush at the end.
+    """
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    grown = st.integers(min_value=0, max_value=n + 1)
+    edges = draw(st.lists(st.tuples(vertex, vertex), min_size=1, max_size=16))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]), grown, grown, st.booleans()
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return n, sorted(set(edges)), steps
+
+
+class TestBitIdentity:
+    """The hard contract: an incremental flush is *bit-identical* to
+    ``SimRankEngine(new_graph, config, seed).preprocess()`` — exact
+    signatures, exact inverted lists, exact gamma bits, exact top-k."""
+
+    def _assert_bit_identical(self, incremental, fresh) -> None:
+        assert incremental.index.signatures == fresh.index.signatures
+        assert incremental.index.inverted == fresh.index.inverted
+        np.testing.assert_array_equal(
+            incremental.index.gamma.values, fresh.index.gamma.values
+        )
+        np.testing.assert_array_equal(incremental.diagonal, fresh.diagonal)
+        for u in range(incremental.graph.n):
+            assert incremental.top_k(u).items == fresh.top_k(u).items
+
+    def _replay(self, data, rebuild_fraction: float):
+        from repro.core.engine import SimRankEngine
+
+        n, edges, steps = data
+        dynamic = DynamicSimRankEngine(
+            CSRGraph.from_edges(n, edges),
+            FAST,
+            seed=3,
+            rebuild_fraction=rebuild_fraction,
+        )
+        for kind, u, v, flush_now in steps:
+            (dynamic.add_edge if kind == "add" else dynamic.remove_edge)(u, v)
+            if flush_now:
+                dynamic.flush()
+        dynamic.flush()
+        fresh = SimRankEngine(dynamic.graph, FAST, seed=3).preprocess()
+        return dynamic.engine, fresh
+
+    @given(graph_edits_and_flush_points())
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_patch_bit_identical(self, data):
+        # rebuild_fraction=1.0 pins the COW row-surgery path: a full
+        # rebuild can never mask an incremental-repair bug here.
+        incremental, fresh = self._replay(data, rebuild_fraction=1.0)
+        self._assert_bit_identical(incremental, fresh)
+
+    @given(graph_edits_and_flush_points())
+    @settings(max_examples=10, deadline=None)
+    def test_full_rebuild_crossover_bit_identical(self, data):
+        # The tiniest fraction forces the crossover on every flush; both
+        # sides of the threshold must land on the same bits.
+        incremental, fresh = self._replay(data, rebuild_fraction=0.01)
+        self._assert_bit_identical(incremental, fresh)
+
+    @given(graph_edits_and_flush_points())
+    @settings(max_examples=15, deadline=None)
+    def test_scores_within_1e12_of_fresh_build(self, data):
+        incremental, fresh = self._replay(data, rebuild_fraction=1.0)
+        for u in range(incremental.graph.n):
+            np.testing.assert_allclose(
+                incremental.single_source(u),
+                fresh.single_source(u),
+                atol=1e-12,
+            )

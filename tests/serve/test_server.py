@@ -332,3 +332,68 @@ class TestShutdown:
                 break
         else:
             pytest.fail("server still accepting connections after shutdown")
+
+
+class TestFlushPipelineServing:
+    """``flush_pipeline=True``: staged edits land without an explicit flush."""
+
+    def test_updates_flushed_in_background(self, run_server, dynamic_engine):
+        _, port = run_server(
+            dynamic_engine, flush_pipeline=True, flush_max_staleness=0.05
+        )
+        with ServeClient("127.0.0.1", port) as client:
+            staged = client.update(add=[(0, 100), (100, 0)])
+            assert staged["added"] == 2
+            deadline = time.perf_counter() + 20
+            health = client.healthz()
+            while time.perf_counter() < deadline:
+                health = client.healthz()
+                if (
+                    health["flush"]["epoch"] >= 1
+                    and health["pending_edits"] == 0
+                ):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail(f"pipeline never flushed: {health!r}")
+            # The swap happened off-path; queries see the new epoch.
+            assert client.top_k(3).epoch >= 1
+
+    def test_healthz_reports_pipeline_state(self, run_server, dynamic_engine):
+        server, port = run_server(
+            dynamic_engine,
+            flush_pipeline=True,
+            flush_max_staleness=5.0,  # too slow to fire during the test
+            flush_max_pending=7,
+        )
+        with ServeClient("127.0.0.1", port) as client:
+            flush = client.healthz()["flush"]
+        assert flush["pipeline"] is True
+        assert flush["epoch"] == 0
+        assert flush["flush_count"] == 0
+        assert flush["max_staleness"] == 5.0
+        assert flush["max_pending"] == 7
+        assert "last_error" not in flush
+        assert server.pipeline is not None
+
+    def test_pipeline_off_by_default(self, run_server, dynamic_engine):
+        server, port = run_server(dynamic_engine)
+        with ServeClient("127.0.0.1", port) as client:
+            flush = client.healthz()["flush"]
+        assert flush["pipeline"] is False
+        assert server.pipeline is None
+
+    def test_flush_tunables_route_to_live_pipeline(self, run_server, dynamic_engine):
+        server, _ = run_server(
+            dynamic_engine,
+            flush_pipeline=True,
+            flush_max_staleness=0.5,
+            autotune=True,
+        )
+        assert "flush_max_staleness" in server.tunables.names()
+        assert "flush_max_pending" in server.tunables.names()
+        server.tunables.apply("flush_max_staleness", 0.25)
+        server.tunables.apply("flush_max_pending", 16)
+        assert server.pipeline is not None
+        assert server.pipeline.max_staleness == 0.25
+        assert server.pipeline.max_pending == 16

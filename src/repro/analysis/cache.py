@@ -3,7 +3,8 @@
 Two tiers, both keyed by *content*, never by timestamps:
 
 - **Tier 1 — whole invocation.**  The key digests the analyzer's own
-  sources, the invocation shape (``flow``/``only``/scope overrides),
+  sources, the invocation shape (``flow``/``only``/``ignore``/scope
+  overrides),
   and every ``(rel path, file sha)`` pair.  An unchanged tree is a
   single JSON read — this is what makes the warm ``repro lint --flow``
   run a multiple faster than the cold one (asserted in tests, recorded
@@ -114,9 +115,11 @@ class LintCache:
         flow: bool,
         only: Optional[Sequence[str]],
         scopes_sig: str,
+        ignore: Optional[Sequence[str]] = None,
     ) -> str:
         hasher = hashlib.sha256(analyzer_digest().encode())
         hasher.update(f"flow={flow};only={sorted(only) if only else None};".encode())
+        hasher.update(f"ignore={sorted(ignore) if ignore else None};".encode())
         hasher.update(scopes_sig.encode())
         for rel, sha in sorted(file_shas):
             hasher.update(f"{rel}\x00{sha}\x00".encode())

@@ -33,8 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
             "dtype contracts (R5); with --flow also the interprocedural "
             "rules: lock-order consistency (R6), RNG-stream purity (R7), "
             "snapshot escape analysis (R8), event-loop hygiene (R9), "
-            "resource lifecycle (R10), pipe-protocol conformance (R11), and "
-            "metrics-catalog conformance (R12). See docs/static-analysis.md."
+            "resource lifecycle (R10), pipe-protocol conformance (R11), "
+            "metrics-catalog conformance (R12), shape conformance (R13), "
+            "index-dtype discipline (R14), hot-path allocation hygiene "
+            "(R15), and contract drift (R16). See docs/static-analysis.md."
         ),
     )
     parser.add_argument(
@@ -44,10 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--select",
         "--rules",
+        dest="rules",
         default=None,
         metavar="R1,R2,...",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all; "
+        "--rules is the legacy spelling)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated rule ids to drop from the selected set",
     )
     parser.add_argument(
         "--root",
@@ -157,16 +168,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.name}: {rule.summary}")
         return 0
 
-    only = None
-    if options.rules:
+    def _parse_ids(raw: Optional[str], flag: str) -> Optional[List[str]]:
+        if not raw:
+            return None
         from repro.analysis.flow import flow_rules
 
-        only = [part.strip() for part in options.rules.split(",") if part.strip()]
+        ids = [part.strip() for part in raw.split(",") if part.strip()]
         known = {rule.id for rule in all_rules()} | {"R0"}
         known |= {rule.id for rule in flow_rules()}
-        unknown = [rule_id for rule_id in only if rule_id not in known]
+        unknown = [rule_id for rule_id in ids if rule_id not in known]
         if unknown:
-            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+            parser.error(f"unknown rule id(s) in {flag}: {', '.join(unknown)}")
+        return ids
+
+    only = _parse_ids(options.rules, "--select")
+    ignore = _parse_ids(options.ignore, "--ignore")
 
     paths: List[Path] = [Path(p) for p in options.paths]
     missing = [p for p in paths if not p.exists()]
@@ -179,7 +195,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache = LintCache((root or Path.cwd()) / CACHE_DIR_NAME)
     try:
         report = run_analysis(
-            paths, root=root, only=only, flow=options.flow, cache=cache
+            paths, root=root, only=only, ignore=ignore, flow=options.flow,
+            cache=cache,
         )
     except Exception as exc:  # noqa: BLE001 - anything except SystemExit
         # An analyzer crash must never look like a clean run: print the

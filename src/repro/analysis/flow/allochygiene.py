@@ -1,0 +1,210 @@
+"""R15 — allocation hygiene inside ``# hot-path`` kernel loops.
+
+The steady-state kernels (walk stepping, collision counting, delta
+merging) are called thousands of times per query; an ``np.append`` in
+their loops turns an O(n) pass into O(n²) copying and churns the
+allocator on every iteration.  The discipline, documented in
+``docs/performance.md``: hot kernels preallocate outside the loop and
+write into views inside it.
+
+A function opts in by carrying ``# hot-path`` on its decorator/``def``
+header lines (the grammar of :func:`~repro.analysis.flow.arrayflow
+.marked_hot_path`, shared with the runtime's ``# no-alloc``).  Inside
+its ``for``/``while`` bodies this rule flags:
+
+- direct calls to the **tracked allocators** — the same set the runtime
+  sanitizer counts (``np.concatenate``/``append``/``vstack``/...);
+- ``.copy()`` on a value the interpreter proved to be an array;
+- **boolean-mask fancy indexing** (``row[row >= 0]``) — always a fresh
+  compacted allocation;
+- calls to project functions that *transitively* allocate — computed as
+  a closure over the call graph, same shape as
+  :meth:`~repro.analysis.flow.graph.ProjectIndex
+  .transitive_acquisitions` — so hiding the ``np.append`` one call down
+  does not hide the finding.
+
+Deliberate allocations (a compaction that genuinely must copy) take a
+``# repro: noqa R15 -- <reason>`` like any other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.arrayflow import ArrayFlowIndex, FunctionFacts, arrayflow_index
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["AllocHygieneRule"]
+
+#: numpy module functions that always allocate a fresh result array —
+#: mirror of the runtime monitor's TRACKED_ALLOCATORS (sanitizer.arrays).
+_TRACKED_ALLOCATORS = frozenset(
+    {"concatenate", "vstack", "hstack", "column_stack", "stack", "append",
+     "copy", "tile"}
+)
+
+
+class AllocHygieneRule(Rule):
+    id = "R15"
+    name = "alloc-hygiene"
+    summary = (
+        "loops of # hot-path kernels must not allocate: no tracked numpy "
+        "allocators, array .copy(), boolean-mask compaction, or calls "
+        "into transitively-allocating project functions"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        flow = arrayflow_index(project)
+        allocates = self._transitive_allocators(flow)
+        for facts in flow.functions.values():
+            if not facts.hot_path:
+                continue
+            source = flow.index.source_by_rel.get(facts.info.rel)
+            if source is None:
+                continue
+            self._scan_function(flow, facts, source, allocates)
+
+    # -- transitive allocator closure ---------------------------------
+
+    def _np_allocator_name(
+        self, call: ast.Call, source: SourceFile
+    ) -> Optional[str]:
+        """Tracked-allocator name of a ``np.<f>(...)`` call, or None."""
+        chain = attribute_chain(call.func)
+        aliases = set(source.aliases.module_alias_for("numpy"))
+        if chain is not None and len(chain) == 2 and chain[0] in aliases:
+            return chain[1] if chain[1] in _TRACKED_ALLOCATORS else None
+        if isinstance(call.func, ast.Name):
+            qualified = source.aliases.qualified(call.func.id)
+            if qualified is not None and qualified.startswith("numpy."):
+                name = qualified.split(".", 1)[1]
+                return name if name in _TRACKED_ALLOCATORS else None
+        return None
+
+    def _transitive_allocators(self, flow: ArrayFlowIndex) -> Dict[str, str]:
+        """qual -> human-readable reason, for every project function that
+        (transitively) calls a tracked numpy allocator anywhere in its
+        body.  Fixpoint over the call graph, mirroring
+        ``transitive_acquisitions``."""
+        reasons: Dict[str, str] = {}
+        for qual, sites in flow.index.calls.items():
+            source = flow.index.source_by_rel.get(qual.split("::", 1)[0])
+            if source is None:
+                continue
+            for site in sites:
+                name = self._np_allocator_name(site.node, source)
+                if name is not None:
+                    reasons[qual] = f"calls np.{name}"
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for qual, sites in flow.index.calls.items():
+                if qual in reasons:
+                    continue
+                for site in sites:
+                    if site.callee is not None and site.callee in reasons:
+                        callee_name = site.callee.rsplit("::", 1)[1]
+                        reasons[qual] = f"calls {callee_name}(), which {reasons[site.callee]}"
+                        changed = True
+                        break
+        return reasons
+
+    # -- per-function scan --------------------------------------------
+
+    def _scan_function(
+        self,
+        flow: ArrayFlowIndex,
+        facts: FunctionFacts,
+        source: SourceFile,
+        allocates: Dict[str, str],
+    ) -> None:
+        for stmt in ast.walk(facts.info.node):
+            if not isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for child in stmt.body + stmt.orelse:
+                for node in ast.walk(child):
+                    if isinstance(node, ast.Call):
+                        self._check_call(flow, facts, source, node, allocates)
+                    elif isinstance(node, ast.Subscript) and isinstance(
+                        node.ctx, ast.Load
+                    ):
+                        self._check_mask_index(facts, source, node)
+
+    def _check_call(
+        self,
+        flow: ArrayFlowIndex,
+        facts: FunctionFacts,
+        source: SourceFile,
+        node: ast.Call,
+        allocates: Dict[str, str],
+    ) -> None:
+        name = self._np_allocator_name(node, source)
+        if name is not None:
+            self._emit(
+                source, node,
+                f"np.{name} inside a loop of hot-path kernel "
+                f"{facts.info.name}() allocates a fresh array every "
+                "iteration — preallocate outside the loop and write into "
+                "views",
+            )
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "copy" and not node.args:
+            receiver = facts.fact(func.value)
+            if receiver is not None:
+                self._emit(
+                    source, node,
+                    f".copy() on a proven array ({receiver.describe()}) "
+                    f"inside a loop of hot-path kernel {facts.info.name}() — "
+                    "copy once outside the loop or operate in place",
+                )
+                return
+        callee = flow.index.resolve_call(node, facts.info)
+        if callee is not None and callee in allocates:
+            self._emit(
+                source, node,
+                f"call inside a loop of hot-path kernel {facts.info.name}() "
+                f"reaches an allocator: {callee.rsplit('::', 1)[1]}() "
+                f"{allocates[callee]}",
+            )
+
+    def _check_mask_index(
+        self, facts: FunctionFacts, source: SourceFile, node: ast.Subscript
+    ) -> None:
+        slice_fact = facts.fact(node.slice)
+        is_mask = isinstance(node.slice, ast.Compare) or (
+            slice_fact is not None and slice_fact.dtype == "bool"
+        )
+        if not is_mask:
+            return
+        if facts.fact(node.value) is None and not isinstance(node.value, ast.Name):
+            return
+        self._emit(
+            source, node,
+            "boolean-mask indexing inside a loop of hot-path kernel "
+            f"{facts.info.name}() allocates a compacted copy every "
+            "iteration — keep the mask and index once, or use np.where "
+            "into a preallocated buffer",
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, source: SourceFile, node: ast.AST, message: str) -> None:
+        self._findings.setdefault(source.rel, []).append(
+            source.finding(self.id, node, message)
+        )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

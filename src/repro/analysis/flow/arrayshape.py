@@ -1,0 +1,273 @@
+"""R13 — shape/broadcast conformance over the array-flow facts.
+
+The array kernels never check shapes at runtime beyond what
+``@contract`` declares; numpy broadcasting silently *accepts* many
+shape bugs (a ``(T, R)`` against a ``(T,)`` pairs rows with the wrong
+axis instead of failing).  This rule replays every shape-relevant site
+against the facts the abstract interpreter
+(:mod:`~repro.analysis.flow.arrayflow`) proved:
+
+- **elementwise operations** — a ``BinOp``/``Compare`` whose operand
+  shapes cannot broadcast: two concrete extents that differ with
+  neither 1, or two *different* contract shape symbols on one axis
+  (``x: float64[T]`` + ``y: float64[R]`` — if they were always equal
+  the author would have written one symbol);
+- **concatenation** — ``np.concatenate([...])`` over a literal list
+  whose element ranks differ, or whose trailing (non-axis-0) concrete
+  dims conflict;
+- **reshape** — more than one ``-1`` wildcard (numpy raises, but only
+  on the first call that reaches the line);
+- **contracted call sites** — interprocedural, via the per-function
+  summaries: an argument whose proven rank contradicts the callee's
+  declared ``[<n>d]``/``[D1, ...]`` rank, and per-call shape-symbol
+  binding (two arguments whose specs share a symbol but whose proven
+  concrete extents differ).
+
+All checks require *two known facts in conflict* — unknown never
+fires, the precision-first bargain of the flow package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.arrayflow import (
+    ArrayFlowIndex,
+    FunctionFacts,
+    arrayflow_index,
+    broadcast_conflict,
+)
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["ShapeConformanceRule"]
+
+
+def _np_aliases(source: SourceFile) -> Set[str]:
+    return set(source.aliases.module_alias_for("numpy"))
+
+
+def _np_func_name(func: ast.expr, aliases: Set[str], source: SourceFile) -> Optional[str]:
+    chain = attribute_chain(func)
+    if chain is not None and len(chain) == 2 and chain[0] in aliases:
+        return chain[1]
+    if isinstance(func, ast.Name):
+        qualified = source.aliases.qualified(func.id)
+        if qualified is not None and qualified.startswith("numpy."):
+            return qualified.split(".", 1)[1]
+    return None
+
+
+class ShapeConformanceRule(Rule):
+    id = "R13"
+    name = "shape-conformance"
+    summary = (
+        "array shapes proven by the flow interpreter must broadcast at "
+        "ufunc/concatenate/reshape sites and match contracted ranks at "
+        "call sites"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        flow = arrayflow_index(project)
+        for facts in flow.functions.values():
+            source = flow.index.source_by_rel.get(facts.info.rel)
+            if source is None:
+                continue
+            self._scan_function(flow, facts, source)
+
+    def _scan_function(
+        self, flow: ArrayFlowIndex, facts: FunctionFacts, source: SourceFile
+    ) -> None:
+        symbols = facts.contract.symbols() if facts.contract is not None else set()
+        aliases = _np_aliases(source)
+        for node in ast.walk(facts.info.node):
+            if isinstance(node, ast.BinOp):
+                self._check_elementwise(facts, source, node, node.left, node.right, symbols)
+            elif isinstance(node, ast.Compare) and node.comparators:
+                self._check_elementwise(
+                    facts, source, node, node.left, node.comparators[0], symbols
+                )
+            elif isinstance(node, ast.Call):
+                name = _np_func_name(node.func, aliases, source)
+                if name == "concatenate" and node.args:
+                    self._check_concatenate(facts, source, node)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "reshape"
+                ):
+                    self._check_reshape(source, node)
+                self._check_contract_call(flow, facts, source, node)
+
+    # -- elementwise ---------------------------------------------------
+
+    def _check_elementwise(
+        self,
+        facts: FunctionFacts,
+        source: SourceFile,
+        node: Union[ast.BinOp, ast.Compare],
+        left: ast.expr,
+        right: ast.expr,
+        symbols: Set[str],
+    ) -> None:
+        lf, rf = facts.fact(left), facts.fact(right)
+        if lf is None or rf is None or lf.shape is None or rf.shape is None:
+            return
+        conflict = broadcast_conflict(lf.shape, rf.shape, symbols)
+        if conflict is None:
+            return
+        axis, da, db = conflict
+        self._emit(
+            source, node,
+            f"operands with shapes {lf.describe()} and {rf.describe()} cannot "
+            f"broadcast — axis -{axis} pairs extent {da} with {db} "
+            "(numpy would raise, or worse, broadcast the wrong axes)",
+        )
+
+    # -- concatenate / reshape ----------------------------------------
+
+    def _check_concatenate(
+        self, facts: FunctionFacts, source: SourceFile, node: ast.Call
+    ) -> None:
+        seq = node.args[0]
+        if not isinstance(seq, (ast.List, ast.Tuple)):
+            return
+        element_facts = [facts.fact(elt) for elt in seq.elts]
+        shaped = [f for f in element_facts if f is not None and f.shape is not None]
+        if len(shaped) < 2:
+            return
+        ranks = {len(f.shape) for f in shaped}  # type: ignore[arg-type]
+        if len(ranks) > 1:
+            self._emit(
+                source, node,
+                "np.concatenate over arrays of different ranks "
+                f"({', '.join(sorted(f.describe() for f in shaped))}) — "
+                "concatenation requires equal ranks",
+            )
+            return
+        # Default axis 0: every trailing dim must agree where concrete.
+        has_axis = any(kw.arg == "axis" for kw in node.keywords) or len(node.args) > 1
+        if has_axis:
+            return
+        rank = ranks.pop()
+        for axis in range(1, rank):
+            dims = {
+                f.shape[axis]  # type: ignore[index]
+                for f in shaped
+                if isinstance(f.shape[axis], int)  # type: ignore[index]
+            }
+            if len(dims) > 1:
+                self._emit(
+                    source, node,
+                    f"np.concatenate along axis 0 with conflicting extents "
+                    f"{sorted(dims)} on axis {axis} — off-axis dims must match",
+                )
+                return
+
+    def _check_reshape(self, source: SourceFile, node: ast.Call) -> None:
+        args = node.args
+        if len(args) == 1 and isinstance(args[0], ast.Tuple):
+            args = args[0].elts
+        # ``-1`` parses as UnaryOp(USub, Constant(1)), never Constant(-1).
+        wildcards = sum(
+            1
+            for arg in args
+            if isinstance(arg, ast.UnaryOp)
+            and isinstance(arg.op, ast.USub)
+            and isinstance(arg.operand, ast.Constant)
+            and arg.operand.value == 1
+        )
+        if wildcards > 1:
+            self._emit(
+                source, node,
+                "reshape with more than one -1 wildcard — numpy cannot infer "
+                "two free dimensions",
+            )
+
+    # -- contracted call sites ----------------------------------------
+
+    def _check_contract_call(
+        self,
+        flow: ArrayFlowIndex,
+        facts: FunctionFacts,
+        source: SourceFile,
+        node: ast.Call,
+    ) -> None:
+        callee_qual = flow.index.resolve_call(node, facts.info)
+        if callee_qual is None:
+            return
+        callee = flow.facts_for(callee_qual)
+        if callee is None or callee.contract is None:
+            return
+        bindings: Dict[str, int] = {}
+        for param, arg in _map_args(callee, node):
+            spec = callee.contract.params.get(param)
+            if spec is None:
+                continue
+            fact = facts.fact(arg)
+            if fact is None or fact.shape is None:
+                continue
+            if spec.ndim is not None and len(fact.shape) != spec.ndim:
+                self._emit(
+                    source, arg,
+                    f"argument `{param}` of {callee.info.name}() has proven "
+                    f"shape {fact.describe()} but the contract requires "
+                    f"{spec.describe()} (rank {spec.ndim})",
+                )
+                continue
+            if spec.dims is None:
+                continue
+            for sym, dim in zip(spec.dims, fact.shape):
+                if not isinstance(sym, str) or not isinstance(dim, int):
+                    continue
+                bound = bindings.get(sym)
+                if bound is None:
+                    bindings[sym] = dim
+                elif bound != dim:
+                    self._emit(
+                        source, arg,
+                        f"call to {callee.info.name}() binds shape symbol "
+                        f"`{sym}` to both {bound} and {dim} — arguments "
+                        "sharing a symbol must share that extent",
+                    )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, source: SourceFile, node: ast.AST, message: str) -> None:
+        self._findings.setdefault(source.rel, []).append(
+            source.finding(self.id, node, message)
+        )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])
+
+
+def _map_args(
+    callee: FunctionFacts, call: ast.Call
+) -> Iterator["tuple[str, ast.expr]"]:
+    """(param name, argument expr) pairs of one call, positionally and
+    by keyword, honouring the implicit ``self`` of attribute calls."""
+    params = list(callee.info.params)
+    offset = 0
+    if (
+        isinstance(call.func, ast.Attribute)
+        and params
+        and params[0] in ("self", "cls")
+    ):
+        offset = 1
+    for index, arg in enumerate(call.args):
+        slot = index + offset
+        if slot < len(params):
+            yield params[slot], arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            yield kw.arg, kw.value

@@ -1,0 +1,232 @@
+"""R14 — index-dtype discipline on the CSR/walk hot paths.
+
+The repository's storage invariant (``docs/dynamic.md``): CSR
+``indptr``/``indices`` arrays and walk position arrays are **int64,
+always** — :class:`repro.graph.csr.CSRGraph` coerces on construction,
+the delta/COW splice path preserves it, and the shard codec round-trips
+it.  The ways that invariant silently breaks are all *defaults*:
+
+- ``np.arange(n)`` with no dtype is ``np.int_`` — 32-bit on Windows —
+  so an index built from it truncates above 2³¹ edges on exactly the
+  graphs the paper targets;
+- ``np.zeros(n)``/``ones``/``empty`` with no dtype are float64, poison
+  as an index (every fancy-indexing use pays a cast-copy, or raises);
+- ``.astype(np.int32)`` on an int64 array narrows wherever the author
+  assumed "small graph";
+- ``dtype=np.int_``/``np.intc``/``dtype=int`` bake the platform's C
+  ``long`` into an array that crosses process and mmap boundaries.
+
+This rule flags narrowing casts and platform-dependent dtype spellings
+syntactically, and — using the abstract interpreter's *origin* facts —
+untyped ``arange``/``zeros`` values that actually flow into an index
+sink: a subscript index position, or an argument to a parameter whose
+``@contract`` demands int64.  Scoped to ``core/``, ``graph/`` and the
+shard codec (the serialization boundary); ``baselines/`` deliberately
+compresses fingerprints to int32 and stays out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.arrayflow import (
+    PLATFORM_INT_NAMES,
+    ArrayFlowIndex,
+    FunctionFacts,
+    arrayflow_index,
+)
+from repro.analysis.rules import Rule
+from repro.analysis.source import SourceFile, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import Project
+
+__all__ = ["IndexDtypeRule"]
+
+#: dtypes an int64 index array must never be narrowed to.
+_NARROW_INTS = frozenset({"int8", "int16", "int32", "uint8", "uint16", "uint32"})
+
+#: constructors whose dtype= keyword is checked for platform spellings.
+_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "array", "asarray",
+     "ascontiguousarray", "full_like", "zeros_like", "empty_like"}
+)
+
+_ORIGIN_MESSAGES = {
+    "arange-default": (
+        "np.arange without an explicit dtype is platform-dependent "
+        "(np.int_ is 32-bit on Windows) — index arrays must be built "
+        "with dtype=np.int64"
+    ),
+    "alloc-default": (
+        "array allocated without a dtype defaults to float64 — as an "
+        "index it pays a cast-copy per use or raises; allocate with "
+        "dtype=np.int64"
+    ),
+}
+
+
+def _platform_dtype_name(node: ast.expr) -> Optional[str]:
+    """The platform-dependent dtype spelling of a dtype expr, if any."""
+    chain = attribute_chain(node)
+    if chain is not None and chain[-1] in PLATFORM_INT_NAMES:
+        return ".".join(chain)
+    if isinstance(node, ast.Name) and node.id == "int":
+        return "int"
+    return None
+
+
+class IndexDtypeRule(Rule):
+    id = "R14"
+    name = "index-dtype"
+    summary = (
+        "CSR indptr/indices and walk position arrays are int64-only: no "
+        "narrowing casts, no platform np.int_, no untyped allocations "
+        "flowing into index sinks"
+    )
+
+    def __init__(self) -> None:
+        self._findings: Dict[str, List[Finding]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        self._findings = {}
+        flow = arrayflow_index(project)
+        for facts in flow.functions.values():
+            source = flow.index.source_by_rel.get(facts.info.rel)
+            if source is None:
+                continue
+            self._scan_function(flow, facts, source)
+
+    def _scan_function(
+        self, flow: ArrayFlowIndex, facts: FunctionFacts, source: SourceFile
+    ) -> None:
+        for node in ast.walk(facts.info.node):
+            if isinstance(node, ast.Call):
+                self._check_astype(facts, source, node)
+                self._check_ctor_dtype(source, node)
+                self._check_contract_args(flow, facts, source, node)
+            elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+                self._check_index_use(facts, source, node)
+
+    # -- casts and spellings ------------------------------------------
+
+    def _check_astype(
+        self, facts: FunctionFacts, source: SourceFile, node: ast.Call
+    ) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+            return
+        target = node.args[0] if node.args else None
+        if target is None:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    target = kw.value
+        if target is None:
+            return
+        platform = _platform_dtype_name(target)
+        if platform is not None:
+            self._emit(
+                source, node,
+                f".astype({platform}) casts to the platform's C long — "
+                "use np.int64 so the result is identical on every platform",
+            )
+            return
+        chain = attribute_chain(target)
+        name = (
+            target.value if isinstance(target, ast.Constant)
+            and isinstance(target.value, str)
+            else chain[-1] if chain else None
+        )
+        if name not in _NARROW_INTS:
+            return
+        receiver = facts.fact(func.value)
+        if receiver is not None and receiver.dtype == "int64":
+            self._emit(
+                source, node,
+                f".astype({name}) narrows a proven int64 array — index and "
+                "position arrays must stay int64 end to end (truncates "
+                "silently past the dtype's range)",
+            )
+
+    def _check_ctor_dtype(self, source: SourceFile, node: ast.Call) -> None:
+        func = node.func
+        chain = attribute_chain(func)
+        name = (
+            chain[-1] if chain else func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _CTORS:
+            return
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                continue
+            platform = _platform_dtype_name(kw.value)
+            if platform is not None:
+                self._emit(
+                    source, kw.value,
+                    f"dtype={platform} is the platform's C long (32-bit on "
+                    "Windows) — arrays that cross process or mmap boundaries "
+                    "must state np.int64 explicitly",
+                )
+
+    # -- origin flow into index sinks ---------------------------------
+
+    def _check_index_use(
+        self, facts: FunctionFacts, source: SourceFile, node: ast.Subscript
+    ) -> None:
+        if isinstance(node.slice, ast.Slice):
+            return
+        seen: Set[int] = set()
+        for sub in ast.walk(node.slice):
+            if not isinstance(sub, ast.expr) or id(sub) in seen:
+                continue
+            seen.add(id(sub))
+            fact = facts.fact(sub)
+            if fact is None or fact.origin not in _ORIGIN_MESSAGES:
+                continue
+            self._emit(
+                source, sub,
+                _ORIGIN_MESSAGES[fact.origin] + " (used as a subscript index here)",
+            )
+            return  # one finding per subscript is enough signal
+
+    def _check_contract_args(
+        self,
+        flow: ArrayFlowIndex,
+        facts: FunctionFacts,
+        source: SourceFile,
+        node: ast.Call,
+    ) -> None:
+        callee_qual = flow.index.resolve_call(node, facts.info)
+        if callee_qual is None:
+            return
+        callee = flow.facts_for(callee_qual)
+        if callee is None or callee.contract is None:
+            return
+        from repro.analysis.flow.arrayshape import _map_args
+
+        for param, arg in _map_args(callee, node):
+            spec = callee.contract.params.get(param)
+            if spec is None or not spec.dtype.startswith("int"):
+                continue
+            fact = facts.fact(arg)
+            if fact is None or fact.origin not in _ORIGIN_MESSAGES:
+                continue
+            self._emit(
+                source, arg,
+                _ORIGIN_MESSAGES[fact.origin]
+                + f" (flows into `{param}` of {callee.info.name}(), "
+                f"contracted {spec.describe()})",
+            )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, source: SourceFile, node: ast.AST, message: str) -> None:
+        self._findings.setdefault(source.rel, []).append(
+            source.finding(self.id, node, message)
+        )
+
+    def check(self, project: "Project", source: SourceFile) -> Iterator[Finding]:
+        del project
+        yield from self._findings.get(source.rel, [])

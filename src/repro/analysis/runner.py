@@ -55,6 +55,12 @@ DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     # rule governs only the shard boundary.
     "R11": ("shard/*.py",),
     "R12": ("*.py",),
+    "R13": ("*.py",),
+    # Index-dtype discipline governs the CSR/walk storage layers and the
+    # serialization boundary; baselines/ compresses to int32 by design.
+    "R14": ("core/*.py", "graph/*.py", "shard/codec.py"),
+    "R15": ("*.py",),
+    "R16": ("*.py",),
 }
 
 #: directories never worth parsing.
@@ -142,17 +148,20 @@ def run_analysis(
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     only: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
     scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
     flow: bool = False,
     cache: Optional[LintCache] = None,
 ) -> LintReport:
     """Run the project linter and return the full :class:`LintReport`.
 
-    ``only`` restricts to a set of rule ids; ``scopes`` overrides
-    :data:`DEFAULT_SCOPES` (useful in tests to point one rule at a
-    fixture file regardless of its name); ``flow`` adds the
-    whole-program rules R6-R12 (:func:`repro.analysis.flow.flow_rules`).
-    ``cache`` enables the content-keyed incremental store
+    ``only`` restricts to a set of rule ids and ``ignore`` drops ids
+    from whatever set would otherwise run (``--select``/``--ignore`` on
+    the CLI); ``scopes`` overrides :data:`DEFAULT_SCOPES` (useful in
+    tests to point one rule at a fixture file regardless of its name);
+    ``flow`` adds the whole-program rules R6-R16
+    (:func:`repro.analysis.flow.flow_rules`).  ``cache`` enables the
+    content-keyed incremental store
     (:class:`repro.analysis.cache.LintCache`); it is ignored when
     ``rules`` passes custom rule objects, which cannot be content-keyed.
     """
@@ -160,6 +169,7 @@ def run_analysis(
 
     root = root or Path.cwd()
     only = list(only) if only is not None else None
+    ignore = list(ignore) if ignore is not None else None
     scope_map = DEFAULT_SCOPES if scopes is None else scopes
     if rules is not None:
         cache = None
@@ -179,7 +189,7 @@ def run_analysis(
         else:
             scopes_sig = repr(sorted(scope_map.items()))
             invocation_key = LintCache.invocation_key(
-                sorted(sha_by_rel.items()), flow, only, scopes_sig
+                sorted(sha_by_rel.items()), flow, only, scopes_sig, ignore
             )
             hit = cache.load_report(invocation_key)
             if hit is not None:
@@ -200,10 +210,13 @@ def run_analysis(
         active = list(rules)
     # Stale-noqa detection needs the full default rule set: under a
     # restricted run, a waiver for an unrun rule is dormant, not stale.
-    full_run = rules is None and only is None
+    full_run = rules is None and only is None and not ignore
     if only is not None:
         wanted = set(only)
         active = [rule for rule in active if rule.id in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        active = [rule for rule in active if rule.id not in dropped]
 
     findings: List[Finding] = []
     suppressed: List[Finding] = []
@@ -310,6 +323,7 @@ def run_lint(
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     only: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
     scopes: Optional[Dict[str, Tuple[str, ...]]] = None,
     flow: bool = False,
 ) -> List[Finding]:
@@ -319,5 +333,6 @@ def run_lint(
     the gating finding list.
     """
     return run_analysis(
-        paths, root=root, rules=rules, only=only, scopes=scopes, flow=flow
+        paths, root=root, rules=rules, only=only, ignore=ignore,
+        scopes=scopes, flow=flow,
     ).findings

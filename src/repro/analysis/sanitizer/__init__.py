@@ -4,7 +4,7 @@ The static rules (R1, R6–R8) prove what they can from source; this
 package checks the remaining gap at runtime, the way ThreadSanitizer
 does for C++: by interposing on the primitives themselves.
 
-Four checkers, all zero-cost when disabled (the factories in
+Five checkers, all zero-cost when disabled (the factories in
 :mod:`repro.utils.sync` and the hooks in :mod:`repro.utils.rng` and
 :mod:`repro.shard.memory` hand out plain primitives unless the switch
 is on):
@@ -25,7 +25,14 @@ is on):
 - **segment lifecycle** (:mod:`.segments`) — every shared-memory
   export/attach is registered with its creation stack and removed on
   close; suites that expect a clean shutdown call
-  ``SEGMENTS.assert_all_released()`` — the runtime side of R10.
+  ``SEGMENTS.assert_all_released()`` — the runtime side of R10;
+- **array allocation & shape symbols** (:mod:`.arrays` +
+  :mod:`repro.utils.contracts`) — ``@contract`` shape symbols
+  (``int64[W]``) must bind one consistent extent per call, and kernels
+  marked ``# no-alloc`` must be steady-state allocation-free after one
+  warm-up call (``np.concatenate``/``np.append``/``np.copy``/... are
+  counted while the kernel is on the stack) — the runtime side of
+  R13/R15.
 
 Enable with the environment variable (read at process start, so worker
 processes inherit it), programmatically via :func:`enable`, or for a
@@ -38,6 +45,7 @@ plugin enables during ``pytest_configure``, ahead of collection).
 
 from __future__ import annotations
 
+from repro.analysis.sanitizer.arrays import ALLOC_MONITOR, ArrayAllocMonitor
 from repro.analysis.sanitizer.errors import SanitizerError
 from repro.analysis.sanitizer.eventloop import LOOP_MONITOR, EventLoopMonitor
 from repro.analysis.sanitizer.locks import (
@@ -56,10 +64,12 @@ from repro.analysis.sanitizer.segments import SEGMENTS, SegmentRegistry
 from repro.utils import sync as _sync
 
 __all__ = [
+    "ALLOC_MONITOR",
     "LOOP_MONITOR",
     "MONITOR",
     "SEGMENTS",
     "SHADOW_REGISTRY",
+    "ArrayAllocMonitor",
     "EventLoopMonitor",
     "LockOrderMonitor",
     "RngShadowRegistry",
@@ -88,6 +98,7 @@ def disable() -> None:
     """Turn the sanitizer off (existing proxies keep reporting)."""
     _sync._set_active(False)
     LOOP_MONITOR.uninstall()
+    ALLOC_MONITOR.uninstall()
 
 
 def is_enabled() -> bool:
@@ -96,7 +107,7 @@ def is_enabled() -> bool:
 
 def reset() -> None:
     """Forget recorded lock-order edges, RNG accounting, loop-callback
-    violations, and segment records.
+    violations, segment records, and no-alloc warm-up state.
 
     Call between tests: edges are per lock *instance*, so state from a
     finished test can only leak (never alias), but unbounded growth and
@@ -106,3 +117,4 @@ def reset() -> None:
     SHADOW_REGISTRY.reset()
     LOOP_MONITOR.reset()
     SEGMENTS.reset()
+    ALLOC_MONITOR.reset()

@@ -1,0 +1,159 @@
+"""Runtime zero-alloc accounting for ``# no-alloc`` kernels.
+
+R15 statically flags redundant-copy array allocations inside the loops
+of ``# hot-path`` kernels; this checker is its dynamic witness.  A
+kernel whose header carries a ``# no-alloc`` comment (detected at
+decoration time by :func:`repro.utils.contracts.contract`) runs inside
+:meth:`ArrayAllocMonitor.track`, which counts calls to numpy's
+*redundant-copy* allocators — ``np.concatenate``, ``np.append``,
+``np.copy``, the stacking family, ``np.tile`` — made while the kernel
+is on the stack.
+
+The first call per kernel qualname is a **warm-up**: lazy buffers,
+one-time reshapes and setup copies are legitimate, so its allocations
+are forgiven.  From the second call on, the kernel must be steady-state
+allocation-free: any tracked allocation raises
+:class:`~repro.analysis.sanitizer.errors.SanitizerError` naming the
+allocator(s).
+
+What is deliberately **not** tracked:
+
+- ``np.sort`` / ``np.unique`` and ufunc output buffers — their output
+  allocation is inherent to the operation, not a redundant copy; the
+  tracked set is exactly the functions a zero-alloc rewrite eliminates
+  (preallocate + slice-assign, ``out=``, in-place sort);
+- allocations made through numpy's internal C entry points — only
+  direct ``np.<allocator>(...)`` calls from repro code hit the patched
+  module attributes, which is the granularity R15 reasons about.
+
+Counting is per-thread (a thread-local stack of active kernels), so
+parallel kernel invocations never blame each other's allocations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, List, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.sanitizer.errors import SanitizerError
+
+__all__ = ["ALLOC_MONITOR", "ArrayAllocMonitor", "TRACKED_ALLOCATORS"]
+
+#: numpy module-level functions counted as redundant-copy allocators.
+TRACKED_ALLOCATORS: Tuple[str, ...] = (
+    "concatenate",
+    "vstack",
+    "hstack",
+    "column_stack",
+    "stack",
+    "append",
+    "copy",
+    "tile",
+)
+
+
+class _KernelStack(threading.local):
+    def __init__(self) -> None:
+        # (kernel qualname, {allocator name: count}) innermost-last.
+        self.frames: List[Tuple[str, Dict[str, int]]] = []
+
+
+class ArrayAllocMonitor:
+    """Patches numpy's redundant-copy allocators and accounts them to
+    the innermost active ``# no-alloc`` kernel.
+
+    Installed lazily on first :meth:`track` (so importing the sanitizer
+    never perturbs numpy), uninstalled via :meth:`uninstall`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stack = _KernelStack()
+        self._originals: Dict[str, object] = {}
+        self._warmed: Set[str] = set()
+        self._installed = False
+
+    # -- patching ------------------------------------------------------
+
+    def install(self) -> None:
+        with self._lock:
+            if self._installed:
+                return
+            for name in TRACKED_ALLOCATORS:
+                original = getattr(np, name)
+                self._originals[name] = original
+                setattr(np, name, self._wrap(name, original))
+            self._installed = True
+
+    def uninstall(self) -> None:
+        with self._lock:
+            if not self._installed:
+                return
+            for name, original in self._originals.items():
+                setattr(np, name, original)
+            self._originals.clear()
+            self._installed = False
+
+    def _wrap(self, name: str, original):  # type: ignore[no-untyped-def]
+        def counted(*args, **kwargs):  # type: ignore[no-untyped-def]
+            frames = self._stack.frames
+            if frames:
+                counts = frames[-1][1]
+                counts[name] = counts.get(name, 0) + 1
+            return original(*args, **kwargs)
+
+        counted.__name__ = name
+        counted.__qualname__ = name
+        counted.__wrapped__ = original  # type: ignore[attr-defined]
+        return counted
+
+    # -- accounting ----------------------------------------------------
+
+    @contextlib.contextmanager
+    def track(self, qualname: str) -> Iterator[None]:
+        """Run one kernel call under allocation accounting.
+
+        The accounting check runs only when the kernel returns normally
+        — a call that raises proves nothing about its steady state.
+        """
+        self.install()
+        counts: Dict[str, int] = {}
+        self._stack.frames.append((qualname, counts))
+        try:
+            yield
+            self._account(qualname, counts)
+        finally:
+            self._stack.frames.pop()
+
+    def _account(self, qualname: str, counts: Dict[str, int]) -> None:
+        with self._lock:
+            if qualname not in self._warmed:
+                self._warmed.add(qualname)
+                return
+        if counts:
+            detail = ", ".join(
+                f"np.{name}×{count}" for name, count in sorted(counts.items())
+            )
+            raise SanitizerError(
+                f"no-alloc kernel {qualname} allocated after warm-up: {detail} "
+                "(redundant-copy allocators must be hoisted out of the "
+                "steady-state path — preallocate and slice-assign, or use "
+                "out=)"
+            )
+
+    def reset(self) -> None:
+        """Forget warm-up records and this thread's active-kernel stack.
+
+        Called between tests by the pytest plugin so each test gets its
+        own warm-up allowance.
+        """
+        with self._lock:
+            self._warmed.clear()
+        self._stack.frames.clear()
+
+
+#: process-wide singleton, mirrored after MONITOR / SHADOW_REGISTRY.
+ALLOC_MONITOR = ArrayAllocMonitor()

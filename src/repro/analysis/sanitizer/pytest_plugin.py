@@ -29,8 +29,9 @@ def pytest_addoption(parser: "pytest.Parser") -> None:
         default=False,
         help=(
             "run under the repro runtime sanitizer: lock-order recording "
-            "with deadlock detection and RNG consumption accounting "
-            "(see docs/static-analysis.md)"
+            "with deadlock detection, RNG consumption accounting, and "
+            "array contract checks (shape-symbol binding + no-alloc "
+            "accounting; see docs/static-analysis.md)"
         ),
     )
 
@@ -44,7 +45,8 @@ def pytest_report_header(config: "pytest.Config") -> "list[str]":
     if sanitizer.is_enabled():
         return [
             "repro sanitizer: ON (lock-order DAG + RNG shadow accounting + "
-            "event-loop blocking + segment lifecycle)"
+            "event-loop blocking + segment lifecycle + array shape/alloc "
+            "accounting)"
         ]
     return []
 

@@ -301,7 +301,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     argv = list(args.paths)
     if args.rules:
-        argv += ["--rules", args.rules]
+        argv += ["--select", args.rules]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
     if args.root:
         argv += ["--root", args.root]
     if args.flow:
@@ -472,16 +474,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(fn=cmd_info)
 
     p_lint = sub.add_parser(
-        "lint", help="run the project-specific static-analysis rules R1-R12"
+        "lint", help="run the project-specific static-analysis rules R1-R16"
     )
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    p_lint.add_argument("--rules", default=None, metavar="R1,R2,...",
-                        help="comma-separated rule ids to run")
+    p_lint.add_argument("--select", "--rules", dest="rules", default=None,
+                        metavar="R1,R2,...",
+                        help="comma-separated rule ids to run "
+                        "(--rules is the legacy spelling)")
+    p_lint.add_argument("--ignore", default=None, metavar="R1,R2,...",
+                        help="comma-separated rule ids to drop from the "
+                        "selected set")
     p_lint.add_argument("--root", default=None, metavar="DIR",
                         help="directory findings are rendered relative to")
     p_lint.add_argument("--flow", action="store_true",
-                        help="also run the interprocedural flow rules R6-R12")
+                        help="also run the interprocedural flow rules R6-R16")
     p_lint.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format",
                         help="output format")

@@ -65,8 +65,8 @@ class WalkEngine:
         self._indices = graph.in_indices
         self._degrees = graph.in_degrees
 
-    @contract(positions="int64", returns="int64")
-    def step(self, positions: np.ndarray) -> np.ndarray:
+    @contract(positions="int64", returns="int64")  # no-alloc
+    def step(self, positions: np.ndarray) -> np.ndarray:  # hot-path
         """Advance every walk one in-link step; dead walks stay dead.
 
         ``positions`` is an int64 array of current vertices (or DEAD); a
@@ -94,8 +94,10 @@ class WalkEngine:
             result[alive_idx[movable]] = landed
         return result
 
-    @contract(positions="int64", uniforms="float64", returns="int64")
-    def step_given(self, positions: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    @contract(positions="int64", uniforms="float64", returns="int64")  # no-alloc
+    def step_given(
+        self, positions: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:  # hot-path
         """Advance walks using caller-supplied uniforms, one per slot.
 
         Unlike :meth:`step`, every walk slot owns exactly one uniform in
@@ -182,7 +184,7 @@ class WalkEngine:
         return out
 
 
-def run_length_encode(sorted_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def run_length_encode(sorted_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:  # hot-path
     """Distinct values and run lengths of an already-sorted int64 array.
 
     Returns ``(values, counts)`` with ``counts`` as float64 — every
@@ -198,7 +200,12 @@ def run_length_encode(sorted_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray
     boundaries[0] = True
     np.not_equal(sorted_values[1:], sorted_values[:-1], out=boundaries[1:])
     starts = np.flatnonzero(boundaries)
-    counts = np.diff(np.append(starts, sorted_values.size)).astype(np.float64)
+    # Run lengths as consecutive-start differences, written straight into
+    # the float64 result (``np.append`` here used to build and discard an
+    # intermediate on the hottest kernel path — R15 caught it).
+    counts = np.empty(starts.size, dtype=np.float64)
+    counts[:-1] = starts[1:] - starts[:-1]
+    counts[-1] = sorted_values.size - starts[-1]
     return sorted_values[starts], counts
 
 
@@ -217,7 +224,7 @@ class FlatSketch:
 
     __slots__ = ("T", "R", "vertices", "counts", "offsets")
 
-    def __init__(self, walk_matrix: np.ndarray, R: Optional[int] = None) -> None:
+    def __init__(self, walk_matrix: np.ndarray, R: Optional[int] = None) -> None:  # hot-path
         walk_matrix = np.asarray(walk_matrix, dtype=np.int64)
         self.T = int(walk_matrix.shape[0])
         bundle = int(walk_matrix.shape[1])
@@ -227,7 +234,7 @@ class FlatSketch:
         self.offsets = np.zeros(self.T + 1, dtype=np.int64)
         for t in range(self.T):
             row = walk_matrix[t]
-            vertices, counts = run_length_encode(np.sort(row[row >= 0]))
+            vertices, counts = run_length_encode(np.sort(row[row >= 0]))  # repro: noqa R15 -- dead-walk compaction must copy: the row is re-sorted anyway and rows are bundle-sized, not graph-sized
             vertex_rows.append(vertices)
             count_rows.append(counts)
             self.offsets[t + 1] = self.offsets[t] + vertices.size
@@ -370,8 +377,8 @@ class PositionSketch:
 
 
 @contract(positions="int64", sketch_vertices="int64", sketch_counts="float64",
-          diagonal="float64", returns="float64[1d]")
-def segment_collisions(
+          diagonal="float64", returns="float64[1d]")  # no-alloc
+def segment_collisions(  # hot-path
     positions: np.ndarray,
     sketch_vertices: np.ndarray,
     sketch_counts: np.ndarray,
@@ -411,9 +418,9 @@ def segment_collisions(
     return np.bincount(segments, weights=contributions, minlength=n_segments)
 
 
-@contract(positions="int64", segments="int64", diagonal="float64",
-          returns="float64[1d]")
-def segment_self_collisions(
+@contract(positions="int64[W]", segments="int64[W]", diagonal="float64",
+          returns="float64[1d]")  # no-alloc
+def segment_self_collisions(  # hot-path
     positions: np.ndarray,
     segments: np.ndarray,
     diagonal: np.ndarray,

@@ -36,7 +36,7 @@ def _gather_neighbors(
     # repeat(start - run_offset) + arange reconstructs every slice index.
     run_ends = np.cumsum(counts)
     bases = starts - (run_ends - counts)
-    return indices[np.repeat(bases, counts) + np.arange(total)]
+    return indices[np.repeat(bases, counts) + np.arange(total, dtype=np.int64)]
 
 
 def bfs_distances(

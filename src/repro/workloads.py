@@ -120,7 +120,11 @@ def churn_workload(
 
     Deterministic given ``seed``; replay against a
     :class:`~repro.core.dynamic.DynamicSimRankEngine` (or a serve
-    client) in order.
+    client) in order.  Edge endpoints are plain Python ints here, but
+    once staged they enter the delta CSR path, which is ``int64`` end
+    to end (see ``docs/dynamic.md``) — lint rule R14 guards that
+    invariant in the storage layers, so replaying a grown stream never
+    narrows an index on platform-``int`` systems.
     """
     if length < 0:
         raise ConfigError(f"length must be nonnegative, got {length}")

@@ -87,6 +87,57 @@ def test_per_file_tier_skips_unchanged_files(tmp_path, monkeypatch):
     assert report.findings[0].path == "core/a.py"
 
 
+def test_select_and_ignore_salt_the_invocation_key(tmp_path):
+    # A report cached under one rule selection must never answer an
+    # invocation with a different --select/--ignore set.
+    _write(tmp_path, {"core/a.py": RNG_BAD})
+    cache_dir = tmp_path / CACHE_DIR_NAME
+    full = run_analysis(
+        [tmp_path], root=tmp_path, cache=LintCache(cache_dir), flow=True
+    )
+    assert [f.rule for f in full.findings] == ["R3"]
+    ignored = run_analysis(
+        [tmp_path], root=tmp_path, cache=LintCache(cache_dir), flow=True,
+        ignore=["R3"],
+    )
+    assert ignored.findings == []
+    selected = run_analysis(
+        [tmp_path], root=tmp_path, cache=LintCache(cache_dir), flow=True,
+        only=["R3"],
+    )
+    assert [f.rule for f in selected.findings] == ["R3"]
+
+
+def test_analyzer_edit_busts_stale_entries(tmp_path, monkeypatch):
+    # The invocation key digests the analyzer's own sources: simulate a
+    # rule edit by changing the digest and assert the old report is not
+    # replayed (the rule genuinely re-runs).
+    from repro.analysis import cache as cache_mod
+    from repro.analysis.rules.rng import SeededRngRule
+
+    _write(tmp_path, {"core/a.py": RNG_BAD})
+    cache_dir = tmp_path / CACHE_DIR_NAME
+    first = _report(tmp_path, LintCache(cache_dir))
+    assert [f.rule for f in first.findings] == ["R3"]
+
+    checked = []
+    original = SeededRngRule.check
+
+    def counting(self, project, source):
+        checked.append(source.rel)
+        return original(self, project, source)
+
+    monkeypatch.setattr(SeededRngRule, "check", counting)
+    # Unchanged digest: tier-1 hit, the rule never runs.
+    _report(tmp_path, LintCache(cache_dir))
+    assert checked == []
+    # "Edited" analyzer: every cached key is stale, the rule runs again.
+    monkeypatch.setattr(cache_mod, "_analyzer_digest", "different-analyzer")
+    report = _report(tmp_path, LintCache(cache_dir))
+    assert checked == ["core/a.py"]
+    assert [f.rule for f in report.findings] == ["R3"]
+
+
 def test_no_cache_means_no_cache_dir(tmp_path):
     _write(tmp_path, {"core/a.py": RNG_GOOD})
     _report(tmp_path, cache=None)

@@ -40,10 +40,53 @@ def test_rules_filter(write_tree):
     assert lint_main([str(root), "--rules", "R3"]) == 1
 
 
+def test_select_is_the_new_spelling_of_rules(write_tree):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    assert lint_main([str(root), "--select", "R1"]) == 0
+    assert lint_main([str(root), "--select", "R3"]) == 1
+
+
+def test_ignore_drops_rules_from_the_selected_set(write_tree):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    # Full set minus R3: the unseeded-RNG finding disappears.
+    assert lint_main([str(root), "--ignore", "R3"]) == 0
+    # Select R3 then ignore it: nothing left to fire.
+    assert lint_main([str(root), "--select", "R3", "--ignore", "R3"]) == 0
+
+
+def test_ignore_disables_stale_noqa_detection(write_tree):
+    # Under --ignore the run is partial; a waiver for the ignored rule
+    # is dormant, not stale.
+    root = write_tree(
+        {"core/mc.py": (
+            "import numpy as np\n\n"
+            "x = np.random.rand(3)  # repro: noqa R3 -- fixture\n"
+        )}
+    )
+    report = run_analysis([root], root=root, ignore=["R3"])
+    assert report.findings == []
+    assert report.stale == []
+
+
+def test_ignore_through_repro_cli(write_tree):
+    root = write_tree(
+        {"core/mc.py": "import numpy as np\n\nx = np.random.rand(3)\n"}
+    )
+    assert repro_main(["lint", str(root), "--ignore", "R3"]) == 0
+    assert repro_main(["lint", str(root), "--select", "R3"]) == 1
+
+
 def test_unknown_rule_is_usage_error(write_tree):
     root = write_tree({"core/ok.py": "VALUE = 1\n"})
     with pytest.raises(SystemExit) as err:
         lint_main([str(root), "--rules", "R99"])
+    assert err.value.code == 2
+    with pytest.raises(SystemExit) as err:
+        lint_main([str(root), "--ignore", "R99"])
     assert err.value.code == 2
 
 
@@ -192,6 +235,14 @@ def test_sarif_format(write_tree, capsys):
     assert location["artifactLocation"]["uri"] == "core/mc.py"
     assert location["region"]["startLine"] == 3
     assert result["message"]["text"]
+
+
+def test_sarif_advertises_flow_rules(write_tree, capsys):
+    root = write_tree({"core/ok.py": "VALUE = 1\n"})
+    assert lint_main([str(root), "--flow", "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    rule_ids = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert {"R13", "R14", "R15", "R16"} <= rule_ids
 
 
 def test_sarif_clean_tree_exits_zero(write_tree, capsys):

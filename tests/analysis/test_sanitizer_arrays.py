@@ -1,0 +1,208 @@
+"""Runtime array sanitizer: no-alloc accounting for marked kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer.arrays import (
+    TRACKED_ALLOCATORS,
+    ArrayAllocMonitor,
+)
+from repro.analysis.sanitizer.errors import SanitizerError
+
+
+@pytest.fixture
+def monitor():
+    m = ArrayAllocMonitor()
+    yield m
+    m.uninstall()
+
+
+class TestPatching:
+    def test_install_wraps_and_uninstall_restores(self, monitor):
+        originals = {name: getattr(np, name) for name in TRACKED_ALLOCATORS}
+        monitor.install()
+        for name in TRACKED_ALLOCATORS:
+            assert getattr(np, name) is not originals[name]
+            assert getattr(np, name).__wrapped__ is originals[name]
+        monitor.uninstall()
+        for name in TRACKED_ALLOCATORS:
+            assert getattr(np, name) is originals[name]
+
+    def test_install_is_idempotent(self, monitor):
+        monitor.install()
+        once = np.append
+        monitor.install()
+        assert np.append is once  # no double wrap
+        monitor.uninstall()
+        monitor.uninstall()  # and uninstall tolerates being called twice
+
+    def test_patched_allocators_still_work(self, monitor):
+        monitor.install()
+        out = np.concatenate([np.arange(2), np.arange(3)])
+        assert out.tolist() == [0, 1, 0, 1, 2]
+
+    def test_allocations_outside_any_kernel_are_free(self, monitor):
+        monitor.install()
+        np.append(np.arange(2), 3)  # no active frame: nothing to blame
+
+
+class TestAccounting:
+    def test_first_call_is_warm_up_second_raises(self, monitor):
+        def kernel():
+            with monitor.track("kernel"):
+                np.append(np.arange(2), 3)
+
+        kernel()  # warm-up: lazy buffers are forgiven
+        with pytest.raises(SanitizerError, match=r"np\.append×1"):
+            kernel()
+
+    def test_steady_state_clean_kernel_never_raises(self, monitor):
+        out = np.empty(4, dtype=np.int64)
+
+        def kernel():
+            with monitor.track("kernel"):
+                out[:] = np.arange(4)  # slice-assign: untracked
+
+        kernel()
+        kernel()
+        kernel()
+
+    def test_untracked_constructors_are_allowed(self, monitor):
+        # np.empty/np.zeros output buffers are inherent, not redundant.
+        def kernel():
+            with monitor.track("kernel"):
+                np.empty(8, dtype=np.int64)
+                np.zeros(8)
+
+        kernel()
+        kernel()
+
+    def test_message_names_every_allocator_with_counts(self, monitor):
+        def kernel():
+            with monitor.track("kernel"):
+                np.append(np.arange(2), 3)
+                np.copy(np.arange(2))
+                np.copy(np.arange(2))
+
+        kernel()
+        with pytest.raises(SanitizerError, match=r"np\.append×1, np\.copy×2"):
+            kernel()
+
+    def test_warm_up_is_per_qualname(self, monitor):
+        def call(name):
+            with monitor.track(name):
+                np.append(np.arange(2), 3)
+
+        call("a")
+        call("b")  # b gets its own warm-up even though a already warmed
+        with pytest.raises(SanitizerError):
+            call("a")
+
+    def test_nested_kernels_blame_the_innermost(self, monitor):
+        def inner(alloc):
+            with monitor.track("inner"):
+                if alloc:
+                    np.append(np.arange(2), 3)
+
+        def outer(alloc):
+            with monitor.track("outer"):
+                inner(alloc)
+
+        outer(True)  # warms both
+        # Steady state: the allocation happens while inner is on top, so
+        # outer stays clean and inner raises.
+        outer(False)
+        with pytest.raises(SanitizerError, match="inner"):
+            outer(True)
+
+    def test_raising_kernel_call_is_not_accounted(self, monitor):
+        def kernel(fail):
+            with monitor.track("kernel"):
+                np.append(np.arange(2), 3)
+                if fail:
+                    raise ValueError("boom")
+
+        kernel(False)  # warm-up
+        with pytest.raises(ValueError):
+            kernel(True)  # a failing call proves nothing about steady state
+        with pytest.raises(SanitizerError):
+            kernel(False)  # ...but a clean call still does
+
+    def test_reset_restores_the_warm_up_allowance(self, monitor):
+        def kernel():
+            with monitor.track("kernel"):
+                np.append(np.arange(2), 3)
+
+        kernel()
+        monitor.reset()
+        kernel()  # warm-up again after reset
+        with pytest.raises(SanitizerError):
+            kernel()
+
+
+class TestContractIntegration:
+    def test_no_alloc_contract_kernel_raises_after_warm_up(self):
+        from repro.analysis import sanitizer
+        from repro.utils.contracts import contract
+
+        @contract(a="int64")  # no-alloc
+        def grow(a):
+            return np.append(a, 99)
+
+        assert grow.__contract__["no_alloc"] is True
+
+        sanitizer.enable()
+        try:
+            grow(np.arange(3, dtype=np.int64))  # warm-up
+            with pytest.raises(SanitizerError, match="grow"):
+                grow(np.arange(3, dtype=np.int64))
+        finally:
+            sanitizer.disable()
+            sanitizer.reset()
+
+    def test_unmarked_contract_kernel_is_never_accounted(self):
+        from repro.analysis import sanitizer
+        from repro.utils.contracts import contract
+
+        @contract(a="int64")
+        def grow(a):
+            return np.append(a, 99)
+
+        assert grow.__contract__["no_alloc"] is False
+
+        sanitizer.enable()
+        try:
+            grow(np.arange(3, dtype=np.int64))
+            grow(np.arange(3, dtype=np.int64))  # allocs fine: not marked
+        finally:
+            sanitizer.disable()
+            sanitizer.reset()
+
+    def test_no_alloc_costs_nothing_when_sanitizer_off(self):
+        from repro.utils.contracts import contract
+
+        @contract(a="int64")  # no-alloc
+        def grow(a):
+            return np.append(a, 99)
+
+        grow(np.arange(3, dtype=np.int64))
+        grow(np.arange(3, dtype=np.int64))  # accounting only under --sanitize
+
+    def test_shipped_kernels_run_clean_under_accounting(self):
+        """The marked walk kernels really are steady-state zero-alloc:
+        run them twice under the sanitizer (second call is accounted)."""
+        from repro.analysis import sanitizer
+        from repro.core.walks import WalkEngine
+        from repro.graph.generators import cycle_graph
+
+        engine = WalkEngine(cycle_graph(16), seed=7)
+        positions = np.arange(8, dtype=np.int64)
+        sanitizer.enable()
+        try:
+            for _ in range(3):
+                positions = engine.step(positions)
+        finally:
+            sanitizer.disable()
+            sanitizer.reset()

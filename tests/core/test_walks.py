@@ -199,6 +199,25 @@ class TestFlatKernels:
         empty_values, empty_counts = run_length_encode(np.empty(0, dtype=np.int64))
         assert empty_values.size == 0 and empty_counts.size == 0
 
+    def test_run_length_encode_matches_diff_append_formula(self):
+        """Regression for the R15 fix: the preallocated count kernel must
+        be bit-identical to the old ``np.diff(np.append(...))`` version."""
+        from repro.core.walks import run_length_encode
+
+        rng = np.random.default_rng(11)
+        for size in (1, 2, 7, 1000):
+            sorted_values = np.sort(rng.integers(0, 50, size=size))
+            values, counts = run_length_encode(sorted_values)
+            starts = np.flatnonzero(
+                np.concatenate(([True], sorted_values[1:] != sorted_values[:-1]))
+            )
+            expected = np.diff(np.append(starts, sorted_values.size)).astype(
+                np.float64
+            )
+            np.testing.assert_array_equal(values, sorted_values[starts])
+            np.testing.assert_array_equal(counts, expected)
+            assert counts.dtype == np.float64
+
     def test_segment_collisions_matches_flat_sketch(self, social_graph):
         from repro.core.walks import FlatSketch, WalkEngine, segment_collisions
 

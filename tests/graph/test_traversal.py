@@ -79,6 +79,34 @@ class TestDistanceBall:
         assert len(ball) == social_graph.n  # PA graphs are connected
 
 
+class TestGatherNeighbors:
+    def test_gather_is_int64_end_to_end(self, diamond):
+        """Regression (found by R14): the arange in the vectorised gather
+        defaulted to the platform int, so on 32-bit-long platforms the
+        index math silently narrowed before hitting ``indices``."""
+        from repro.graph.traversal import _gather_neighbors
+
+        import numpy as np
+
+        frontier = np.array([0, 1], dtype=np.int64)
+        gathered = _gather_neighbors(
+            diamond.out_indptr, diamond.out_indices, frontier
+        )
+        assert gathered.dtype == np.int64
+        assert sorted(gathered.tolist()) == [1, 2, 3]
+
+    def test_empty_frontier_gather_is_int64(self, diamond):
+        from repro.graph.traversal import _gather_neighbors
+
+        import numpy as np
+
+        empty = np.empty(0, dtype=np.int64)
+        gathered = _gather_neighbors(
+            diamond.out_indptr, diamond.out_indices, empty
+        )
+        assert gathered.dtype == np.int64 and gathered.size == 0
+
+
 class TestComponents:
     def test_single_component(self, small_cycle):
         components = weakly_connected_components(small_cycle)

@@ -16,9 +16,19 @@ class TestParseSpec:
     def test_dtype_with_ndim(self):
         assert parse_spec("x", "float64[2d]") == ArraySpec("float64", 2)
 
-    def test_malformed_spec_raises(self):
+    def test_concrete_dims(self):
+        assert parse_spec("x", "int64[2]") == ArraySpec("int64", 1, (2,))
+
+    def test_symbolic_dims_fix_rank_and_record_symbols(self):
+        spec = parse_spec("x", "int64[T, R]")
+        assert spec == ArraySpec("int64", 2, ("T", "R"))
+        assert spec.symbols() == ("T", "R")
+
+    def test_malformed_dim_raises(self):
         with pytest.raises(ContractViolationError):
-            parse_spec("x", "int64[2]")
+            parse_spec("x", "int64[2!]")
+        with pytest.raises(ContractViolationError):
+            parse_spec("x", "int64[T,]")
 
     def test_unknown_dtype_raises(self):
         with pytest.raises(ContractViolationError):
@@ -97,6 +107,83 @@ class TestContractDecorator:
         decl = f.__contract__
         assert decl["params"] == {"a": ArraySpec("int64", None)}
         assert decl["returns"] == ArraySpec("float64", 1)
+        assert decl["no_alloc"] is False
+
+    def test_keyword_only_param_never_borrows_a_positional_slot(self):
+        """Regression: a keyword-only spec'd param after *args must not be
+        validated against whatever array happens to occupy args[i]."""
+
+        @contract(extra="int64")
+        def f(a, *args, extra=None):
+            return extra
+
+        # args[1] is a float64 array but `extra` was not passed — the old
+        # positional lookup validated args[1] against extra's spec.
+        assert f(1, np.zeros(3, dtype=np.float64)) is None
+        with pytest.raises(ContractViolationError, match="float64"):
+            f(1, extra=np.zeros(3, dtype=np.float64))
+
+    def test_concrete_dims_enforced_without_sanitizer(self):
+        @contract(a="float64[3]")
+        def f(a):
+            return a
+
+        f(np.zeros(3))
+        with pytest.raises(ContractViolationError, match="extent"):
+            f(np.zeros(4))
+
+
+class TestShapeSymbols:
+    """Symbol binding is a sanitizer-mode check (rank holds always)."""
+
+    def test_rank_enforced_even_without_sanitizer(self):
+        @contract(a="int64[W]")
+        def f(a):
+            return a
+
+        with pytest.raises(ContractViolationError, match="2-d"):
+            f(np.zeros((2, 2), dtype=np.int64))
+
+    def test_mismatched_symbols_pass_when_sanitizer_off(self):
+        from repro.analysis import sanitizer
+
+        if sanitizer.is_enabled():
+            pytest.skip("this test pins the non-sanitized behaviour")
+
+        @contract(a="int64[W]", b="float64[W]")
+        def f(a, b):
+            return a
+
+        f(np.zeros(3, dtype=np.int64), np.zeros(5))  # lengths differ: no check
+
+    def test_mismatched_symbols_raise_under_sanitizer(self):
+        from repro.analysis import sanitizer
+
+        @contract(a="int64[W]", b="float64[W]")
+        def f(a, b):
+            return a
+
+        sanitizer.enable()
+        try:
+            f(np.zeros(3, dtype=np.int64), np.zeros(3))
+            with pytest.raises(ContractViolationError, match="'W'"):
+                f(np.zeros(3, dtype=np.int64), np.zeros(5))
+        finally:
+            sanitizer.disable()
+
+    def test_return_value_participates_in_binding(self):
+        from repro.analysis import sanitizer
+
+        @contract(a="int64[W]", returns="int64[W]")
+        def f(a):
+            return a[:-1].copy()
+
+        sanitizer.enable()
+        try:
+            with pytest.raises(ContractViolationError, match="'W'"):
+                f(np.arange(4, dtype=np.int64))
+        finally:
+            sanitizer.disable()
 
 
 class TestKernelContracts:
